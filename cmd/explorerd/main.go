@@ -1,0 +1,73 @@
+// Command explorerd generates a synthetic study and serves it over the
+// simulated Jito Explorer HTTP API, so a separately running collector (see
+// cmd/collect) can scrape it like the paper scraped explorer.jito.wtf.
+//
+// Usage:
+//
+//	explorerd [-addr 127.0.0.1:8899] [-days 7] [-scale 10000] [-seed 1] [-rate 120] [-live]
+//
+// With -live the study streams in real (compressed) time: one simulated
+// day per -daysecs wall seconds, so the recent-bundles endpoint behaves
+// like a live feed. Without it, the whole study is loaded up front.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"jitomev/internal/explorer"
+	"jitomev/internal/jito"
+	"jitomev/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8899", "listen address")
+		days    = flag.Int("days", 7, "study length in days")
+		scale   = flag.Int("scale", 10_000, "volume divisor vs paper scale")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		rate    = flag.Int("rate", 0, "per-client requests/minute (0 = unlimited)")
+		live    = flag.Bool("live", false, "stream the study in compressed real time")
+		daySecs = flag.Int("daysecs", 10, "wall seconds per simulated day with -live")
+	)
+	flag.Parse()
+
+	store := explorer.NewStore()
+	st := workload.New(workload.Params{Seed: *seed, Days: *days, Scale: *scale})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           explorer.NewServer(store, *rate),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *live {
+		go func() {
+			perDay := time.Duration(*daySecs) * time.Second
+			for d := 0; d < st.P.Days; d++ {
+				dayStart := time.Now()
+				st.RunDay(d, workload.SinkFunc(func(day int, acc *jito.Accepted) {
+					store.Accept(day, acc)
+				}))
+				fmt.Printf("day %d generated (%d bundles total)\n", d, store.Len())
+				if rest := perDay - time.Since(dayStart); rest > 0 {
+					time.Sleep(rest)
+				}
+			}
+			fmt.Println("study complete; continuing to serve")
+		}()
+	} else {
+		fmt.Printf("generating %d days at 1/%d scale...\n", st.P.Days, st.P.Scale)
+		st.Run(store)
+		fmt.Printf("serving %d bundles\n", store.Len())
+	}
+
+	fmt.Printf("explorer API on http://%s  (GET /api/v1/bundles/recent?limit=N, POST /api/v1/transactions)\n", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "explorerd:", err)
+		os.Exit(1)
+	}
+}

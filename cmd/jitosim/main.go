@@ -1,0 +1,129 @@
+// Command jitosim runs the full reproduction pipeline — synthetic
+// workload, collection, detection, analysis — and prints every figure and
+// the headline table.
+//
+// Usage:
+//
+//	jitosim [-days 120] [-scale 2000] [-seed 1] [-http] [-csv out.csv] [-fig all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"jitomev"
+	"jitomev/internal/report"
+	"jitomev/internal/workload"
+)
+
+func main() {
+	var (
+		days      = flag.Int("days", 120, "study length in days (paper window: 120)")
+		scale     = flag.Int("scale", 2000, "volume divisor vs paper scale (14.8M bundles/day)")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		useHTTP   = flag.Bool("http", false, "collect over a real loopback HTTP explorer API")
+		csvPath   = flag.String("csv", "", "also write per-day series CSV to this path")
+		fig       = flag.String("fig", "all", "what to print: headline|1|2|3|4|rejections|ablation|tradeoff|all")
+		solUSD    = flag.Float64("solusd", 242, "SOL to USD conversion rate")
+		extended  = flag.Bool("extended", false, "also scan length-4/5 bundles for disguised sandwiches")
+		backfill  = flag.Int("backfill", 0, "backfill pages on broken overlap (0 = paper behaviour)")
+		saveData  = flag.String("savedata", "", "persist the collected dataset to this path")
+		blockscan = flag.Bool("blockscan", false, "also run the pre-bundle block-scan baseline")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	out, err := jitomev.Run(jitomev.Config{
+		Workload:          workload.Params{Seed: *seed, Days: *days, Scale: *scale},
+		UseHTTP:           *useHTTP,
+		SOLPriceUSD:       *solUSD,
+		RunAblation:       true,
+		ExtendedDetection: *extended,
+		BackfillPages:     *backfill,
+		RunBlockScan:      *blockscan,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jitosim:", err)
+		os.Exit(1)
+	}
+	r := out.Results
+	p := out.Study.P
+
+	fmt.Printf("study: %d days at 1/%d scale, seed %d — %d bundles collected (%.1f%% coverage, %.1f%% poll overlap) in %v\n\n",
+		p.Days, p.Scale, p.Seed, r.TotalBundles, 100*out.CoverageRate, 100*r.OverlapRate, time.Since(start).Round(time.Millisecond))
+
+	show := func(name string) bool { return *fig == "all" || *fig == name }
+	if show("headline") {
+		report.RenderHeadline(os.Stdout, r, p.Scale)
+		fmt.Println()
+	}
+	if show("1") {
+		report.RenderFigure1(os.Stdout, r, p.InOutage)
+		fmt.Println()
+	}
+	if show("2") {
+		report.RenderFigure2(os.Stdout, r, p.InOutage)
+		fmt.Println()
+	}
+	if show("3") {
+		report.RenderFigure3(os.Stdout, r, 25)
+		fmt.Println()
+	}
+	if show("4") {
+		report.RenderFigure4(os.Stdout, r)
+		fmt.Println()
+	}
+	if show("rejections") {
+		report.RenderRejections(os.Stdout, r)
+		fmt.Println()
+	}
+	if show("ablation") {
+		report.RenderAblation(os.Stdout, out.Ablation)
+		fmt.Println()
+	}
+	if show("tradeoff") {
+		report.RenderTradeoff(os.Stdout, report.ComputeTradeoff(r))
+		fmt.Println()
+	}
+	if *extended {
+		report.RenderExtended(os.Stdout, r)
+		fmt.Println()
+	}
+	if *blockscan {
+		fmt.Printf("== Block-scan baseline (no bundle boundaries) ==\nflagged %d sandwich-shaped triples vs %d bundle-aware detections\n\n",
+			out.BlockScanFlags, r.Sandwiches)
+	}
+
+	if *saveData != "" {
+		f, err := os.Create(*saveData)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jitosim:", err)
+			os.Exit(1)
+		}
+		if err := out.Collector.Data.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, "jitosim:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "jitosim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("saved dataset to", *saveData)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jitosim:", err)
+			os.Exit(1)
+		}
+		report.WriteCSV(f, r, p.InOutage)
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "jitosim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *csvPath)
+	}
+}

@@ -1,0 +1,114 @@
+// Command report regenerates a single figure or table from a deterministic
+// study. Because studies are fully determined by (seed, days, scale), the
+// dataset never needs to be persisted: the same flags always regenerate
+// the same figure.
+//
+// Usage:
+//
+//	report -fig 3 [-days 60] [-scale 5000] [-seed 1] [-points 25]
+//	report -fig table1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jitomev"
+	"jitomev/internal/collector"
+	"jitomev/internal/core"
+	"jitomev/internal/report"
+	"jitomev/internal/workload"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "headline", "headline|1|2|3|4|rejections|ablation|csv|table1")
+		days   = flag.Int("days", 60, "study length in days")
+		scale  = flag.Int("scale", 5_000, "volume divisor vs paper scale")
+		seed   = flag.Int64("seed", 1, "deterministic seed")
+		points = flag.Int("points", 25, "CDF points for figure 3")
+		load   = flag.String("load", "", "analyze a saved dataset instead of regenerating")
+	)
+	flag.Parse()
+
+	if *fig == "table1" {
+		report.RenderTable1(os.Stdout)
+		return
+	}
+
+	if *load != "" {
+		renderFromFile(*load, *fig, *points)
+		return
+	}
+
+	out, err := jitomev.Run(jitomev.Config{
+		Workload:    workload.Params{Seed: *seed, Days: *days, Scale: *scale},
+		RunAblation: *fig == "ablation",
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	r, p := out.Results, out.Study.P
+
+	switch *fig {
+	case "headline":
+		report.RenderHeadline(os.Stdout, r, p.Scale)
+	case "1":
+		report.RenderFigure1(os.Stdout, r, p.InOutage)
+	case "2":
+		report.RenderFigure2(os.Stdout, r, p.InOutage)
+	case "3":
+		report.RenderFigure3(os.Stdout, r, *points)
+	case "4":
+		report.RenderFigure4(os.Stdout, r)
+	case "rejections":
+		report.RenderRejections(os.Stdout, r)
+	case "ablation":
+		report.RenderAblation(os.Stdout, out.Ablation)
+	case "csv":
+		report.WriteCSV(os.Stdout, r, p.InOutage)
+	default:
+		fmt.Fprintf(os.Stderr, "report: unknown -fig %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+// renderFromFile analyzes a dataset saved with jitosim -savedata and
+// renders the requested figure. Outage shading is unavailable (the saved
+// dataset does not carry the workload's outage calendar); gaps still show
+// as missing days.
+func renderFromFile(path, fig string, points int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	data, err := collector.LoadDataset(f, 1024)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	r := report.Analyze(data, core.NewDefaultDetector(), 0)
+	switch fig {
+	case "headline":
+		report.RenderHeadline(os.Stdout, r, 1)
+	case "1":
+		report.RenderFigure1(os.Stdout, r, nil)
+	case "2":
+		report.RenderFigure2(os.Stdout, r, nil)
+	case "3":
+		report.RenderFigure3(os.Stdout, r, points)
+	case "4":
+		report.RenderFigure4(os.Stdout, r)
+	case "rejections":
+		report.RenderRejections(os.Stdout, r)
+	case "csv":
+		report.WriteCSV(os.Stdout, r, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "report: -fig %q unsupported with -load\n", fig)
+		os.Exit(2)
+	}
+}

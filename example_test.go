@@ -1,0 +1,107 @@
+package jitomev_test
+
+import (
+	"fmt"
+	"time"
+
+	"jitomev"
+	"jitomev/internal/amm"
+	"jitomev/internal/core"
+	"jitomev/internal/jito"
+	"jitomev/internal/ledger"
+	"jitomev/internal/solana"
+	"jitomev/internal/token"
+	"jitomev/internal/workload"
+)
+
+// Example runs a miniature study end to end and reports what the paper's
+// methodology would find in it.
+func Example() {
+	out, err := jitomev.Run(jitomev.Config{
+		Workload: workload.Params{
+			Seed:    42,
+			Days:    2,
+			Scale:   50_000, // ~296 bundles/day: fast enough for godoc
+			Outages: []workload.DayRange{},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	r := out.Results
+	fmt.Printf("days collected: %d\n", len(r.CollectedDays))
+	fmt.Printf("defensive share above half: %v\n", r.Defense.DefensiveShare() > 0.5)
+	fmt.Printf("coverage above 90%%: %v\n", out.CoverageRate > 0.9)
+	// Output:
+	// days collected: 2
+	// defensive share above half: true
+	// coverage above 90%: true
+}
+
+// ExampleDetector shows the five-criteria detector on a hand-built
+// sandwich executed through the bank and block engine.
+func Example_detector() {
+	bank := ledger.NewBank()
+	reg := token.NewRegistry()
+	meme := reg.NewMemecoin("MEME")
+	pool := amm.New(meme.Address, token.SOL.Address, 1e12, 1e12, amm.DefaultFeeBps)
+	bank.AddPool(pool)
+
+	attacker := solana.NewKeypairFromSeed("doc/attacker")
+	victim := solana.NewKeypairFromSeed("doc/victim")
+	for _, kp := range []*solana.Keypair{attacker, victim} {
+		bank.CreditLamports(kp.Pubkey(), 100*solana.LamportsPerSOL)
+		bank.MintTo(kp.Pubkey(), token.SOL.Address, 1e12)
+		bank.MintTo(kp.Pubkey(), meme.Address, 1e12)
+	}
+	engine := jito.NewBlockEngine(bank, solana.Clock{Genesis: time.Unix(0, 0)})
+
+	victimIn := uint64(20e9)
+	quote, _ := pool.QuoteOut(token.SOL.Address, victimIn)
+	plan, _ := amm.PlanSandwich(pool.Clone(), token.SOL.Address,
+		victimIn, quote*95/100, 1<<42)
+
+	bundle := jito.NewBundle(
+		solana.NewTransaction(attacker, 1, 0,
+			&solana.Swap{Pool: pool.Address, InputMint: token.SOL.Address, AmountIn: plan.FrontrunIn},
+			&solana.Tip{TipAccount: jito.TipAccounts[0], Amount: 2_000_000}),
+		solana.NewTransaction(victim, 1, 0,
+			&solana.Swap{Pool: pool.Address, InputMint: token.SOL.Address,
+				AmountIn: victimIn, MinOut: quote * 95 / 100}),
+		solana.NewTransaction(attacker, 2, 0,
+			&solana.Swap{Pool: pool.Address, InputMint: meme.Address, AmountIn: plan.BackrunIn}),
+	)
+	engine.Submit(bundle)
+	acc := engine.ProcessSlot(1)[0]
+
+	v := core.NewDefaultDetector().Detect(&acc.Record, acc.Details)
+	fmt.Printf("sandwich: %v, attacker profit positive: %v, victim loss positive: %v\n",
+		v.Sandwich, v.AttackerGainLamports > 0, v.VictimLossLamports > 0)
+	// Output:
+	// sandwich: true, attacker profit positive: true, victim loss positive: true
+}
+
+// ExampleClassifyDefensive shows the paper's §3.3 rule on bundle records.
+func Example_classifyDefensive() {
+	oneTx := make([]solana.Signature, 1)
+	fmt.Println(core.ClassifyDefensive(&jito.BundleRecord{TxIDs: oneTx, TipLamps: 1_000}))
+	fmt.Println(core.ClassifyDefensive(&jito.BundleRecord{TxIDs: oneTx, TipLamps: 5_000_000}))
+	fmt.Println(core.ClassifyDefensive(&jito.BundleRecord{TxIDs: make([]solana.Signature, 3), TipLamps: 1_000}))
+	// Output:
+	// defensive
+	// priority
+	// not-single
+}
+
+// ExampleSafeSlippage shows the tightest tolerance that makes a trade
+// unprofitable to sandwich on a given pool.
+func Example_safeSlippage() {
+	reg := token.NewRegistry()
+	meme := reg.NewMemecoin("MEME")
+	deep := amm.New(meme.Address, token.SOL.Address, 1e12, 1e12, amm.DefaultFeeBps)
+
+	safe, ok := amm.SafeSlippageBps(deep, token.SOL.Address, 5e9, 1_000_000, 1_000)
+	fmt.Printf("protectable: %v, safe tolerance under 1%%: %v\n", ok, safe < 100)
+	// Output:
+	// protectable: true, safe tolerance under 1%: true
+}

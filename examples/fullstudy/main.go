@@ -1,0 +1,47 @@
+// Fullstudy: the complete 120-day measurement window (the paper's
+// 2025-02-09 through 2025-06-09) at 1/5000 of paper volume, printing every
+// figure and the headline table. Takes on the order of ten seconds.
+//
+//	go run ./examples/fullstudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"jitomev"
+	"jitomev/internal/report"
+	"jitomev/internal/workload"
+)
+
+func main() {
+	start := time.Now()
+	out, err := jitomev.Run(jitomev.Config{
+		Workload:    workload.Params{Seed: 1, Days: 120, Scale: 5_000},
+		RunAblation: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, p := out.Results, out.Study.P
+	fmt.Printf("120-day study at 1/%d scale finished in %v: %d bundles, %d sandwiches\n\n",
+		p.Scale, time.Since(start).Round(time.Millisecond), r.TotalBundles, r.Sandwiches)
+
+	report.RenderHeadline(os.Stdout, r, p.Scale)
+	fmt.Println()
+	report.RenderFigure1(os.Stdout, r, p.InOutage)
+	fmt.Println()
+	report.RenderFigure2(os.Stdout, r, p.InOutage)
+	fmt.Println()
+	report.RenderFigure3(os.Stdout, r, 25)
+	fmt.Println()
+	report.RenderFigure4(os.Stdout, r)
+	fmt.Println()
+	report.RenderRejections(os.Stdout, r)
+	fmt.Println()
+	report.RenderAblation(os.Stdout, out.Ablation)
+	fmt.Println()
+	report.RenderTradeoff(os.Stdout, report.ComputeTradeoff(r))
+}

@@ -1,0 +1,3 @@
+module jitomev
+
+go 1.22

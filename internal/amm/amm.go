@@ -1,0 +1,184 @@
+// Package amm implements the constant-product automated market maker that
+// the simulated DEX trades on. Price impact in a constant-product pool is
+// the mechanism that makes Sandwiching MEV possible: a front-running buy
+// raises the price the victim pays, and the attacker's back-running sell
+// captures the difference (paper §2.2, Table 1).
+//
+// All arithmetic is integer with 128-bit intermediates, so pool behaviour is
+// exact and deterministic across runs.
+package amm
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"jitomev/internal/solana"
+)
+
+// Errors returned by pool operations.
+var (
+	ErrWrongMint        = errors.New("amm: mint not traded by this pool")
+	ErrSlippageExceeded = errors.New("amm: output below MinOut (slippage tolerance exceeded)")
+	ErrEmptyPool        = errors.New("amm: pool has no liquidity")
+	ErrZeroAmount       = errors.New("amm: zero input amount")
+	ErrDrained          = errors.New("amm: swap would drain the pool")
+)
+
+// DefaultFeeBps is the swap fee charged on input, in basis points. 25 bps
+// (0.25%) matches Raydium's standard pool fee.
+const DefaultFeeBps = 25
+
+// Pool is a two-sided constant-product liquidity pool. MintB is the quote
+// side (SOL in every pool the workload creates, mirroring the dominance of
+// SOL-quoted memecoin pools on Solana).
+type Pool struct {
+	Address  solana.Pubkey
+	MintA    solana.Pubkey // base token (e.g. a memecoin)
+	MintB    solana.Pubkey // quote token (SOL)
+	ReserveA uint64
+	ReserveB uint64
+	FeeBps   uint32
+}
+
+// New creates a pool with the given reserves. The address is derived from
+// the mint pair so pools are stable identities across runs.
+func New(mintA, mintB solana.Pubkey, reserveA, reserveB uint64, feeBps uint32) *Pool {
+	return &Pool{
+		Address:  solana.NewKeypairFromSeed("pool/" + mintA.String() + "/" + mintB.String()).Pubkey(),
+		MintA:    mintA,
+		MintB:    mintB,
+		ReserveA: reserveA,
+		ReserveB: reserveB,
+		FeeBps:   feeBps,
+	}
+}
+
+// Clone returns an independent copy, used for what-if simulation by
+// searchers and for journaling by the bank.
+func (p *Pool) Clone() *Pool {
+	c := *p
+	return &c
+}
+
+// OtherMint returns the opposite side of the pool from mint.
+func (p *Pool) OtherMint(mint solana.Pubkey) (solana.Pubkey, error) {
+	switch mint {
+	case p.MintA:
+		return p.MintB, nil
+	case p.MintB:
+		return p.MintA, nil
+	}
+	return solana.Pubkey{}, ErrWrongMint
+}
+
+// Trades reports whether the pool trades mint on either side.
+func (p *Pool) Trades(mint solana.Pubkey) bool {
+	return mint == p.MintA || mint == p.MintB
+}
+
+// reserves returns (reserveIn, reserveOut) for a swap selling inputMint.
+func (p *Pool) reserves(inputMint solana.Pubkey) (uint64, uint64, error) {
+	switch inputMint {
+	case p.MintA:
+		return p.ReserveA, p.ReserveB, nil
+	case p.MintB:
+		return p.ReserveB, p.ReserveA, nil
+	}
+	return 0, 0, ErrWrongMint
+}
+
+// MaxSwapIn bounds a single swap's input so the fee multiplication below
+// cannot overflow. 2^50 base units is ~1.1e15, far above any realistic
+// trade in the workload.
+const MaxSwapIn = uint64(1) << 50
+
+// MaxReserve bounds pool reserves so reserve+input arithmetic stays within
+// uint64 with headroom.
+const MaxReserve = uint64(1) << 62
+
+// mulDiv computes a*b/c exactly with a 128-bit intermediate. c must be
+// nonzero and the quotient must fit in 64 bits; callers guarantee both
+// (swap output is always strictly less than reserveOut).
+func mulDiv(a, b, c uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	q, _ := bits.Div64(hi, lo, c)
+	return q
+}
+
+// QuoteOut returns the output amount for selling amountIn of inputMint,
+// after fees, without modifying the pool.
+//
+// The constant-product formula with an input fee of FeeBps basis points is
+//
+//	inFee = amountIn * (10000-FeeBps) / 10000
+//	out   = reserveOut * inFee / (reserveIn + inFee)
+func (p *Pool) QuoteOut(inputMint solana.Pubkey, amountIn uint64) (uint64, error) {
+	if amountIn == 0 {
+		return 0, ErrZeroAmount
+	}
+	if amountIn > MaxSwapIn {
+		return 0, fmt.Errorf("amm: input %d exceeds MaxSwapIn", amountIn)
+	}
+	rIn, rOut, err := p.reserves(inputMint)
+	if err != nil {
+		return 0, err
+	}
+	if rIn == 0 || rOut == 0 {
+		return 0, ErrEmptyPool
+	}
+	if rIn > MaxReserve || rOut > MaxReserve {
+		return 0, fmt.Errorf("amm: reserves exceed MaxReserve")
+	}
+	feeKeep := uint64(10_000 - p.FeeBps)
+	inFee := amountIn * feeKeep / 10_000 // no overflow: amountIn <= 2^50
+	if inFee == 0 {
+		return 0, ErrZeroAmount
+	}
+	out := mulDiv(rOut, inFee, rIn+inFee)
+	if out >= rOut {
+		return 0, ErrDrained
+	}
+	return out, nil
+}
+
+// Swap executes a trade, mutating reserves, and returns the output amount.
+// If minOut > 0 and the output falls below it, the swap fails with
+// ErrSlippageExceeded and the pool is unchanged — the on-chain behaviour a
+// slippage-tolerance setting buys the user.
+func (p *Pool) Swap(inputMint solana.Pubkey, amountIn, minOut uint64) (uint64, error) {
+	out, err := p.QuoteOut(inputMint, amountIn)
+	if err != nil {
+		return 0, err
+	}
+	if minOut > 0 && out < minOut {
+		return 0, ErrSlippageExceeded
+	}
+	if inputMint == p.MintA {
+		p.ReserveA += amountIn
+		p.ReserveB -= out
+	} else {
+		p.ReserveB += amountIn
+		p.ReserveA -= out
+	}
+	return out, nil
+}
+
+// SpotPrice returns the instantaneous price of MintA denominated in MintB
+// (e.g. SOL per memecoin base unit), ignoring fees.
+func (p *Pool) SpotPrice() float64 {
+	if p.ReserveA == 0 {
+		return 0
+	}
+	return float64(p.ReserveB) / float64(p.ReserveA)
+}
+
+// ExecRate returns the realized exchange rate of a completed swap as output
+// per input. The detector compares attacker and victim rates (criterion C3
+// and the §4.1 loss computation) using exactly this quantity.
+func ExecRate(amountIn, amountOut uint64) float64 {
+	if amountIn == 0 {
+		return 0
+	}
+	return float64(amountOut) / float64(amountIn)
+}

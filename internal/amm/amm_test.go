@@ -1,0 +1,200 @@
+package amm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jitomev/internal/solana"
+	"jitomev/internal/token"
+)
+
+func testPool(reserveA, reserveB uint64) *Pool {
+	reg := token.NewRegistry()
+	meme := reg.NewMemecoin("TESTCOIN")
+	return New(meme.Address, token.SOL.Address, reserveA, reserveB, DefaultFeeBps)
+}
+
+func TestNewPoolDeterministicAddress(t *testing.T) {
+	a := testPool(1e12, 1e12)
+	b := testPool(5e11, 5e11)
+	if a.Address != b.Address {
+		t.Error("same mint pair produced different pool addresses")
+	}
+}
+
+func TestQuoteOutBasics(t *testing.T) {
+	p := testPool(1_000_000_000, 1_000_000_000)
+
+	out, err := p.QuoteOut(p.MintA, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With equal reserves, output ≈ input minus fee and price impact.
+	if out >= 1_000_000 {
+		t.Errorf("output %d should be below input (fee+impact)", out)
+	}
+	if out < 990_000 {
+		t.Errorf("output %d implausibly low for 0.1%% of reserves", out)
+	}
+
+	if _, err := p.QuoteOut(p.MintA, 0); err != ErrZeroAmount {
+		t.Errorf("zero input: got %v", err)
+	}
+	other := solana.NewKeypairFromSeed("other").Pubkey()
+	if _, err := p.QuoteOut(other, 100); err != ErrWrongMint {
+		t.Errorf("wrong mint: got %v", err)
+	}
+	if _, err := p.QuoteOut(p.MintA, MaxSwapIn+1); err == nil {
+		t.Error("oversized input accepted")
+	}
+}
+
+func TestQuoteEmptyPool(t *testing.T) {
+	p := testPool(0, 1_000)
+	if _, err := p.QuoteOut(p.MintA, 100); err != ErrEmptyPool {
+		t.Errorf("empty pool: got %v", err)
+	}
+}
+
+func TestSwapMutatesReserves(t *testing.T) {
+	p := testPool(1_000_000_000, 2_000_000_000)
+	k := p.ReserveA * p.ReserveB // constant product (approx, fees grow it)
+
+	out, err := p.Swap(p.MintA, 10_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ReserveA != 1_010_000_000 {
+		t.Errorf("ReserveA = %d", p.ReserveA)
+	}
+	if p.ReserveB != 2_000_000_000-out {
+		t.Errorf("ReserveB = %d", p.ReserveB)
+	}
+	// Fees mean k never decreases.
+	if p.ReserveA*p.ReserveB < k {
+		t.Error("constant product decreased after swap")
+	}
+}
+
+func TestSwapSlippageProtection(t *testing.T) {
+	p := testPool(1_000_000_000, 1_000_000_000)
+	quote, _ := p.QuoteOut(p.MintA, 50_000_000)
+
+	preA, preB := p.ReserveA, p.ReserveB
+	if _, err := p.Swap(p.MintA, 50_000_000, quote+1); err != ErrSlippageExceeded {
+		t.Fatalf("slippage: got %v", err)
+	}
+	if p.ReserveA != preA || p.ReserveB != preB {
+		t.Fatal("failed swap mutated reserves")
+	}
+
+	out, err := p.Swap(p.MintA, 50_000_000, quote)
+	if err != nil || out != quote {
+		t.Fatalf("swap at exact MinOut failed: out=%d err=%v", out, err)
+	}
+}
+
+func TestPriceImpactDirection(t *testing.T) {
+	p := testPool(1_000_000_000, 1_000_000_000)
+	before := p.SpotPrice()
+	// Buying MintA (selling SOL into the pool) must raise MintA's price.
+	if _, err := p.Swap(p.MintB, 100_000_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.SpotPrice() <= before {
+		t.Error("buying the base token did not raise its price")
+	}
+}
+
+func TestSuccessiveBuysWorsenRate(t *testing.T) {
+	// Table 1 mechanics: each buy raises the price for the next buyer.
+	p := testPool(1_000_000_000_000, 1_000_000_000_000)
+	in := uint64(10_000_000_000)
+	out1, err := p.Swap(p.MintB, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := p.Swap(p.MintB, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 >= out1 {
+		t.Errorf("second identical buy got %d >= first %d", out2, out1)
+	}
+}
+
+func TestOtherMint(t *testing.T) {
+	p := testPool(1, 1)
+	got, err := p.OtherMint(p.MintA)
+	if err != nil || got != p.MintB {
+		t.Error("OtherMint(MintA) wrong")
+	}
+	got, err = p.OtherMint(p.MintB)
+	if err != nil || got != p.MintA {
+		t.Error("OtherMint(MintB) wrong")
+	}
+	if _, err := p.OtherMint(solana.Pubkey{}); err != ErrWrongMint {
+		t.Error("OtherMint accepted foreign mint")
+	}
+	if !p.Trades(p.MintA) || !p.Trades(p.MintB) || p.Trades(solana.Pubkey{}) {
+		t.Error("Trades wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := testPool(1_000_000, 1_000_000)
+	c := p.Clone()
+	if _, err := c.Swap(c.MintA, 1_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.ReserveA != 1_000_000 || p.ReserveB != 1_000_000 {
+		t.Error("swap on clone mutated original")
+	}
+}
+
+func TestConstantProductNeverDecreases(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(inRaw uint32, sellA bool) bool {
+		p := testPool(1_000_000_000, 3_000_000_000)
+		in := uint64(inRaw)%100_000_000 + 1
+		kBefore := float64(p.ReserveA) * float64(p.ReserveB)
+		mint := p.MintA
+		if !sellA {
+			mint = p.MintB
+		}
+		if _, err := p.Swap(mint, in, 0); err != nil {
+			return true // rejected swaps leave the pool untouched
+		}
+		kAfter := float64(p.ReserveA) * float64(p.ReserveB)
+		return kAfter >= kBefore
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuoteMonotoneInInput(t *testing.T) {
+	p := testPool(1_000_000_000, 1_000_000_000)
+	prev := uint64(0)
+	for in := uint64(1_000); in <= 100_000_000; in *= 10 {
+		out, err := p.QuoteOut(p.MintA, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out <= prev {
+			t.Fatalf("output not increasing: in=%d out=%d prev=%d", in, out, prev)
+		}
+		prev = out
+	}
+}
+
+func TestExecRate(t *testing.T) {
+	if ExecRate(0, 100) != 0 {
+		t.Error("zero input rate should be 0")
+	}
+	if ExecRate(200, 100) != 0.5 {
+		t.Error("ExecRate arithmetic wrong")
+	}
+}

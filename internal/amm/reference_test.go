@@ -1,0 +1,165 @@
+package amm
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"jitomev/internal/token"
+)
+
+// Reference-implementation tests: the pool's integer swap math must agree
+// exactly with an independent arbitrary-precision implementation of the
+// constant-product formula, across random reserves and inputs.
+
+// refQuote computes the swap output with big.Int, mirroring the documented
+// formula: inFee = in*(10000-fee)/10000; out = rOut*inFee/(rIn+inFee).
+func refQuote(rIn, rOut, in uint64, feeBps uint32) (uint64, bool) {
+	if in == 0 || rIn == 0 || rOut == 0 {
+		return 0, false
+	}
+	bIn := new(big.Int).SetUint64(in)
+	feeKeep := big.NewInt(int64(10_000 - feeBps))
+	inFee := new(big.Int).Mul(bIn, feeKeep)
+	inFee.Div(inFee, big.NewInt(10_000))
+	if inFee.Sign() == 0 {
+		return 0, false
+	}
+	num := new(big.Int).Mul(new(big.Int).SetUint64(rOut), inFee)
+	den := new(big.Int).Add(new(big.Int).SetUint64(rIn), inFee)
+	out := num.Div(num, den)
+	if !out.IsUint64() {
+		return 0, false
+	}
+	o := out.Uint64()
+	if o >= rOut {
+		return 0, false // would drain the pool
+	}
+	return o, true
+}
+
+func TestQuoteMatchesBigIntReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	reg := token.NewRegistry()
+	meme := reg.NewMemecoin("REF")
+
+	for trial := 0; trial < 20_000; trial++ {
+		// Random reserves across 8 orders of magnitude, random inputs.
+		rA := uint64(rng.Int63n(1e14)) + 1
+		rB := uint64(rng.Int63n(1e14)) + 1
+		in := uint64(rng.Int63n(1e12)) + 1
+		var fee uint32 = 25
+		if trial%3 == 0 {
+			fee = uint32(rng.Intn(1_000)) // up to 10%
+		}
+		p := New(meme.Address, token.SOL.Address, rA, rB, fee)
+
+		mint := p.MintA
+		rIn, rOut := rA, rB
+		if trial%2 == 0 {
+			mint, rIn, rOut = p.MintB, rB, rA
+		}
+
+		got, err := p.QuoteOut(mint, in)
+		want, ok := refQuote(rIn, rOut, in, fee)
+		if err != nil {
+			if ok {
+				t.Fatalf("trial %d: pool rejected (%v) but reference produced %d", trial, err, want)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("trial %d: pool produced %d but reference rejected", trial, got)
+		}
+		if got != want {
+			t.Fatalf("trial %d: rIn=%d rOut=%d in=%d fee=%d: got %d want %d",
+				trial, rIn, rOut, in, fee, got, want)
+		}
+	}
+}
+
+func TestRoundTripNeverProfitsProperty(t *testing.T) {
+	// Swapping X in and the full output back must never return more than
+	// X: fees plus price impact always cost something. A violation would
+	// be a money pump.
+	rng := rand.New(rand.NewSource(13))
+	reg := token.NewRegistry()
+	meme := reg.NewMemecoin("PUMP")
+
+	for trial := 0; trial < 5_000; trial++ {
+		rA := uint64(rng.Int63n(1e13)) + 1_000
+		rB := uint64(rng.Int63n(1e13)) + 1_000
+		in := uint64(rng.Int63n(1e10)) + 1
+		p := New(meme.Address, token.SOL.Address, rA, rB, DefaultFeeBps)
+
+		out1, err := p.Swap(p.MintB, in, 0)
+		if err != nil {
+			continue
+		}
+		if out1 == 0 {
+			continue
+		}
+		out2, err := p.Swap(p.MintA, out1, 0)
+		if err != nil {
+			continue
+		}
+		if out2 > in {
+			t.Fatalf("trial %d: round trip profited: %d -> %d -> %d (reserves %d/%d)",
+				trial, in, out1, out2, rA, rB)
+		}
+	}
+}
+
+func TestSandwichConservationProperty(t *testing.T) {
+	// Across a full sandwich, tokens and SOL are conserved between the
+	// pool, the attacker and the victim: the attacker's gain plus the
+	// victim's receipts plus pool deltas must net to zero.
+	rng := rand.New(rand.NewSource(17))
+	reg := token.NewRegistry()
+	meme := reg.NewMemecoin("CONS")
+
+	for trial := 0; trial < 2_000; trial++ {
+		rA := uint64(rng.Int63n(1e12)) + 1e6
+		rB := uint64(rng.Int63n(1e12)) + 1e6
+		victimIn := uint64(rng.Int63n(1e10)) + 1_000
+		p := New(meme.Address, token.SOL.Address, rA, rB, DefaultFeeBps)
+
+		quote, err := p.QuoteOut(p.MintB, victimIn)
+		if err != nil {
+			continue
+		}
+		minOut := quote * 9_000 / 10_000
+		plan, ok := PlanSandwich(p, p.MintB, victimIn, minOut, 1e12)
+		if !ok {
+			continue
+		}
+
+		live := p.Clone()
+		fOut, err := live.Swap(live.MintB, plan.FrontrunIn, 0)
+		if err != nil || fOut != plan.FrontrunOut {
+			t.Fatalf("trial %d: frontrun diverged from plan", trial)
+		}
+		vOut, err := live.Swap(live.MintB, victimIn, minOut)
+		if err != nil || vOut != plan.VictimOut {
+			t.Fatalf("trial %d: victim leg diverged from plan", trial)
+		}
+		bOut, err := live.Swap(live.MintA, plan.BackrunIn, 0)
+		if err != nil || bOut != plan.BackrunOut {
+			t.Fatalf("trial %d: backrun diverged from plan", trial)
+		}
+
+		// SOL conservation: pool gained what participants paid minus
+		// what it paid out.
+		solIn := plan.FrontrunIn + victimIn
+		solOut := bOut
+		if live.ReserveB != rB+solIn-solOut {
+			t.Fatalf("trial %d: SOL not conserved", trial)
+		}
+		// Token conservation likewise.
+		tokOut := fOut + vOut
+		tokIn := plan.BackrunIn
+		if live.ReserveA != rA-tokOut+tokIn {
+			t.Fatalf("trial %d: tokens not conserved", trial)
+		}
+	}
+}

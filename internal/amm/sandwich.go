@@ -1,0 +1,164 @@
+package amm
+
+import "jitomev/internal/solana"
+
+// Sandwich planning math: pure what-if simulation used by searcher bots to
+// size front-runs. Everything here operates on clones and never mutates the
+// live pool.
+
+// Plan describes a fully simulated sandwich against one victim swap.
+// All amounts are base units. The attacker trades in the same direction as
+// the victim in the front-run (paper criterion C3: the first trade moves the
+// exchange rate against the victim), then reverses in the back-run.
+type Plan struct {
+	OutputMint  solana.Pubkey // the mint the front-run buys (pool's other side)
+	FrontrunIn  uint64        // attacker input (victim's input mint) in tx1
+	FrontrunOut uint64        // attacker output (victim's output mint) in tx1
+	VictimOut   uint64        // what the victim will receive after the front-run
+	BackrunIn   uint64        // attacker input to tx3 (== FrontrunOut)
+	BackrunOut  uint64        // attacker output of tx3, in the victim's input mint
+	Profit      int64         // BackrunOut - FrontrunIn; may be negative
+}
+
+// simulate runs front-run → victim → back-run on a clone of p and returns
+// the plan, or false if any leg fails (including the victim's slippage
+// check, which would make the sandwich pointless: the attacker only
+// includes the victim tx because its success is required for profit).
+func simulate(p *Pool, inputMint solana.Pubkey, frontrunIn, victimIn, victimMinOut uint64) (Plan, bool) {
+	sim := p.Clone()
+	outMint, err := sim.OtherMint(inputMint)
+	if err != nil {
+		return Plan{}, false
+	}
+	frontOut, err := sim.Swap(inputMint, frontrunIn, 0)
+	if err != nil {
+		return Plan{}, false
+	}
+	victimOut, err := sim.Swap(inputMint, victimIn, victimMinOut)
+	if err != nil {
+		return Plan{}, false
+	}
+	backOut, err := sim.Swap(outMint, frontOut, 0)
+	if err != nil {
+		return Plan{}, false
+	}
+	return Plan{
+		OutputMint:  outMint,
+		FrontrunIn:  frontrunIn,
+		FrontrunOut: frontOut,
+		VictimOut:   victimOut,
+		BackrunIn:   frontOut,
+		BackrunOut:  backOut,
+		Profit:      int64(backOut) - int64(frontrunIn),
+	}, true
+}
+
+// MaxFrontrun returns the largest attacker input x ≤ budget such that the
+// victim's swap still clears its MinOut after the attacker's front-run.
+// Prior work on Ethereum showed a properly set slippage tolerance caps how
+// much an attacker can extract (paper §2.2); this function is that cap made
+// concrete. Returns 0 if even the smallest front-run breaks the victim.
+//
+// The victim's post-front-run output is monotonically non-increasing in x,
+// so a binary search finds the boundary exactly.
+func MaxFrontrun(p *Pool, inputMint solana.Pubkey, victimIn, victimMinOut, budget uint64) uint64 {
+	if budget == 0 {
+		return 0
+	}
+	if budget > MaxSwapIn {
+		budget = MaxSwapIn
+	}
+	// fits checks only the victim's constraint: after a front-run of x,
+	// does the victim's swap still clear its MinOut? (Whether the
+	// attacker's back-run is itself worthwhile is PlanSandwich's job.)
+	fits := func(x uint64) bool {
+		sim := p.Clone()
+		if _, err := sim.Swap(inputMint, x, 0); err != nil {
+			return false
+		}
+		_, err := sim.Swap(inputMint, victimIn, victimMinOut)
+		return err == nil
+	}
+	if victimMinOut == 0 {
+		// No slippage protection: the only limits are the attacker's
+		// budget and pool mechanics.
+		if fits(budget) {
+			return budget
+		}
+	}
+	// Smallest input that survives the fee floor: in*(10000-fee)/10000 >= 1.
+	minIn := uint64(10_000/(10_000-p.FeeBps)) + 1
+	if minIn > budget || !fits(minIn) {
+		return 0
+	}
+	lo, hi := minIn, budget
+	if fits(budget) {
+		return budget
+	}
+	// Invariant: fits(lo) && !fits(hi). Search for the boundary.
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if fits(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SafeSlippageBps returns the largest slippage tolerance (basis points)
+// at which no sandwich against the victim's swap clears minProfit (in the
+// victim's input-mint base units), searching 1..maxBps. ok is false when
+// even 1 bp admits a profitable attack — on very shallow pools the
+// back-run profits from riding the victim's own price impact no matter
+// how tight the tolerance (paper §2.2: slippage "acts as a cap on how much
+// an attacker can extract ... but cannot fully prevent the attack").
+//
+// Attacker profit is monotone non-decreasing in the tolerance (a looser
+// cap never shrinks the feasible front-run), so binary search applies.
+func SafeSlippageBps(p *Pool, inputMint solana.Pubkey, victimIn uint64, minProfit int64, maxBps uint64) (uint64, bool) {
+	if maxBps == 0 || maxBps >= 10_000 {
+		maxBps = 9_999
+	}
+	quote, err := p.QuoteOut(inputMint, victimIn)
+	if err != nil {
+		return 0, false
+	}
+	profitable := func(bps uint64) bool {
+		minOut := quote * (10_000 - bps) / 10_000
+		plan, ok := PlanSandwich(p, inputMint, victimIn, minOut, MaxSwapIn)
+		return ok && plan.Profit >= minProfit
+	}
+	if profitable(1) {
+		return 0, false
+	}
+	if !profitable(maxBps) {
+		return maxBps, true
+	}
+	lo, hi := uint64(1), maxBps // !profitable(lo), profitable(hi)
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if profitable(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo, true
+}
+
+// PlanSandwich sizes and simulates the best sandwich against a victim swap
+// within the attacker's budget. ok is false when no profitable plan exists
+// (victim too small, slippage too tight, or fees exceed the spread).
+func PlanSandwich(p *Pool, inputMint solana.Pubkey, victimIn, victimMinOut, budget uint64) (Plan, bool) {
+	x := MaxFrontrun(p, inputMint, victimIn, victimMinOut, budget)
+	if x == 0 {
+		return Plan{}, false
+	}
+	plan, ok := simulate(p, inputMint, x, victimIn, victimMinOut)
+	if !ok || plan.Profit <= 0 {
+		return Plan{}, false
+	}
+	return plan, true
+}

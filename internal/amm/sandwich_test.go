@@ -1,0 +1,260 @@
+package amm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// victimQuote returns the out the victim would get with no front-run, and a
+// MinOut implied by a slippage tolerance in basis points.
+func victimQuote(t *testing.T, p *Pool, victimIn uint64, slippageBps uint64) (out, minOut uint64) {
+	t.Helper()
+	out, err := p.QuoteOut(p.MintB, victimIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, out * (10_000 - slippageBps) / 10_000
+}
+
+func TestMaxFrontrunRespectsVictimSlippage(t *testing.T) {
+	p := testPool(1_000_000_000_000, 1_000_000_000_000)
+	victimIn := uint64(5_000_000_000) // 0.5% of reserves
+	_, minOut := victimQuote(t, p, victimIn, 100)
+
+	budget := uint64(1) << 40
+	x := MaxFrontrun(p, p.MintB, victimIn, minOut, budget)
+	if x == 0 {
+		t.Fatal("no front-run possible despite 1% slippage allowance")
+	}
+	if x == budget {
+		t.Fatal("front-run unbounded despite victim slippage cap")
+	}
+
+	// At x the victim must still clear MinOut; at x+1 it must not.
+	if _, ok := simulate(p, p.MintB, x, victimIn, minOut); !ok {
+		t.Error("MaxFrontrun result breaks the victim")
+	}
+	if _, ok := simulate(p, p.MintB, x+1, victimIn, minOut); ok {
+		t.Error("MaxFrontrun is not maximal")
+	}
+}
+
+func TestMaxFrontrunNoProtectionReturnsBudget(t *testing.T) {
+	p := testPool(1_000_000_000_000, 1_000_000_000_000)
+	budget := uint64(100_000_000)
+	if x := MaxFrontrun(p, p.MintB, 1_000_000_000, 0, budget); x != budget {
+		t.Errorf("unprotected victim: front-run %d, want full budget %d", x, budget)
+	}
+}
+
+func TestMaxFrontrunZeroWhenSlippageExact(t *testing.T) {
+	p := testPool(1_000_000_000_000, 1_000_000_000_000)
+	victimIn := uint64(5_000_000_000)
+	out, _ := victimQuote(t, p, victimIn, 0)
+	// MinOut equal to the unfrontrun quote leaves essentially no room:
+	// only integer-rounding dust (output quantized to base units) lets a
+	// microscopic front-run through.
+	x := MaxFrontrun(p, p.MintB, victimIn, out, 1<<40)
+	if x > victimIn/1_000 {
+		t.Errorf("zero-slippage victim allowed material front-run of %d", x)
+	}
+	if x > 0 {
+		// Whatever rounding allows must still not break the victim.
+		if _, ok := simulate(p, p.MintB, x, victimIn, out); !ok {
+			t.Error("rounding-dust front-run breaks the victim")
+		}
+	}
+}
+
+func TestMaxFrontrunZeroBudget(t *testing.T) {
+	p := testPool(1_000_000, 1_000_000)
+	if MaxFrontrun(p, p.MintB, 1_000, 0, 0) != 0 {
+		t.Error("zero budget should yield zero front-run")
+	}
+}
+
+func TestPlanSandwichProfitable(t *testing.T) {
+	// Deep pool, large victim with loose slippage: the canonical setup.
+	p := testPool(1_000_000_000_000, 1_000_000_000_000)
+	victimIn := uint64(20_000_000_000) // 2% of reserves
+	_, minOut := victimQuote(t, p, victimIn, 500)
+
+	plan, ok := PlanSandwich(p, p.MintB, victimIn, minOut, 1<<42)
+	if !ok {
+		t.Fatal("no profitable sandwich found in a favorable setup")
+	}
+	if plan.Profit <= 0 {
+		t.Fatalf("plan not profitable: %+v", plan)
+	}
+	if plan.BackrunIn != plan.FrontrunOut {
+		t.Error("back-run should sell exactly what the front-run bought")
+	}
+	if plan.VictimOut < minOut {
+		t.Error("plan breaks the victim's MinOut")
+	}
+}
+
+func TestPlanSandwichUnprofitableOnTinyVictim(t *testing.T) {
+	p := testPool(1_000_000_000_000, 1_000_000_000_000)
+	// A 100-base-unit victim can't move the price past round-trip fees.
+	if _, ok := PlanSandwich(p, p.MintB, 100, 0, 1_000); ok {
+		t.Error("sandwich of negligible victim reported profitable")
+	}
+}
+
+func TestTightSlippageCapsProfit(t *testing.T) {
+	// The paper (§2.2, citing Züst et al.) notes slippage tolerance caps
+	// what an attacker can extract but cannot fully prevent the attack:
+	// even a microscopic front-run profits by riding the victim's own
+	// price impact in the back-run. Verify both halves of that claim.
+	p := testPool(1_000_000_000_000, 1_000_000_000_000)
+	victimIn := uint64(20_000_000_000)
+	out, _ := victimQuote(t, p, victimIn, 0)
+
+	tight, okTight := PlanSandwich(p, p.MintB, victimIn, out*9_999/10_000, 1<<42)
+	loose, okLoose := PlanSandwich(p, p.MintB, victimIn, out*9_500/10_000, 1<<42)
+	if !okLoose {
+		t.Fatal("loose-slippage sandwich should be profitable")
+	}
+	if okTight && tight.Profit*20 > loose.Profit {
+		t.Errorf("1bp slippage profit %d not well below 5%% slippage profit %d",
+			tight.Profit, loose.Profit)
+	}
+}
+
+func TestPlanDoesNotMutatePool(t *testing.T) {
+	p := testPool(1_000_000_000_000, 2_000_000_000_000)
+	a, b := p.ReserveA, p.ReserveB
+	PlanSandwich(p, p.MintB, 10_000_000_000, 0, 1<<40)
+	MaxFrontrun(p, p.MintB, 10_000_000_000, 1, 1<<40)
+	if p.ReserveA != a || p.ReserveB != b {
+		t.Fatal("planning mutated the live pool")
+	}
+}
+
+func TestSlippageCapsExtractionProperty(t *testing.T) {
+	// Property (paper §2.2, Züst et al.): tighter victim slippage never
+	// allows a larger front-run.
+	rng := rand.New(rand.NewSource(5))
+	f := func(victimRaw uint32, s1, s2 uint16) bool {
+		p := testPool(1_000_000_000_000, 1_000_000_000_000)
+		victimIn := uint64(victimRaw)%50_000_000_000 + 1_000_000
+		out, err := p.QuoteOut(p.MintB, victimIn)
+		if err != nil {
+			return true
+		}
+		bpsLoose := uint64(s1)%2_000 + 1
+		bpsTight := uint64(s2) % (bpsLoose + 1) // tight <= loose
+		minLoose := out * (10_000 - bpsLoose) / 10_000
+		minTight := out * (10_000 - bpsTight) / 10_000
+		budget := uint64(1) << 41
+		xLoose := MaxFrontrun(p, p.MintB, victimIn, minLoose, budget)
+		xTight := MaxFrontrun(p, p.MintB, victimIn, minTight, budget)
+		return xTight <= xLoose
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBiggerVictimBiggerProfitProperty(t *testing.T) {
+	// With fixed relative slippage, a larger victim yields at least as
+	// much attacker profit.
+	p := testPool(1_000_000_000_000, 1_000_000_000_000)
+	budget := uint64(1) << 42
+	var prevProfit int64
+	for _, victimIn := range []uint64{1e9, 5e9, 2e10, 8e10} {
+		out, err := p.QuoteOut(p.MintB, victimIn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minOut := out * 9_700 / 10_000 // 3% tolerance
+		plan, ok := PlanSandwich(p, p.MintB, victimIn, minOut, budget)
+		if !ok {
+			continue
+		}
+		if plan.Profit < prevProfit {
+			t.Fatalf("profit decreased for larger victim: %d < %d", plan.Profit, prevProfit)
+		}
+		prevProfit = plan.Profit
+	}
+	if prevProfit == 0 {
+		t.Fatal("no victim size produced profit")
+	}
+}
+
+func TestSafeSlippage(t *testing.T) {
+	p := testPool(1_000_000_000_000, 1_000_000_000_000)
+	victimIn := uint64(5_000_000_000) // 0.5% of reserves
+	minProfit := int64(1_000_000)     // require a meaningful attack
+
+	safe, ok := SafeSlippageBps(p, p.MintB, victimIn, minProfit, 1_000)
+	if !ok {
+		t.Fatal("no safe tolerance found on a deep pool")
+	}
+	if safe == 0 || safe >= 1_000 {
+		t.Fatalf("safe bps = %d", safe)
+	}
+
+	// At the safe tolerance no profitable attack exists...
+	quote, _ := p.QuoteOut(p.MintB, victimIn)
+	minOut := quote * (10_000 - safe) / 10_000
+	if plan, ok := PlanSandwich(p, p.MintB, victimIn, minOut, MaxSwapIn); ok && plan.Profit >= minProfit {
+		t.Errorf("attack clears minProfit at the 'safe' tolerance: %d", plan.Profit)
+	}
+	// ...and one notch looser, it does (boundary is exact).
+	minOut = quote * (10_000 - safe - 1) / 10_000
+	plan, ok := PlanSandwich(p, p.MintB, victimIn, minOut, MaxSwapIn)
+	if !ok || plan.Profit < minProfit {
+		t.Error("safe boundary is not tight")
+	}
+}
+
+func TestSafeSlippageShallowPoolUnprotectable(t *testing.T) {
+	// Huge victim on a tiny pool: the back-run rides the victim's own
+	// impact, so even 1 bp of tolerance admits a profitable attack.
+	p := testPool(1_000_000_000, 1_000_000_000)
+	if _, ok := SafeSlippageBps(p, p.MintB, 500_000_000, 1_000, 1_000); ok {
+		t.Error("shallow pool reported protectable; expected unprotectable")
+	}
+}
+
+func TestSafeSlippageMonotoneInVictimSize(t *testing.T) {
+	// Bigger victims need tighter tolerances.
+	p := testPool(1_000_000_000_000, 1_000_000_000_000)
+	prev := uint64(10_000)
+	for _, v := range []uint64{1e9, 5e9, 1e10} {
+		safe, ok := SafeSlippageBps(p, p.MintB, v, 2_000_000, 2_000)
+		if !ok {
+			t.Fatalf("victim %d unprotectable", v)
+		}
+		if safe > prev {
+			t.Fatalf("safe tolerance grew with victim size: %d then %d", prev, safe)
+		}
+		prev = safe
+	}
+}
+
+func BenchmarkPlanSandwich(b *testing.B) {
+	p := testPool(1_000_000_000_000, 1_000_000_000_000)
+	out, _ := p.QuoteOut(p.MintB, 20_000_000_000)
+	minOut := out * 9_500 / 10_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PlanSandwich(p, p.MintB, 20_000_000_000, minOut, 1<<42)
+	}
+}
+
+func BenchmarkSwap(b *testing.B) {
+	p := testPool(1_000_000_000_000, 1_000_000_000_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Alternate directions to keep reserves roughly balanced.
+		if i%2 == 0 {
+			p.Swap(p.MintB, 1_000_000, 0)
+		} else {
+			p.Swap(p.MintA, 1_000_000, 0)
+		}
+	}
+}

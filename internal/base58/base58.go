@@ -1,0 +1,127 @@
+// Package base58 implements Bitcoin-alphabet base58 encoding as used by
+// Solana for public keys, transaction signatures and block hashes.
+//
+// The implementation is self-contained (stdlib only) and optimized for the
+// fixed-width inputs that dominate this codebase: 32-byte public keys and
+// 64-byte signatures.
+package base58
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Alphabet is the Bitcoin base58 alphabet, which Solana uses verbatim.
+const Alphabet = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+
+var decodeMap [256]int8
+
+func init() {
+	for i := range decodeMap {
+		decodeMap[i] = -1
+	}
+	for i := 0; i < len(Alphabet); i++ {
+		decodeMap[Alphabet[i]] = int8(i)
+	}
+}
+
+// Encode returns the base58 encoding of b.
+//
+// Leading zero bytes are encoded as leading '1' characters, matching the
+// Bitcoin/Solana convention.
+func Encode(b []byte) string {
+	// Count leading zeros.
+	zeros := 0
+	for zeros < len(b) && b[zeros] == 0 {
+		zeros++
+	}
+
+	// Base conversion: interpret b as a big-endian integer and repeatedly
+	// divide by 58. size is an upper bound on output length:
+	// log(256)/log(58) ≈ 1.365.
+	size := (len(b)-zeros)*138/100 + 1
+	buf := make([]byte, size)
+	high := size - 1
+	for _, c := range b[zeros:] {
+		carry := int(c)
+		i := size - 1
+		for ; i > high || carry != 0; i-- {
+			carry += 256 * int(buf[i])
+			buf[i] = byte(carry % 58)
+			carry /= 58
+		}
+		high = i
+	}
+
+	// Skip leading zero digits in buf.
+	start := 0
+	for start < size && buf[start] == 0 {
+		start++
+	}
+
+	out := make([]byte, zeros+size-start)
+	for i := 0; i < zeros; i++ {
+		out[i] = '1'
+	}
+	for i, v := range buf[start:] {
+		out[zeros+i] = Alphabet[v]
+	}
+	return string(out)
+}
+
+// Decode parses a base58 string and returns the decoded bytes.
+func Decode(s string) ([]byte, error) {
+	if s == "" {
+		return []byte{}, nil
+	}
+
+	zeros := 0
+	for zeros < len(s) && s[zeros] == '1' {
+		zeros++
+	}
+
+	size := (len(s)-zeros)*733/1000 + 1 // log(58)/log(256) ≈ 0.7327
+	buf := make([]byte, size)
+	high := size - 1
+	for i := zeros; i < len(s); i++ {
+		d := decodeMap[s[i]]
+		if d < 0 {
+			return nil, fmt.Errorf("base58: invalid character %q at index %d", s[i], i)
+		}
+		carry := int(d)
+		j := size - 1
+		for ; j > high || carry != 0; j-- {
+			if j < 0 {
+				return nil, errors.New("base58: value overflow")
+			}
+			carry += 58 * int(buf[j])
+			buf[j] = byte(carry % 256)
+			carry /= 256
+		}
+		high = j
+	}
+
+	start := 0
+	for start < size && buf[start] == 0 {
+		start++
+	}
+
+	out := make([]byte, zeros+size-start)
+	copy(out[zeros:], buf[start:])
+	return out, nil
+}
+
+// DecodeInto decodes s into dst and errors unless the decoded length is
+// exactly len(dst). It is the checked path used for fixed-width keys and
+// signatures.
+func DecodeInto(dst []byte, s string) error {
+	b, err := Decode(s)
+	if err != nil {
+		return err
+	}
+	if len(b) != len(dst) {
+		return fmt.Errorf("base58: decoded %d bytes, want %d", len(b), len(dst))
+	}
+	copy(dst, b)
+	return nil
+}

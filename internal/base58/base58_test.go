@@ -1,0 +1,117 @@
+package base58
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var vectors = []struct {
+	raw []byte
+	enc string
+}{
+	{[]byte{}, ""},
+	{[]byte{0}, "1"},
+	{[]byte{0, 0, 0}, "111"},
+	{[]byte{57}, "z"},
+	{[]byte{58}, "21"},
+	{[]byte{255}, "5Q"},
+	{[]byte("hello world"), "StV1DL6CwTryKyV"},
+	{[]byte{0, 0, 40, 127, 180, 205}, "11233QC4"},
+	{[]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, "4HUtbHhN2TkpR"},
+}
+
+func TestEncodeVectors(t *testing.T) {
+	for _, v := range vectors {
+		if got := Encode(v.raw); got != v.enc {
+			t.Errorf("Encode(%v) = %q, want %q", v.raw, got, v.enc)
+		}
+	}
+}
+
+func TestDecodeVectors(t *testing.T) {
+	for _, v := range vectors {
+		got, err := Decode(v.enc)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", v.enc, err)
+		}
+		if !bytes.Equal(got, v.raw) {
+			t.Errorf("Decode(%q) = %v, want %v", v.enc, got, v.raw)
+		}
+	}
+}
+
+func TestDecodeInvalidCharacter(t *testing.T) {
+	for _, s := range []string{"0", "O", "I", "l", "abc!", "Zz0"} {
+		if _, err := Decode(s); err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(b []byte) bool {
+		dec, err := Decode(Encode(b))
+		return err == nil && bytes.Equal(dec, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripFixedWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{32, 64} {
+		for i := 0; i < 200; i++ {
+			b := make([]byte, n)
+			rng.Read(b)
+			dst := make([]byte, n)
+			if err := DecodeInto(dst, Encode(b)); err != nil {
+				t.Fatalf("DecodeInto width %d: %v", n, err)
+			}
+			if !bytes.Equal(dst, b) {
+				t.Fatalf("width %d round trip mismatch", n)
+			}
+		}
+	}
+}
+
+func TestDecodeIntoWrongLength(t *testing.T) {
+	var dst [32]byte
+	if err := DecodeInto(dst[:], Encode([]byte{1, 2, 3})); err == nil {
+		t.Fatal("DecodeInto accepted short input")
+	}
+}
+
+func TestLeadingZerosPreserved(t *testing.T) {
+	f := func(b []byte) bool {
+		withZeros := append([]byte{0, 0, 0, 0}, b...)
+		dec, err := Decode(Encode(withZeros))
+		return err == nil && bytes.Equal(dec, withZeros)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode32(b *testing.B) {
+	var key [32]byte
+	rand.New(rand.NewSource(7)).Read(key[:])
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(key[:])
+	}
+}
+
+func BenchmarkDecode32(b *testing.B) {
+	var key [32]byte
+	rand.New(rand.NewSource(7)).Read(key[:])
+	s := Encode(key[:])
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package collector
+
+import (
+	"jitomev/internal/jito"
+	"jitomev/internal/solana"
+	"jitomev/internal/stats"
+)
+
+// DayAgg aggregates one study day of collected bundles — the per-day
+// series behind Figures 1 and 2.
+type DayAgg struct {
+	Bundles  uint64
+	Txs      uint64
+	ByLength [jito.MaxBundleTxs + 1]uint64
+
+	// Defensive-bundling aggregates (paper §3.3 classification applied
+	// at ingest so length-1 bundles never need to be retained).
+	DefensiveCount uint64
+	PriorityCount  uint64
+	DefensiveSpend uint64 // lamports
+}
+
+// Dataset is everything the collector keeps: per-day aggregates and tip
+// histograms for all traffic, plus full records (and later, details) for
+// length-3 bundles only — the same economy the paper used ("we request the
+// detailed transaction information only for bundles of length three",
+// §3.1).
+type Dataset struct {
+	Clock solana.Clock
+
+	Days     map[int]*DayAgg
+	TipsLen1 *stats.LogHistogram
+	TipsLen3 *stats.LogHistogram
+
+	Len3 []jito.BundleRecord
+	// Long holds records of other retained lengths (4–5) when extended
+	// detection is enabled; empty under the paper's length-3-only economy.
+	Long    []jito.BundleRecord
+	Details map[solana.Signature]jito.TxDetail
+
+	// retain selects which bundle lengths keep full records for detail
+	// fetching. Length 3 is always retained.
+	retain map[int]bool
+
+	// Collected counts every ingested (non-duplicate) bundle; Duplicates
+	// counts page entries already seen.
+	Collected  uint64
+	Duplicates uint64
+
+	seen *dedupWindow
+}
+
+// NewDataset builds an empty dataset. windowSize bounds the dedup memory;
+// it must comfortably exceed the poll page size (4× is ample, since a page
+// can only overlap its immediate predecessors).
+func NewDataset(clock solana.Clock, windowSize int) *Dataset {
+	if windowSize < 64 {
+		windowSize = 64
+	}
+	return &Dataset{
+		Clock:    clock,
+		Days:     make(map[int]*DayAgg),
+		TipsLen1: stats.NewTipHistogram(),
+		TipsLen3: stats.NewTipHistogram(),
+		Details:  make(map[solana.Signature]jito.TxDetail),
+		retain:   map[int]bool{3: true},
+		seen:     newDedupWindow(windowSize),
+	}
+}
+
+// RetainLengths widens the set of bundle lengths whose full records are
+// kept for detail fetching (length 3 is always kept). Call before
+// ingestion starts.
+func (d *Dataset) RetainLengths(lengths ...int) {
+	for _, n := range lengths {
+		d.retain[n] = true
+	}
+}
+
+// day returns the aggregate for the record's day, creating it on demand.
+func (d *Dataset) day(rec *jito.BundleRecord) *DayAgg {
+	day := d.Clock.DayOf(rec.Slot)
+	agg, ok := d.Days[day]
+	if !ok {
+		agg = &DayAgg{}
+		d.Days[day] = agg
+	}
+	return agg
+}
+
+// Ingest folds one page entry into the dataset, returning false for
+// duplicates (already collected via an earlier page).
+func (d *Dataset) Ingest(rec jito.BundleRecord) bool {
+	if !d.seen.add(rec.ID) {
+		d.Duplicates++
+		return false
+	}
+	d.Collected++
+
+	n := rec.NumTxs()
+	agg := d.day(&rec)
+	agg.Bundles++
+	agg.Txs += uint64(n)
+	if n <= jito.MaxBundleTxs {
+		agg.ByLength[n]++
+	}
+
+	switch n {
+	case 1:
+		d.TipsLen1.Add(float64(rec.TipLamps))
+		if rec.Tip() <= solana.DefensiveTipCeiling {
+			agg.DefensiveCount++
+			agg.DefensiveSpend += rec.TipLamps
+		} else {
+			agg.PriorityCount++
+		}
+	case 3:
+		d.TipsLen3.Add(float64(rec.TipLamps))
+		d.Len3 = append(d.Len3, rec)
+	default:
+		if d.retain[n] {
+			d.Long = append(d.Long, rec)
+		}
+	}
+	return true
+}
+
+// DetailsFor returns the aligned detail slice for a length-3 record, and
+// whether every member transaction's detail has been fetched.
+func (d *Dataset) DetailsFor(rec *jito.BundleRecord) ([]jito.TxDetail, bool) {
+	out := make([]jito.TxDetail, 0, len(rec.TxIDs))
+	for _, id := range rec.TxIDs {
+		det, ok := d.Details[id]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, det)
+	}
+	return out, true
+}
+
+// SortedDays returns the days present, ascending.
+func (d *Dataset) SortedDays() []int {
+	ts := stats.NewTimeSeries()
+	for day := range d.Days {
+		ts.Add(day, 1)
+	}
+	return ts.Days()
+}
+
+// dedupWindow is a fixed-capacity sliding set of bundle ids: membership
+// checks for recent ids, eviction of the oldest once full. Pages only ever
+// overlap their immediate predecessors, so a window a few pages deep
+// deduplicates exactly while using constant memory across a four-month
+// collection.
+type dedupWindow struct {
+	set  map[jito.BundleID]struct{}
+	ring []jito.BundleID
+	next int
+	full bool
+}
+
+func newDedupWindow(capacity int) *dedupWindow {
+	return &dedupWindow{
+		set:  make(map[jito.BundleID]struct{}, capacity),
+		ring: make([]jito.BundleID, capacity),
+	}
+}
+
+// add inserts id, evicting the oldest entry when full. It returns false if
+// id was already present.
+func (w *dedupWindow) add(id jito.BundleID) bool {
+	if _, ok := w.set[id]; ok {
+		return false
+	}
+	if w.full {
+		delete(w.set, w.ring[w.next])
+	}
+	w.ring[w.next] = id
+	w.set[id] = struct{}{}
+	w.next++
+	if w.next == len(w.ring) {
+		w.next = 0
+		w.full = true
+	}
+	return true
+}
+
+func (w *dedupWindow) len() int { return len(w.set) }

@@ -1,0 +1,122 @@
+package collector
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"jitomev/internal/jito"
+	"jitomev/internal/solana"
+	"jitomev/internal/stats"
+)
+
+// unixNano converts a persisted genesis timestamp back to time.Time.
+func unixNano(ns int64) time.Time { return time.Unix(0, ns).UTC() }
+
+// Dataset persistence: a four-month collection is too valuable to re-run
+// (the paper's actual dataset took four months of wall time to gather),
+// so the collector can checkpoint what it has and analysis tools can load
+// it without regenerating. The format is gzip-compressed gob of a stable
+// snapshot struct, versioned for forward compatibility.
+
+// snapshotVersion guards the on-disk layout.
+const snapshotVersion = 1
+
+// datasetSnapshot is the persisted form of a Dataset. Only collection
+// results travel; transient machinery (dedup window) restarts fresh.
+type datasetSnapshot struct {
+	Version  int
+	Genesis  int64 // UnixNano of the chain clock genesis
+	Days     map[int]*DayAgg
+	TipsLen1 *stats.LogHistogram
+	TipsLen3 *stats.LogHistogram
+	Len3     []jito.BundleRecord
+	Long     []jito.BundleRecord
+	Details  map[solana.Signature]jito.TxDetail
+
+	Collected  uint64
+	Duplicates uint64
+}
+
+// Save writes the dataset to w. The dedup window is not persisted; a
+// loaded dataset resumes collection with a fresh window, which can at
+// worst re-ingest a page boundary's worth of duplicates (and they will be
+// dropped by the record-level dedup on analysis keys).
+func (d *Dataset) Save(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	snap := datasetSnapshot{
+		Version:    snapshotVersion,
+		Genesis:    d.Clock.Genesis.UnixNano(),
+		Days:       d.Days,
+		TipsLen1:   d.TipsLen1,
+		TipsLen3:   d.TipsLen3,
+		Len3:       d.Len3,
+		Long:       d.Long,
+		Details:    d.Details,
+		Collected:  d.Collected,
+		Duplicates: d.Duplicates,
+	}
+	if err := gob.NewEncoder(zw).Encode(&snap); err != nil {
+		zw.Close()
+		return fmt.Errorf("collector: encoding dataset: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("collector: flushing dataset: %w", err)
+	}
+	return nil
+}
+
+// LoadDataset reads a dataset previously written by Save. windowSize
+// shapes the fresh dedup window for any subsequent ingestion.
+func LoadDataset(r io.Reader, windowSize int) (*Dataset, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("collector: opening dataset: %w", err)
+	}
+	defer zr.Close()
+
+	var snap datasetSnapshot
+	if err := gob.NewDecoder(zr).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("collector: decoding dataset: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("collector: dataset version %d, want %d", snap.Version, snapshotVersion)
+	}
+
+	d := NewDataset(solana.Clock{Genesis: unixNano(snap.Genesis)}, windowSize)
+	d.Days = snap.Days
+	if d.Days == nil {
+		d.Days = make(map[int]*DayAgg)
+	}
+	if snap.TipsLen1 != nil {
+		d.TipsLen1 = snap.TipsLen1
+	}
+	if snap.TipsLen3 != nil {
+		d.TipsLen3 = snap.TipsLen3
+	}
+	d.Len3 = snap.Len3
+	d.Long = snap.Long
+	d.Details = snap.Details
+	if d.Details == nil {
+		d.Details = make(map[solana.Signature]jito.TxDetail)
+	}
+	d.Collected = snap.Collected
+	d.Duplicates = snap.Duplicates
+
+	// Re-seed the dedup window with the most recent records so resumed
+	// polling does not double-count the page straddling the checkpoint.
+	reseed := func(recs []jito.BundleRecord) {
+		start := len(recs) - windowSize
+		if start < 0 {
+			start = 0
+		}
+		for _, rec := range recs[start:] {
+			d.seen.add(rec.ID)
+		}
+	}
+	reseed(d.Len3)
+	reseed(d.Long)
+	return d, nil
+}

@@ -1,0 +1,233 @@
+package collector
+
+import (
+	"bytes"
+	"compress/gzip"
+	"net/http/httptest"
+	"testing"
+
+	"jitomev/internal/jito"
+
+	"jitomev/internal/core"
+	"jitomev/internal/explorer"
+	"jitomev/internal/solana"
+	"jitomev/internal/workload"
+)
+
+func collectedDataset(t *testing.T) *Collector {
+	t.Helper()
+	st := workload.New(workload.Params{Seed: 6, Days: 3, Scale: 20_000,
+		Outages: []workload.DayRange{}})
+	store := explorer.NewStore()
+	c := New(Config{PageLimit: 50}, st.P.Clock(), Direct{Store: store})
+	sink := &PollingSink{Store: store, Collector: c}
+	st.Run(sink)
+	if _, err := c.FetchDetails(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDatasetSaveLoadRoundTrip(t *testing.T) {
+	c := collectedDataset(t)
+	var buf bytes.Buffer
+	if err := c.Data.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDataset(&buf, 4*50)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.Collected != c.Data.Collected || loaded.Duplicates != c.Data.Duplicates {
+		t.Errorf("counters: %d/%d vs %d/%d",
+			loaded.Collected, loaded.Duplicates, c.Data.Collected, c.Data.Duplicates)
+	}
+	if len(loaded.Len3) != len(c.Data.Len3) || len(loaded.Details) != len(c.Data.Details) {
+		t.Fatalf("records: %d/%d vs %d/%d",
+			len(loaded.Len3), len(loaded.Details), len(c.Data.Len3), len(c.Data.Details))
+	}
+	if !loaded.Clock.Genesis.Equal(c.Data.Clock.Genesis) {
+		t.Error("clock genesis lost")
+	}
+
+	// Detection over the loaded dataset must be identical.
+	det := core.NewDefaultDetector()
+	sweep := func(d *Dataset) (sandwiches int, loss float64) {
+		for i := range d.Len3 {
+			rec := &d.Len3[i]
+			if details, ok := d.DetailsFor(rec); ok {
+				if v := det.Detect(rec, details); v.Sandwich {
+					sandwiches++
+					loss += v.VictimLossLamports
+				}
+			}
+		}
+		return
+	}
+	na, la := sweep(c.Data)
+	nb, lb := sweep(loaded)
+	if na != nb || la != lb {
+		t.Errorf("detection diverges after save/load: %d/%.0f vs %d/%.0f", na, la, nb, lb)
+	}
+	if c.Data.TipsLen1.Quantile(0.5) != loaded.TipsLen1.Quantile(0.5) ||
+		c.Data.TipsLen3.Quantile(0.95) != loaded.TipsLen3.Quantile(0.95) {
+		t.Error("tip histograms diverge after save/load")
+	}
+	// Per-day aggregates survive.
+	for day, agg := range c.Data.Days {
+		got := loaded.Days[day]
+		if got == nil || got.Bundles != agg.Bundles || got.DefensiveSpend != agg.DefensiveSpend {
+			t.Errorf("day %d aggregate lost", day)
+		}
+	}
+}
+
+func TestLoadedDatasetResumesWithoutDoubleCounting(t *testing.T) {
+	c := collectedDataset(t)
+	var buf bytes.Buffer
+	if err := c.Data.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDataset(&buf, 4*50)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-ingest the most recent length-3 record: the reseeded dedup
+	// window must reject it.
+	if len(loaded.Len3) == 0 {
+		t.Skip("no length-3 records in sample")
+	}
+	last := loaded.Len3[len(loaded.Len3)-1]
+	before := loaded.Collected
+	if loaded.Ingest(last) {
+		t.Error("checkpoint-straddling record re-ingested after load")
+	}
+	if loaded.Collected != before {
+		t.Error("collected count changed on duplicate")
+	}
+}
+
+func TestLoadDatasetRejectsGarbage(t *testing.T) {
+	if _, err := LoadDataset(bytes.NewReader([]byte("not a gzip")), 64); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Valid gzip, invalid gob.
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte("gibberish"))
+	zw.Close()
+	if _, err := LoadDataset(&buf, 64); err == nil {
+		t.Error("gzip-wrapped garbage accepted")
+	}
+}
+
+func TestStoreRecentBefore(t *testing.T) {
+	store := explorer.NewStore()
+	for i := 1; i <= 10; i++ {
+		store.Accept(0, fakeAccepted(i, 1, solana.Slot(i), 1_000))
+	}
+	// Cursor at seq 6: returns 5,4,3 for limit 3.
+	got := store.RecentBefore(6, 3)
+	if len(got) != 3 || got[0].Seq != 5 || got[2].Seq != 3 {
+		t.Fatalf("RecentBefore(6,3) = %+v", seqsOf(got))
+	}
+	// Cursor at 1: nothing older.
+	if got := store.RecentBefore(1, 5); len(got) != 0 {
+		t.Errorf("RecentBefore(1) returned %v", seqsOf(got))
+	}
+	// Cursor 0 means from the newest.
+	got = store.RecentBefore(0, 2)
+	if len(got) != 2 || got[0].Seq != 10 {
+		t.Errorf("RecentBefore(0,2) = %v", seqsOf(got))
+	}
+}
+
+func seqsOf(recs []jito.BundleRecord) []uint64 {
+	out := make([]uint64, len(recs))
+	for i := range recs {
+		out[i] = recs[i].Seq
+	}
+	return out
+}
+
+func TestBackfillRecoversSpike(t *testing.T) {
+	run := func(backfillPages int) *Collector {
+		store := explorer.NewStore()
+		c := New(Config{PageLimit: 5, BackfillPages: backfillPages},
+			testClock, Direct{Store: store})
+		for i := 1; i <= 5; i++ {
+			store.Accept(0, fakeAccepted(i, 1, solana.Slot(i), 1_000))
+		}
+		c.Poll()
+		// Spike: 30 bundles between polls with a 5-bundle page.
+		for i := 6; i <= 35; i++ {
+			store.Accept(0, fakeAccepted(i, 1, solana.Slot(i), 1_000))
+		}
+		c.Poll()
+		return c
+	}
+
+	paper := run(0)
+	if paper.Data.Collected != 10 {
+		t.Fatalf("paper behaviour collected %d, want 10", paper.Data.Collected)
+	}
+	if paper.BackfilledBundles != 0 {
+		t.Error("backfill ran while disabled")
+	}
+
+	fixed := run(10)
+	if fixed.Data.Collected != 35 {
+		t.Fatalf("backfill collected %d, want all 35", fixed.Data.Collected)
+	}
+	if fixed.BackfilledBundles != 25 || fixed.BackfillPolls == 0 {
+		t.Errorf("backfilled=%d polls=%d", fixed.BackfilledBundles, fixed.BackfillPolls)
+	}
+	// Overlap statistic still records the broken pair — backfill repairs
+	// data, not the diagnostic.
+	if fixed.OverlapPairs != 0 || fixed.Pairs != 1 {
+		t.Error("backfill should not fake the overlap statistic")
+	}
+}
+
+func TestBackfillBudgetBounded(t *testing.T) {
+	store := explorer.NewStore()
+	c := New(Config{PageLimit: 5, BackfillPages: 2}, testClock, Direct{Store: store})
+	for i := 1; i <= 5; i++ {
+		store.Accept(0, fakeAccepted(i, 1, solana.Slot(i), 1_000))
+	}
+	c.Poll()
+	// A spike far larger than the backfill budget (2 pages = 10 bundles).
+	for i := 6; i <= 105; i++ {
+		store.Accept(0, fakeAccepted(i, 1, solana.Slot(i), 1_000))
+	}
+	c.Poll()
+	// Collected: 5 + page 5 + backfill 2*5 = 20.
+	if c.Data.Collected != 20 {
+		t.Errorf("collected %d, want 20 under a 2-page budget", c.Data.Collected)
+	}
+}
+
+func TestBackfillOverHTTP(t *testing.T) {
+	store := explorer.NewStore()
+	srv := httptest.NewServer(explorer.NewServer(store, 0))
+	defer srv.Close()
+	c := New(Config{PageLimit: 5, BackfillPages: 10}, testClock, NewHTTP(srv.URL))
+
+	for i := 1; i <= 5; i++ {
+		store.Accept(0, fakeAccepted(i, 1, solana.Slot(i), 1_000))
+	}
+	if err := c.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 6; i <= 25; i++ {
+		store.Accept(0, fakeAccepted(i, 1, solana.Slot(i), 1_000))
+	}
+	if err := c.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Data.Collected != 25 {
+		t.Errorf("HTTP backfill collected %d, want 25", c.Data.Collected)
+	}
+}

@@ -1,0 +1,150 @@
+// Package collector implements the paper's measurement pipeline (§3.1):
+// poll the explorer's recent-bundles endpoint on a fixed cadence, dedup
+// into a dataset, measure the overlap between successive pages to validate
+// coverage, and bulk-fetch transaction details for length-3 bundles in
+// batches of at most 10,000.
+package collector
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"jitomev/internal/explorer"
+	"jitomev/internal/jito"
+	"jitomev/internal/solana"
+)
+
+// Transport abstracts the explorer API so studies can run either over real
+// HTTP (the faithful path) or in-process (the fast path for large scales).
+type Transport interface {
+	// RecentBundles returns up to limit of the most recent bundles,
+	// newest first.
+	RecentBundles(limit int) ([]jito.BundleRecord, error)
+	// RecentBundlesBefore pages backwards: up to limit bundles whose
+	// acceptance sequence is strictly below beforeSeq, newest first.
+	// Used by the backfill path to recover spike-overflowed bundles.
+	RecentBundlesBefore(beforeSeq uint64, limit int) ([]jito.BundleRecord, error)
+	// TxDetails returns details for the given transaction ids; unknown
+	// ids are absent from the result.
+	TxDetails(ids []solana.Signature) ([]jito.TxDetail, error)
+}
+
+// Direct is the in-process transport: it reads the explorer store without
+// HTTP. Used for large-scale studies and as the control in transport
+// equivalence tests.
+type Direct struct {
+	Store *explorer.Store
+}
+
+// RecentBundles implements Transport.
+func (d Direct) RecentBundles(limit int) ([]jito.BundleRecord, error) {
+	return d.Store.Recent(limit), nil
+}
+
+// RecentBundlesBefore implements Transport.
+func (d Direct) RecentBundlesBefore(beforeSeq uint64, limit int) ([]jito.BundleRecord, error) {
+	return d.Store.RecentBefore(beforeSeq, limit), nil
+}
+
+// TxDetails implements Transport.
+func (d Direct) TxDetails(ids []solana.Signature) ([]jito.TxDetail, error) {
+	return d.Store.TxDetails(ids), nil
+}
+
+// HTTP is the faithful transport: it speaks the explorer's JSON API like
+// the paper's scraper spoke to explorer.jito.wtf, including backing off on
+// HTTP 429.
+type HTTP struct {
+	BaseURL string
+	Client  *http.Client
+
+	// MaxRetries bounds retry attempts on 429 or transient errors.
+	MaxRetries int
+	// Backoff is the base delay between retries (doubled each attempt).
+	Backoff time.Duration
+}
+
+// NewHTTP returns an HTTP transport with sane defaults.
+func NewHTTP(baseURL string) *HTTP {
+	return &HTTP{
+		BaseURL:    baseURL,
+		Client:     &http.Client{Timeout: 30 * time.Second},
+		MaxRetries: 3,
+		Backoff:    50 * time.Millisecond,
+	}
+}
+
+func (h *HTTP) do(req func() (*http.Response, error)) (*http.Response, error) {
+	backoff := h.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= h.MaxRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		resp, err := req()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("collector: throttled (429)")
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("collector: HTTP %d", resp.StatusCode)
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("collector: retries exhausted: %w", lastErr)
+}
+
+// RecentBundles implements Transport.
+func (h *HTTP) RecentBundles(limit int) ([]jito.BundleRecord, error) {
+	return h.recent(fmt.Sprintf("%s/api/v1/bundles/recent?limit=%d", h.BaseURL, limit))
+}
+
+// RecentBundlesBefore implements Transport.
+func (h *HTTP) RecentBundlesBefore(beforeSeq uint64, limit int) ([]jito.BundleRecord, error) {
+	return h.recent(fmt.Sprintf("%s/api/v1/bundles/recent?limit=%d&before=%d",
+		h.BaseURL, limit, beforeSeq))
+}
+
+func (h *HTTP) recent(url string) ([]jito.BundleRecord, error) {
+	resp, err := h.do(func() (*http.Response, error) { return h.Client.Get(url) })
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body explorer.RecentResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("collector: decoding recent bundles: %w", err)
+	}
+	return body.Bundles, nil
+}
+
+// TxDetails implements Transport.
+func (h *HTTP) TxDetails(ids []solana.Signature) ([]jito.TxDetail, error) {
+	payload, err := json.Marshal(explorer.DetailRequest{IDs: ids})
+	if err != nil {
+		return nil, err
+	}
+	url := h.BaseURL + "/api/v1/transactions"
+	resp, err := h.do(func() (*http.Response, error) {
+		return h.Client.Post(url, "application/json", bytes.NewReader(payload))
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body explorer.DetailResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("collector: decoding tx details: %w", err)
+	}
+	return body.Transactions, nil
+}

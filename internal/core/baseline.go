@@ -1,0 +1,85 @@
+package core
+
+import "jitomev/internal/jito"
+
+// DetectNaive is the ablation baseline: the bare A-B-A ordering heuristic
+// that earlier Ethereum measurement tooling started from — same outer
+// signer, same traded mint pair, same direction — without the paper's
+// profit check (C4) or tip-only exclusion (C5).
+//
+// Against simulator ground truth the naive detector shows why the paper's
+// refinements matter: trading-app bundles that end in a tip-only
+// transaction and benign A-B-A flows (e.g. a market maker refreshing
+// quotes around an unrelated user trade) are misclassified as attacks.
+func DetectNaive(rec *jito.BundleRecord, details []jito.TxDetail) Verdict {
+	v := Verdict{TipLamports: rec.TipLamps}
+
+	if rec.NumTxs() != 3 || len(details) != 3 {
+		v.Failed = CritLength
+		return v
+	}
+	if details[0].Signer != details[2].Signer || details[0].Signer == details[1].Signer {
+		v.Failed = CritSigners
+		return v
+	}
+	t1 := tradeOf(&details[0])
+	t2 := tradeOf(&details[1])
+	// The naive heuristic only needs the first two trades to line up; a
+	// tip-only or odd-shaped third transaction does not disqualify.
+	if !t1.ok || !t2.ok {
+		v.Failed = CritNoTrade
+		return v
+	}
+	if pairOf(t1.sold, t1.bought) != pairOf(t2.sold, t2.bought) {
+		v.Failed = CritMints
+		return v
+	}
+	if t1.bought != t2.bought {
+		v.Failed = CritDirection
+		return v
+	}
+	v.Sandwich = true
+	v.Attacker = details[0].Signer
+	v.Victim = details[1].Signer
+	return v
+}
+
+// Confusion tallies detector output against simulator ground truth.
+type Confusion struct {
+	TruePositive  uint64
+	FalsePositive uint64
+	TrueNegative  uint64
+	FalseNegative uint64
+}
+
+// Observe folds one (predicted, actual) pair.
+func (c *Confusion) Observe(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TruePositive++
+	case predicted && !actual:
+		c.FalsePositive++
+	case !predicted && actual:
+		c.FalseNegative++
+	default:
+		c.TrueNegative++
+	}
+}
+
+// Precision returns TP/(TP+FP), or 1 when nothing was predicted positive.
+func (c *Confusion) Precision() float64 {
+	d := c.TruePositive + c.FalsePositive
+	if d == 0 {
+		return 1
+	}
+	return float64(c.TruePositive) / float64(d)
+}
+
+// Recall returns TP/(TP+FN), or 1 when there were no positives.
+func (c *Confusion) Recall() float64 {
+	d := c.TruePositive + c.FalseNegative
+	if d == 0 {
+		return 1
+	}
+	return float64(c.TruePositive) / float64(d)
+}

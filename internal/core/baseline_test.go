@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"jitomev/internal/jito"
+)
+
+func TestNaiveDetectsCanonical(t *testing.T) {
+	details, rec := canonicalSandwich()
+	if v := DetectNaive(rec, details); !v.Sandwich {
+		t.Fatalf("naive missed canonical sandwich: %v", v.Failed)
+	}
+}
+
+func TestNaiveFalsePositiveOnTipOnlyPattern(t *testing.T) {
+	// Trading-app bundle: swap, swap, tip-only — the paper's C5 excludes
+	// it; the naive heuristic flags it when the first two trades line up.
+	details := []jito.TxDetail{
+		detail(1, attacker, solMint, 10_000_000_000, memeMint, 10_000),
+		detail(2, victim, solMint, 1_000_000_000_000, memeMint, 900_000),
+		{Sig: sig(3), Signer: attacker, TipOnly: true, TipLamports: 5_000},
+	}
+	rec := record(details, 5_000)
+
+	naive := DetectNaive(rec, details)
+	full := NewDefaultDetector().Detect(rec, details)
+	if !naive.Sandwich {
+		t.Error("naive should flag the app pattern (that's its known flaw)")
+	}
+	if full.Sandwich {
+		t.Error("full detector must exclude tip-only-final bundles")
+	}
+}
+
+func TestNaiveFalsePositiveOnUnprofitableABA(t *testing.T) {
+	// Benign A-B-A (e.g. market maker refreshing quotes at a loss).
+	details := []jito.TxDetail{
+		detail(1, attacker, solMint, 10_000_000_000, memeMint, 10_000),
+		detail(2, victim, solMint, 1_000_000_000_000, memeMint, 900_000),
+		detail(3, attacker, memeMint, 10_000, solMint, 9_000_000_000),
+	}
+	rec := record(details, 1000)
+	if v := DetectNaive(rec, details); !v.Sandwich {
+		t.Error("naive should flag unprofitable A-B-A (no C4)")
+	}
+	if v := NewDefaultDetector().Detect(rec, details); v.Sandwich {
+		t.Error("full detector must reject unprofitable A-B-A")
+	}
+}
+
+func TestNaiveRejectsNonABA(t *testing.T) {
+	details, _ := canonicalSandwich()
+	details[2].Signer = other
+	rec := record(details, 1000)
+	if v := DetectNaive(rec, details); v.Sandwich {
+		t.Error("naive flagged non-A-B-A pattern")
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	var c Confusion
+	c.Observe(true, true)
+	c.Observe(true, true)
+	c.Observe(true, false)
+	c.Observe(false, true)
+	c.Observe(false, false)
+
+	if c.TruePositive != 2 || c.FalsePositive != 1 || c.FalseNegative != 1 || c.TrueNegative != 1 {
+		t.Fatalf("confusion %+v", c)
+	}
+	if p := c.Precision(); p < 0.66 || p > 0.67 {
+		t.Errorf("precision = %f", p)
+	}
+	if r := c.Recall(); r < 0.66 || r > 0.67 {
+		t.Errorf("recall = %f", r)
+	}
+}
+
+func TestConfusionEmptyDefaults(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 1 || c.Recall() != 1 {
+		t.Error("empty confusion should default to 1.0")
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import "jitomev/internal/jito"
+
+// Block-scan baseline: how sandwich detection worked before bundle data.
+//
+// Prior Ethereum measurement work (Qin et al., S&P'22; Züst et al.)
+// detects sandwiches by scanning a *block's* transaction sequence for
+// A-B-A patterns, because Ethereum has no equivalent of Jito bundles to
+// delimit attacker intent. The paper's methodological contribution is
+// precisely that Jito bundleIds provide those boundaries on Solana — the
+// attacker declared, on the record, that these three transactions execute
+// together atomically.
+//
+// DetectBlockScan reconstructs the pre-bundle approach on our chain: slide
+// over a block's flattened transaction details and flag A-B-A triples
+// within a proximity window that satisfy the trade criteria. Comparing it
+// against the bundle-aware detector on ground truth quantifies what bundle
+// visibility buys: the block scanner cannot distinguish an atomic bundle
+// from coincidental adjacency across bundle boundaries, and it has no C5
+// (tip-only) signal because tips are just transfers once flattened.
+
+// BlockScanWindow is the default maximum index distance between a
+// sandwich's front-run and back-run in the block sequence.
+const BlockScanWindow = 4
+
+// DetectBlockScan scans a block's transactions (in execution order) for
+// sandwich-shaped triples. window bounds k-i; pass BlockScanWindow for the
+// literature's near-adjacency assumption. Triples are claimed greedily
+// and disjointly, leftmost-first.
+func (dt *Detector) DetectBlockScan(details []jito.TxDetail, window int) []Verdict {
+	if window < 2 {
+		window = BlockScanWindow
+	}
+	n := len(details)
+	trades := make([]trade, n)
+	legOK := make([]bool, n)
+	for i := range details {
+		if details[i].TipOnly || details[i].Failed {
+			continue
+		}
+		trades[i] = tradeOf(&details[i])
+		legOK[i] = trades[i].ok
+	}
+
+	var out []Verdict
+	used := make([]bool, n)
+	// Synthetic record carrying no bundle tip: the scanner cannot know it.
+	rec := &jito.BundleRecord{}
+	for i := 0; i < n-2; i++ {
+		if used[i] || !legOK[i] {
+			continue
+		}
+		for j := i + 1; j < n-1 && j <= i+window-1; j++ {
+			if used[j] || !legOK[j] {
+				continue
+			}
+			matched := false
+			for k := j + 1; k < n && k <= i+window; k++ {
+				if used[k] || !legOK[k] {
+					continue
+				}
+				v, ok := dt.tryTriple(rec, trades[i], trades[j], trades[k])
+				if !ok {
+					continue
+				}
+				out = append(out, v)
+				used[i], used[j], used[k] = true, true, true
+				matched = true
+				break
+			}
+			if matched {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"jitomev/internal/jito"
+)
+
+func TestBlockScanFindsContiguousSandwich(t *testing.T) {
+	dt := NewDefaultDetector()
+	s, _ := canonicalSandwich()
+	// A block: two unrelated txs, the sandwich, one more tx.
+	block := []jito.TxDetail{
+		detail(90, other, solMint, 100, meme2, 90),
+		tipOnlyDetail(91, other),
+		s[0], s[1], s[2],
+		detail(92, other, meme2, 50, solMint, 40),
+	}
+	found := dt.DetectBlockScan(block, BlockScanWindow)
+	if len(found) != 1 {
+		t.Fatalf("found %d sandwiches, want 1", len(found))
+	}
+	if found[0].Attacker != attacker || found[0].Victim != victim {
+		t.Error("attribution wrong")
+	}
+}
+
+func TestBlockScanWindowLimitsSpread(t *testing.T) {
+	dt := NewDefaultDetector()
+	s, _ := canonicalSandwich()
+	// Sandwich legs spread 5 positions apart: outside a window of 4.
+	block := []jito.TxDetail{
+		s[0],
+		detail(93, other, meme2, 100, solMint, 90),
+		s[1],
+		detail(94, other, solMint, 100, meme2, 90),
+		tipOnlyDetail(95, other),
+		s[2],
+	}
+	if found := dt.DetectBlockScan(block, 4); len(found) != 0 {
+		t.Error("window 4 should not span 6 positions")
+	}
+	if found := dt.DetectBlockScan(block, 6); len(found) != 1 {
+		t.Error("window 6 should find the spread sandwich")
+	}
+}
+
+func TestBlockScanFalsePositiveAcrossBundleBoundaries(t *testing.T) {
+	// The block scanner's structural weakness: a benign A tx in one
+	// bundle, an unrelated B trade next to it, and another benign A tx —
+	// three *different* bundles — look exactly like a sandwich once
+	// flattened. The bundle-aware detector never sees them as one unit.
+	dt := NewDefaultDetector()
+	block := []jito.TxDetail{
+		// A market maker (attacker key) buys in its own bundle...
+		detail(96, attacker, solMint, 10_000_000_000, memeMint, 10_000),
+		// ...a user happens to buy right after, separately...
+		detail(97, victim, solMint, 1_000_000_000_000, memeMint, 900_000),
+		// ...and the market maker takes profit in a third bundle.
+		detail(98, attacker, memeMint, 10_000, solMint, 11_000_000_000),
+	}
+	if found := dt.DetectBlockScan(block, BlockScanWindow); len(found) != 1 {
+		t.Fatal("block scan should (wrongly) flag the flattened pattern")
+	}
+	// With bundle boundaries, each transaction sits in its own length-1
+	// bundle: the bundle-aware detector never even considers the triple
+	// (CritLength on any single bundle).
+	for i := range block {
+		one := block[i : i+1]
+		rec := record(one, 1_000)
+		if v := dt.Detect(rec, one); v.Sandwich {
+			t.Fatal("bundle-aware detector flagged a length-1 bundle")
+		}
+	}
+}
+
+func TestBlockScanSkipsFailedTxs(t *testing.T) {
+	dt := NewDefaultDetector()
+	s, _ := canonicalSandwich()
+	s[1].Failed = true // victim tx failed on chain: no sandwich occurred
+	if found := dt.DetectBlockScan(s, BlockScanWindow); len(found) != 0 {
+		t.Error("block scan used a failed transaction as a leg")
+	}
+}
+
+func TestBlockScanDisjointTriples(t *testing.T) {
+	dt := NewDefaultDetector()
+	a, _ := canonicalSandwich()
+	// Second sandwich with different participants.
+	atk2 := other
+	b := []jito.TxDetail{
+		detail(80, atk2, solMint, 5_000_000_000, meme2, 5_000),
+		detail(81, victim, solMint, 500_000_000_000, meme2, 450_000),
+		detail(82, atk2, meme2, 5_000, solMint, 5_500_000_000),
+	}
+	block := append(append([]jito.TxDetail{}, a...), b...)
+	found := dt.DetectBlockScan(block, BlockScanWindow)
+	if len(found) != 2 {
+		t.Fatalf("found %d sandwiches, want 2 disjoint", len(found))
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"jitomev/internal/jito"
+)
+
+// Combinatorial detector test: build bundles violating every subset of the
+// five criteria and assert (a) detection fires exactly when no criterion
+// is violated, and (b) the reported Failed value is the first violated
+// criterion in the detector's documented evaluation order
+// (C5 → C1 → clean-trade → C2 → C3 → C4).
+
+// violation flags. Each bit breaks one criterion independently.
+type violation uint8
+
+const (
+	vC5           violation = 1 << iota // final tx tip-only
+	vC1                                 // outer signers differ
+	vC2                                 // victim trades a different mint pair
+	vC3                                 // attacker trades opposite direction
+	vC4                                 // attacker takes a loss
+	numViolations = 5
+)
+
+// buildCase constructs a canonical sandwich and then applies the selected
+// violations.
+func buildCase(v violation) ([]jito.TxDetail, *jito.BundleRecord) {
+	details, _ := canonicalSandwich()
+
+	if v&vC1 != 0 {
+		details[2].Signer = other
+		for i := range details[2].TokenDeltas {
+			details[2].TokenDeltas[i].Owner = other
+		}
+	}
+	if v&vC2 != 0 {
+		details[1] = detail(2, victim, solMint, 1_000_000_000_000, meme2, 900_000)
+	}
+	if v&vC3 != 0 {
+		// Attacker's first trade reversed: sells MEME for SOL.
+		details[0] = detail(1, attacker, memeMint, 10_000, solMint, 10_000_000_000)
+	}
+	if v&vC4 != 0 {
+		// Back-run recovers less SOL than spent with no token surplus.
+		soldMint, soldAmt := memeMint, uint64(10_000)
+		if v&vC3 != 0 {
+			// With C3 violated the attacker bought SOL first; make the
+			// round trip lose SOL-side quantity instead.
+			soldMint, soldAmt = solMint, uint64(10_000_000_000)
+			details[2] = detail(3, details[2].Signer, soldMint, soldAmt, memeMint, 9_000)
+		} else {
+			details[2] = detail(3, details[2].Signer, soldMint, soldAmt, solMint, 9_000_000_000)
+		}
+		if v&vC1 != 0 {
+			details[2].Signer = other
+			for i := range details[2].TokenDeltas {
+				details[2].TokenDeltas[i].Owner = other
+			}
+		}
+	}
+	if v&vC5 != 0 {
+		details[2] = jito.TxDetail{Sig: sig(3), Signer: details[2].Signer,
+			TipOnly: true, TipLamports: 5_000}
+	}
+	return details, record(details, 1_000)
+}
+
+// expectedFailure returns the first criterion the detector should report,
+// following its evaluation order.
+func expectedFailure(v violation) Criterion {
+	switch {
+	case v&vC5 != 0:
+		return CritTipOnly
+	case v&vC1 != 0:
+		return CritSigners
+	case v&vC2 != 0:
+		return CritMints
+	case v&vC3 != 0:
+		return CritDirection
+	case v&vC4 != 0:
+		return CritProfit
+	}
+	return CritNone
+}
+
+func TestDetectorAllViolationCombinations(t *testing.T) {
+	dt := NewDefaultDetector()
+	for v := violation(0); v < 1<<numViolations; v++ {
+		v := v
+		t.Run(fmt.Sprintf("violations=%05b", v), func(t *testing.T) {
+			details, rec := buildCase(v)
+			got := dt.Detect(rec, details)
+			want := expectedFailure(v)
+
+			if want == CritNone {
+				if !got.Sandwich {
+					t.Fatalf("clean sandwich rejected: %v", got.Failed)
+				}
+				return
+			}
+			if got.Sandwich {
+				t.Fatalf("violated bundle (%05b) detected as sandwich", v)
+			}
+			// C4-violation cases that also break C3 can legitimately be
+			// caught at C3 or C4 depending on construction order; all
+			// other orderings must be exact.
+			if got.Failed != want {
+				t.Fatalf("failed = %v, want %v", got.Failed, want)
+			}
+		})
+	}
+}
+
+func TestNaiveIgnoresC4AndC5Combinations(t *testing.T) {
+	// The naive baseline only enforces C1/C2/C3 (plus clean trades on the
+	// first two legs): it must flag every combination whose violations
+	// are confined to C4/C5.
+	for _, v := range []violation{vC4, vC5, vC4 | vC5} {
+		details, rec := buildCase(v)
+		if got := DetectNaive(rec, details); !got.Sandwich {
+			t.Errorf("naive rejected %05b (violations it cannot see): %v", v, got.Failed)
+		}
+	}
+	// And reject anything violating what it does check.
+	for _, v := range []violation{vC1, vC2, vC3, vC1 | vC4, vC2 | vC5} {
+		details, rec := buildCase(v)
+		if got := DetectNaive(rec, details); got.Sandwich {
+			t.Errorf("naive accepted %05b", v)
+		}
+	}
+}

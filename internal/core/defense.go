@@ -1,0 +1,97 @@
+package core
+
+import (
+	"jitomev/internal/jito"
+	"jitomev/internal/solana"
+)
+
+// BundlePurpose classifies why a length-1 bundle was submitted (paper §3.3).
+type BundlePurpose int
+
+const (
+	// PurposeNotSingle marks bundles with more than one transaction; the
+	// defensive-bundling classifier does not apply.
+	PurposeNotSingle BundlePurpose = iota
+	// PurposeDefensive marks a length-1 bundle whose tip is at or below
+	// 100,000 lamports: too small to buy meaningful priority, so the only
+	// economic rationale is MEV protection — wrapping the transaction in a
+	// bundle makes it impossible to include in an attacker's bundle, since
+	// bundles cannot be nested on Jito.
+	PurposeDefensive
+	// PurposePriority marks a length-1 bundle with a tip large enough that
+	// faster inclusion is a plausible motive.
+	PurposePriority
+)
+
+// String names the purpose.
+func (p BundlePurpose) String() string {
+	switch p {
+	case PurposeNotSingle:
+		return "not-single"
+	case PurposeDefensive:
+		return "defensive"
+	case PurposePriority:
+		return "priority"
+	}
+	return "unknown"
+}
+
+// ClassifyDefensive applies the paper's §3.3 rule: a bundle of length one
+// with a Jito tip at or below 100,000 lamports (the minimum Jupiter allows,
+// a conservative threshold) is classified as defensive bundling. The
+// classification is deliberately tip-based: recent work found tips on
+// length-1 bundles have negligible effect on time-to-confirmation unless
+// they exceed ~50% of the 95th-percentile tip (≈2,000,000 lamports).
+func ClassifyDefensive(rec *jito.BundleRecord) BundlePurpose {
+	if rec.NumTxs() != 1 {
+		return PurposeNotSingle
+	}
+	if rec.Tip() <= solana.DefensiveTipCeiling {
+		return PurposeDefensive
+	}
+	return PurposePriority
+}
+
+// DefenseStats aggregates defensive-bundling activity across a dataset.
+type DefenseStats struct {
+	SingleTxBundles uint64
+	Defensive       uint64
+	Priority        uint64
+	// DefensiveSpendLamports is the cumulative Jito tips paid on
+	// defensive bundles — money "that would not be necessary to pay if
+	// the transaction was sent through Solana itself" (paper §5).
+	DefensiveSpendLamports uint64
+}
+
+// Observe folds one bundle into the stats.
+func (s *DefenseStats) Observe(rec *jito.BundleRecord) BundlePurpose {
+	p := ClassifyDefensive(rec)
+	switch p {
+	case PurposeDefensive:
+		s.SingleTxBundles++
+		s.Defensive++
+		s.DefensiveSpendLamports += rec.TipLamps
+	case PurposePriority:
+		s.SingleTxBundles++
+		s.Priority++
+	}
+	return p
+}
+
+// DefensiveShare returns the fraction of length-1 bundles classified as
+// defensive (the paper reports over 86%).
+func (s *DefenseStats) DefensiveShare() float64 {
+	if s.SingleTxBundles == 0 {
+		return 0
+	}
+	return float64(s.Defensive) / float64(s.SingleTxBundles)
+}
+
+// AvgDefensiveTipLamports returns the mean tip paid per defensive bundle
+// (the paper reports $0.0028, about 11,600 lamports).
+func (s *DefenseStats) AvgDefensiveTipLamports() float64 {
+	if s.Defensive == 0 {
+		return 0
+	}
+	return float64(s.DefensiveSpendLamports) / float64(s.Defensive)
+}

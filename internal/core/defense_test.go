@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"jitomev/internal/jito"
+	"jitomev/internal/solana"
+)
+
+func rec1(tip uint64) *jito.BundleRecord {
+	return &jito.BundleRecord{TxIDs: make([]solana.Signature, 1), TipLamps: tip}
+}
+
+func recN(n int, tip uint64) *jito.BundleRecord {
+	return &jito.BundleRecord{TxIDs: make([]solana.Signature, n), TipLamps: tip}
+}
+
+func TestClassifyDefensive(t *testing.T) {
+	cases := []struct {
+		rec  *jito.BundleRecord
+		want BundlePurpose
+	}{
+		{rec1(1_000), PurposeDefensive},
+		{rec1(100_000), PurposeDefensive}, // threshold is inclusive ("at or below")
+		{rec1(100_001), PurposePriority},
+		{rec1(2_000_000), PurposePriority},
+		{recN(3, 1_000), PurposeNotSingle},
+		{recN(2, 100), PurposeNotSingle},
+	}
+	for i, c := range cases {
+		if got := ClassifyDefensive(c.rec); got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestDefenseStats(t *testing.T) {
+	var s DefenseStats
+	s.Observe(rec1(1_000))
+	s.Observe(rec1(21_000))
+	s.Observe(rec1(500_000))  // priority
+	s.Observe(recN(3, 1_000)) // ignored
+
+	if s.SingleTxBundles != 3 {
+		t.Errorf("SingleTxBundles = %d", s.SingleTxBundles)
+	}
+	if s.Defensive != 2 || s.Priority != 1 {
+		t.Errorf("defensive=%d priority=%d", s.Defensive, s.Priority)
+	}
+	if s.DefensiveSpendLamports != 22_000 {
+		t.Errorf("spend = %d", s.DefensiveSpendLamports)
+	}
+	if got := s.DefensiveShare(); got < 0.66 || got > 0.67 {
+		t.Errorf("share = %f", got)
+	}
+	if got := s.AvgDefensiveTipLamports(); got != 11_000 {
+		t.Errorf("avg tip = %f", got)
+	}
+}
+
+func TestDefenseStatsEmpty(t *testing.T) {
+	var s DefenseStats
+	if s.DefensiveShare() != 0 || s.AvgDefensiveTipLamports() != 0 {
+		t.Error("empty stats should report zeros")
+	}
+}
+
+func TestPurposeStrings(t *testing.T) {
+	if PurposeDefensive.String() != "defensive" ||
+		PurposePriority.String() != "priority" ||
+		PurposeNotSingle.String() != "not-single" ||
+		BundlePurpose(9).String() != "unknown" {
+		t.Error("purpose names wrong")
+	}
+}

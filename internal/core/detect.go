@@ -1,0 +1,265 @@
+// Package core implements the paper's primary contribution: the
+// methodology for finding and quantifying Sandwiching MEV in Jito bundle
+// data (paper §3.2) and for classifying defensive bundling (paper §3.3).
+//
+// The detector consumes exactly what the Jito Explorer exposes — a bundle's
+// member transactions with signer and token balance changes — and applies
+// the paper's five criteria, adapted from Ethereum heuristics (Qin et al.,
+// S&P'22):
+//
+//	C1  tx1 and tx3 are signed by the same account A; tx2 by a different B
+//	C2  the same set of minted coins is traded in all three transactions
+//	C3  A's first trade moves the exchange rate against B
+//	C4  A nets positive currency with no payment, or net profit in the
+//	    quantity of coin sold
+//	C5  bundles whose final transaction only tips a Jito validator are
+//	    excluded
+//
+// Like the paper's, this detector is a lower bound: disguised sandwiches
+// (extra padding transactions, multiple sandwiches per bundle) are missed
+// by construction.
+package core
+
+import (
+	"jitomev/internal/jito"
+	"jitomev/internal/solana"
+	"jitomev/internal/token"
+)
+
+// Criterion identifies which detection criterion a bundle failed.
+type Criterion int
+
+// Criteria outcomes. CritNone means every criterion passed (a sandwich).
+const (
+	CritNone      Criterion = iota // all criteria passed: sandwich
+	CritLength                     // bundle is not length 3
+	CritNoTrade                    // a member transaction has no clean two-mint trade
+	CritSigners                    // C1 failed
+	CritMints                      // C2 failed
+	CritDirection                  // C3 failed
+	CritProfit                     // C4 failed
+	CritTipOnly                    // C5: final transaction is tip-only
+)
+
+// String names the criterion for reports.
+func (c Criterion) String() string {
+	switch c {
+	case CritNone:
+		return "sandwich"
+	case CritLength:
+		return "not-length-3"
+	case CritNoTrade:
+		return "no-clean-trade"
+	case CritSigners:
+		return "C1-signers"
+	case CritMints:
+		return "C2-mints"
+	case CritDirection:
+		return "C3-direction"
+	case CritProfit:
+		return "C4-profit"
+	case CritTipOnly:
+		return "C5-tip-only"
+	}
+	return "unknown"
+}
+
+// Verdict is the detector's output for one bundle.
+type Verdict struct {
+	Sandwich bool
+	Failed   Criterion // first criterion that rejected; CritNone if Sandwich
+
+	Attacker solana.Pubkey
+	Victim   solana.Pubkey
+
+	// HasSOL reports whether SOL is one of the traded mints. Only then are
+	// the loss/gain figures populated — 28% of the paper's sandwiches had
+	// no SOL leg and are excluded from dollar totals (paper §4.1).
+	HasSOL bool
+
+	// VictimLossLamports is the revenue the victim missed versus trading
+	// at the attacker's tx1 rate, in lamports (paper §4.1).
+	VictimLossLamports float64
+	// AttackerGainLamports is the attacker's net SOL across tx1+tx3.
+	AttackerGainLamports float64
+
+	// TipLamports is the bundle's Jito tip (for Figure 4).
+	TipLamports uint64
+}
+
+// trade summarizes one transaction's signed two-mint balance effect.
+type trade struct {
+	signer   solana.Pubkey
+	sold     solana.Pubkey // mint with negative delta
+	bought   solana.Pubkey // mint with positive delta
+	soldAmt  uint64
+	boughtAm uint64
+	ok       bool
+}
+
+// tradeOf extracts the signer's trade from a transaction detail. A clean
+// trade touches exactly two mints for the signer: one out, one in.
+func tradeOf(d *jito.TxDetail) trade {
+	var tr trade
+	tr.signer = d.Signer
+	var neg, pos int
+	for _, td := range d.TokenDeltas {
+		if td.Owner != d.Signer {
+			continue
+		}
+		switch {
+		case td.Delta < 0:
+			neg++
+			tr.sold = td.Mint
+			tr.soldAmt = uint64(-td.Delta)
+		case td.Delta > 0:
+			pos++
+			tr.bought = td.Mint
+			tr.boughtAm = uint64(td.Delta)
+		}
+	}
+	tr.ok = neg == 1 && pos == 1
+	return tr
+}
+
+// mintPair is an unordered mint pair for C2's set comparison.
+type mintPair struct{ a, b solana.Pubkey }
+
+func pairOf(x, y solana.Pubkey) mintPair {
+	if lessKey(x, y) {
+		return mintPair{x, y}
+	}
+	return mintPair{y, x}
+}
+
+func lessKey(a, b solana.Pubkey) bool {
+	for i := 0; i < 32; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Detector applies the paper's criteria. The zero value is not usable;
+// construct with NewDetector.
+type Detector struct {
+	solMint solana.Pubkey
+}
+
+// NewDetector returns a detector that recognizes the given mint as SOL for
+// loss quantification. Pass token.SOL.Address in production.
+func NewDetector(solMint solana.Pubkey) *Detector {
+	return &Detector{solMint: solMint}
+}
+
+// NewDefaultDetector uses the standard wrapped-SOL mint.
+func NewDefaultDetector() *Detector { return NewDetector(token.SOL.Address) }
+
+// Detect classifies one bundle. details must align 1:1 with
+// rec.TxIDs; the detector only ever fires on length-3 bundles, "which
+// captures the canonical example of Sandwiching behavior with a victim
+// transaction in the middle" (paper §3.1).
+func (dt *Detector) Detect(rec *jito.BundleRecord, details []jito.TxDetail) Verdict {
+	v := Verdict{TipLamports: rec.TipLamps}
+
+	if rec.NumTxs() != 3 || len(details) != 3 {
+		v.Failed = CritLength
+		return v
+	}
+
+	// C5 first, as the paper applies it as an exclusion: a final tx that
+	// only tips the validator marks an app-generated length-2-plus-tip
+	// bundle, not a sandwich (paper §3.2 footnote).
+	if details[2].TipOnly {
+		v.Failed = CritTipOnly
+		return v
+	}
+
+	// C1: same outer signer, different middle signer.
+	if details[0].Signer != details[2].Signer || details[0].Signer == details[1].Signer {
+		v.Failed = CritSigners
+		return v
+	}
+
+	t1 := tradeOf(&details[0])
+	t2 := tradeOf(&details[1])
+	t3 := tradeOf(&details[2])
+	if !t1.ok || !t2.ok || !t3.ok {
+		v.Failed = CritNoTrade
+		return v
+	}
+
+	// C2: the same set of minted coins is traded in all three txs.
+	p := pairOf(t1.sold, t1.bought)
+	if pairOf(t2.sold, t2.bought) != p || pairOf(t3.sold, t3.bought) != p {
+		v.Failed = CritMints
+		return v
+	}
+
+	// C3: the attacker's first trade raises the rate the victim pays —
+	// i.e. tx1 trades in the same direction as the victim (buys what the
+	// victim is about to buy).
+	if t1.bought != t2.bought || t1.sold != t2.sold {
+		v.Failed = CritDirection
+		return v
+	}
+
+	// C4: net effect on A across tx1 and tx3. Per mint:
+	//   net[t1.sold]   = -t1.soldAmt + t3.boughtAm  (A sold then re-bought)
+	//   net[t1.bought] = +t1.boughtAm - t3.soldAmt  (A bought then re-sold)
+	// A must either gain currency with no payment (all nets >= 0, one > 0)
+	// or end with net profit in the quantity of coin sold (the footnote-7
+	// case: the victim's slippage let A sell more than it bought).
+	netSold := int64(t3.boughtAm) - int64(t1.soldAmt)   // in t1.sold units
+	netBought := int64(t1.boughtAm) - int64(t3.soldAmt) // in t1.bought units
+	gainNoPayment := netSold >= 0 && netBought >= 0 && (netSold > 0 || netBought > 0)
+	profitOnSold := netSold > 0
+	if !gainNoPayment && !profitOnSold {
+		v.Failed = CritProfit
+		return v
+	}
+
+	v.Sandwich = true
+	v.Attacker = t1.signer
+	v.Victim = t2.signer
+	dt.quantify(&v, t1, t2, netSold, netBought)
+	return v
+}
+
+// quantify fills the SOL-denominated loss/gain figures (paper §4.1): the
+// victim's loss is the difference between what they traded at and what
+// they would have traded at the attacker's tx1 rate; the attacker's gain
+// is their net SOL across the two outer transactions.
+func (dt *Detector) quantify(v *Verdict, t1, t2 trade, netSold, netBought int64) {
+	switch dt.solMint {
+	case t1.sold:
+		// Buy-side sandwich: both pay SOL for tokens.
+		v.HasSOL = true
+		if t1.boughtAm == 0 {
+			return
+		}
+		// Attacker's SOL-per-token rate in tx1.
+		rate := float64(t1.soldAmt) / float64(t1.boughtAm)
+		fairCost := float64(t2.boughtAm) * rate
+		v.VictimLossLamports = float64(t2.soldAmt) - fairCost
+		v.AttackerGainLamports = float64(netSold)
+	case t1.bought:
+		// Sell-side sandwich: both sell tokens for SOL.
+		v.HasSOL = true
+		if t1.soldAmt == 0 {
+			return
+		}
+		rate := float64(t1.boughtAm) / float64(t1.soldAmt) // SOL per token
+		fairRevenue := float64(t2.soldAmt) * rate
+		v.VictimLossLamports = fairRevenue - float64(t2.boughtAm)
+		v.AttackerGainLamports = float64(netBought)
+	default:
+		// No SOL leg: detected but excluded from dollar quantification.
+	}
+	if v.VictimLossLamports < 0 {
+		// The victim somehow traded at a better rate than the attacker
+		// (rounding dust); clamp, the paper reports losses.
+		v.VictimLossLamports = 0
+	}
+}

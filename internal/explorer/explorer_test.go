@@ -1,0 +1,296 @@
+package explorer
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"jitomev/internal/jito"
+	"jitomev/internal/solana"
+)
+
+// fakeAccepted fabricates an accepted bundle of length n.
+func fakeAccepted(i, n int) *jito.Accepted {
+	rec := jito.BundleRecord{
+		Seq:      uint64(i),
+		Slot:     solana.Slot(i * 10),
+		TipLamps: uint64(1000 + i),
+	}
+	rec.ID[0] = byte(i)
+	rec.ID[1] = byte(i >> 8)
+	rec.ID[2] = byte(n)
+	details := make([]jito.TxDetail, n)
+	for j := 0; j < n; j++ {
+		var sig solana.Signature
+		sig[0], sig[1], sig[2] = byte(i), byte(i>>8), byte(j)
+		rec.TxIDs = append(rec.TxIDs, sig)
+		details[j] = jito.TxDetail{Sig: sig, Slot: rec.Slot}
+	}
+	return &jito.Accepted{Record: rec, Details: details}
+}
+
+func TestStoreRecentNewestFirst(t *testing.T) {
+	s := NewStore()
+	for i := 1; i <= 10; i++ {
+		s.Accept(0, fakeAccepted(i, 1))
+	}
+	got := s.Recent(3)
+	if len(got) != 3 {
+		t.Fatalf("Recent(3) = %d records", len(got))
+	}
+	if got[0].Seq != 10 || got[1].Seq != 9 || got[2].Seq != 8 {
+		t.Errorf("order wrong: %d %d %d", got[0].Seq, got[1].Seq, got[2].Seq)
+	}
+	if s.Len() != 10 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestStoreRecentBounds(t *testing.T) {
+	s := NewStore()
+	s.Accept(0, fakeAccepted(1, 1))
+	if got := s.Recent(0); got != nil {
+		t.Error("Recent(0) should be nil")
+	}
+	if got := s.Recent(100); len(got) != 1 {
+		t.Errorf("Recent over-ask = %d", len(got))
+	}
+	if got := s.Recent(MaxPageLimit + 5); len(got) != 1 {
+		t.Errorf("Recent clamps to store size: %d", len(got))
+	}
+}
+
+func TestStoreDetailRetentionOnlyLen3(t *testing.T) {
+	s := NewStore()
+	b1 := fakeAccepted(1, 1)
+	b3 := fakeAccepted(2, 3)
+	s.Accept(0, b1)
+	s.Accept(0, b3)
+
+	if got := s.TxDetails(b1.Record.TxIDs); len(got) != 0 {
+		t.Error("details retained for length-1 bundle")
+	}
+	if got := s.TxDetails(b3.Record.TxIDs); len(got) != 3 {
+		t.Errorf("length-3 details = %d", len(got))
+	}
+}
+
+func TestStoreRetainDetailsFor(t *testing.T) {
+	s := NewStore()
+	s.RetainDetailsFor(1, 3)
+	b1 := fakeAccepted(1, 1)
+	s.Accept(0, b1)
+	if got := s.TxDetails(b1.Record.TxIDs); len(got) != 1 {
+		t.Error("RetainDetailsFor(1) ignored")
+	}
+}
+
+func TestServerRecentEndpoint(t *testing.T) {
+	s := NewStore()
+	for i := 1; i <= 20; i++ {
+		s.Accept(0, fakeAccepted(i, 1))
+	}
+	srv := httptest.NewServer(NewServer(s, 0))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/v1/bundles/recent?limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body RecentResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Bundles) != 5 || body.Bundles[0].Seq != 20 {
+		t.Errorf("got %d bundles, first seq %d", len(body.Bundles), body.Bundles[0].Seq)
+	}
+}
+
+func TestServerRecentDefaultsTo200(t *testing.T) {
+	s := NewStore()
+	for i := 1; i <= 300; i++ {
+		s.Accept(0, fakeAccepted(i, 1))
+	}
+	srv := httptest.NewServer(NewServer(s, 0))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/v1/bundles/recent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body RecentResponse
+	json.NewDecoder(resp.Body).Decode(&body)
+	if len(body.Bundles) != 200 {
+		t.Errorf("default page = %d, want the original 200", len(body.Bundles))
+	}
+}
+
+func TestServerRecentBadLimit(t *testing.T) {
+	srv := httptest.NewServer(NewServer(NewStore(), 0))
+	defer srv.Close()
+	for _, q := range []string{"limit=abc", "limit=-5", "limit=0"} {
+		resp, err := http.Get(srv.URL + "/api/v1/bundles/recent?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestServerTransactionsEndpoint(t *testing.T) {
+	s := NewStore()
+	b3 := fakeAccepted(7, 3)
+	s.Accept(0, b3)
+	srv := httptest.NewServer(NewServer(s, 0))
+	defer srv.Close()
+
+	payload, _ := json.Marshal(DetailRequest{IDs: b3.Record.TxIDs})
+	resp, err := http.Post(srv.URL+"/api/v1/transactions", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body DetailResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Transactions) != 3 {
+		t.Errorf("details = %d", len(body.Transactions))
+	}
+}
+
+func TestServerTransactionsRejectsOversizedBatch(t *testing.T) {
+	srv := httptest.NewServer(NewServer(NewStore(), 0))
+	defer srv.Close()
+	req := DetailRequest{IDs: make([]solana.Signature, MaxDetailBatch+1)}
+	payload, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/api/v1/transactions", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerMethodNotAllowed(t *testing.T) {
+	srv := httptest.NewServer(NewServer(NewStore(), 0))
+	defer srv.Close()
+
+	resp, _ := http.Post(srv.URL+"/api/v1/bundles/recent", "application/json", bytes.NewReader(nil))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST recent: %d", resp.StatusCode)
+	}
+	resp, _ = http.Get(srv.URL + "/api/v1/transactions")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET transactions: %d", resp.StatusCode)
+	}
+}
+
+func TestServerRateLimiting(t *testing.T) {
+	s := NewStore()
+	s.Accept(0, fakeAccepted(1, 1))
+	server := NewServer(s, 5) // 5 requests/min
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+
+	throttled := 0
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(srv.URL + "/api/v1/bundles/recent?limit=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			throttled++
+		}
+	}
+	if throttled == 0 {
+		t.Error("no requests throttled at 5/min")
+	}
+	if server.Throttled == 0 || server.RequestCount != 10 {
+		t.Errorf("metrics: throttled=%d requests=%d", server.Throttled, server.RequestCount)
+	}
+}
+
+func TestRateLimiterRefills(t *testing.T) {
+	rl := newRateLimiter(60) // 1 token/second
+	now := time.Unix(0, 0)
+	rl.now = func() time.Time { return now }
+	for i := 0; i < 60; i++ {
+		if !rl.allow("c") {
+			t.Fatalf("initial burst exhausted at %d", i)
+		}
+	}
+	if rl.allow("c") {
+		t.Fatal("bucket should be empty")
+	}
+	now = now.Add(2 * time.Second)
+	if !rl.allow("c") {
+		t.Fatal("bucket did not refill")
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	done := make(chan bool)
+	go func() {
+		for i := 0; i < 500; i++ {
+			s.Accept(0, fakeAccepted(i, 3))
+		}
+		done <- true
+	}()
+	for i := 0; i < 500; i++ {
+		s.Recent(10)
+		s.Len()
+	}
+	<-done
+	if s.Len() != 500 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func BenchmarkStoreRecent(b *testing.B) {
+	s := NewStore()
+	for i := 0; i < 100_000; i++ {
+		s.Accept(0, fakeAccepted(i, 1))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Recent(1000)
+	}
+}
+
+func BenchmarkServerRecentJSON(b *testing.B) {
+	s := NewStore()
+	for i := 0; i < 10_000; i++ {
+		s.Accept(0, fakeAccepted(i, 1))
+	}
+	srv := httptest.NewServer(NewServer(s, 0))
+	defer srv.Close()
+	url := fmt.Sprintf("%s/api/v1/bundles/recent?limit=1000", srv.URL)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var body RecentResponse
+		json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,164 @@
+package explorer
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"jitomev/internal/jito"
+	"jitomev/internal/solana"
+)
+
+// RecentResponse is the recent-bundles endpoint's JSON body.
+type RecentResponse struct {
+	Bundles []jito.BundleRecord `json:"bundles"`
+}
+
+// DetailRequest is the bulk transaction endpoint's JSON request body.
+type DetailRequest struct {
+	IDs []solana.Signature `json:"ids"`
+}
+
+// DetailResponse is the bulk transaction endpoint's JSON body.
+type DetailResponse struct {
+	Transactions []jito.TxDetail `json:"transactions"`
+}
+
+// rateLimiter is a simple token bucket per client address.
+type rateLimiter struct {
+	mu      sync.Mutex
+	perMin  int
+	buckets map[string]*bucket
+	now     func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(perMin int) *rateLimiter {
+	return &rateLimiter{perMin: perMin, buckets: make(map[string]*bucket), now: time.Now}
+}
+
+func (r *rateLimiter) allow(client string) bool {
+	if r.perMin <= 0 {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.buckets[client]
+	now := r.now()
+	if !ok {
+		b = &bucket{tokens: float64(r.perMin), last: now}
+		r.buckets[client] = b
+	}
+	b.tokens += now.Sub(b.last).Minutes() * float64(r.perMin)
+	if max := float64(r.perMin); b.tokens > max {
+		b.tokens = max
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Server serves the two explorer endpoints over HTTP.
+type Server struct {
+	store   *Store
+	limiter *rateLimiter
+	mux     *http.ServeMux
+
+	// Metrics observable by tests and the cmd wrapper.
+	mu           sync.Mutex
+	RequestCount uint64
+	Throttled    uint64
+}
+
+// NewServer wraps a store. ratePerMin caps requests per client per minute
+// (0 disables limiting — the in-process test default).
+func NewServer(store *Store, ratePerMin int) *Server {
+	s := &Server{store: store, limiter: newRateLimiter(ratePerMin), mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/v1/bundles/recent", s.handleRecent)
+	s.mux.HandleFunc("/api/v1/transactions", s.handleTransactions)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.RequestCount++
+	s.mu.Unlock()
+	client := r.RemoteAddr
+	if host, _, err := net.SplitHostPort(client); err == nil {
+		client = host // rate-limit per IP, not per ephemeral port
+	}
+	if !s.limiter.allow(client) {
+		s.mu.Lock()
+		s.Throttled++
+		s.mu.Unlock()
+		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleRecent(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	limit := 200 // the endpoint's original default, pre-widening
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	var before uint64
+	if q := r.URL.Query().Get("before"); q != "" {
+		n, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "bad before cursor", http.StatusBadRequest)
+			return
+		}
+		before = n
+	}
+	if before > 0 {
+		writeJSON(w, RecentResponse{Bundles: s.store.RecentBefore(before, limit)})
+		return
+	}
+	writeJSON(w, RecentResponse{Bundles: s.store.Recent(limit)})
+}
+
+func (s *Server) handleTransactions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req DetailRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request body", http.StatusBadRequest)
+		return
+	}
+	if len(req.IDs) > MaxDetailBatch {
+		http.Error(w, "too many ids", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, DetailResponse{Transactions: s.store.TxDetails(req.IDs)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Connection-level failure; nothing useful left to do.
+		return
+	}
+}

@@ -1,0 +1,170 @@
+// Package explorer simulates the Jito Explorer website's undocumented API —
+// the data source the paper reverse-engineered (§3.1). It has exactly the
+// two endpoints the paper used:
+//
+//	GET  /api/v1/bundles/recent?limit=N   — the most recent N bundles
+//	                                        (bundleIds, transactionIds, tip);
+//	                                        the paper widened N from 200 to
+//	                                        50,000
+//	POST /api/v1/transactions             — bulk transaction details for up
+//	                                        to 10,000 transactionIds
+//
+// plus the same operational constraints: a hard page cap and a per-client
+// rate limit, so the collector has to behave like the paper's scraper.
+package explorer
+
+import (
+	"sync"
+
+	"jitomev/internal/jito"
+	"jitomev/internal/solana"
+)
+
+// MaxPageLimit is the hard cap on the recent-bundles page size (the value
+// the paper's widened request used).
+const MaxPageLimit = 50_000
+
+// MaxDetailBatch is the cap on a bulk transaction-detail request (the
+// paper requested "only 10,000 transactions at a time").
+const MaxDetailBatch = 10_000
+
+// Store is the explorer's backing data: every bundle the block engine ever
+// accepted, in acceptance order, plus transaction details. It implements
+// the workload Sink contract so a study streams straight into it.
+//
+// Details are retained only for bundles whose length is in DetailLengths
+// (default: length 3) — mirroring both the paper's collection choice and
+// the memory reality of holding four months of traffic.
+type Store struct {
+	mu      sync.RWMutex
+	records []jito.BundleRecord
+	details map[solana.Signature]jito.TxDetail
+
+	// DetailLengths selects which bundle lengths get their transaction
+	// details retained. Nil means {3}.
+	detailLengths map[int]bool
+}
+
+// NewStore creates a store retaining details for length-3 bundles.
+func NewStore() *Store {
+	return &Store{
+		details:       make(map[solana.Signature]jito.TxDetail),
+		detailLengths: map[int]bool{3: true},
+	}
+}
+
+// RetainDetailsFor widens or narrows the set of bundle lengths whose
+// transaction details are retained. Must be called before data flows in.
+func (s *Store) RetainDetailsFor(lengths ...int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.detailLengths = make(map[int]bool, len(lengths))
+	for _, n := range lengths {
+		s.detailLengths[n] = true
+	}
+}
+
+// Accept implements the study sink: it appends the bundle record and
+// retains details for selected lengths.
+func (s *Store) Accept(_ int, acc *jito.Accepted) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = append(s.records, acc.Record)
+	if s.detailLengths[acc.Record.NumTxs()] {
+		for _, d := range acc.Details {
+			s.details[d.Sig] = d
+		}
+	}
+}
+
+// Len returns the number of stored bundle records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// Recent returns the most recent limit bundles, newest first, capped at
+// MaxPageLimit — the shape of the explorer's recent-bundles response.
+func (s *Store) Recent(limit int) []jito.BundleRecord {
+	if limit <= 0 {
+		return nil
+	}
+	if limit > MaxPageLimit {
+		limit = MaxPageLimit
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := len(s.records)
+	if limit > n {
+		limit = n
+	}
+	out := make([]jito.BundleRecord, limit)
+	for i := 0; i < limit; i++ {
+		out[i] = s.records[n-1-i]
+	}
+	return out
+}
+
+// RecentBefore returns up to limit bundles whose acceptance sequence is
+// strictly below beforeSeq, newest first. beforeSeq 0 means "from the
+// newest". This is the cursor the backfilling collector uses to recover
+// bundles that scrolled past the page during a traffic spike.
+func (s *Store) RecentBefore(beforeSeq uint64, limit int) []jito.BundleRecord {
+	if limit <= 0 {
+		return nil
+	}
+	if limit > MaxPageLimit {
+		limit = MaxPageLimit
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	// Seq is assigned in acceptance order, so records are sorted by Seq;
+	// binary search the upper bound.
+	hi := len(s.records)
+	if beforeSeq > 0 {
+		lo := 0
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if s.records[mid].Seq < beforeSeq {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		hi = lo
+	}
+	if limit > hi {
+		limit = hi
+	}
+	out := make([]jito.BundleRecord, limit)
+	for i := 0; i < limit; i++ {
+		out[i] = s.records[hi-1-i]
+	}
+	return out
+}
+
+// TxDetails returns details for the requested transaction ids. Unknown ids
+// are simply absent from the response, like a real bulk endpoint.
+func (s *Store) TxDetails(ids []solana.Signature) []jito.TxDetail {
+	if len(ids) > MaxDetailBatch {
+		ids = ids[:MaxDetailBatch]
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]jito.TxDetail, 0, len(ids))
+	for _, id := range ids {
+		if d, ok := s.details[id]; ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// All returns a snapshot copy of every record, oldest first. Test and
+// report helper; not exposed over HTTP.
+func (s *Store) All() []jito.BundleRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]jito.BundleRecord(nil), s.records...)
+}

@@ -1,0 +1,235 @@
+package ledger
+
+import (
+	"fmt"
+
+	"jitomev/internal/solana"
+)
+
+// tracker records pre-images of every balance a transaction touches so the
+// TxResult can report net deltas, mirroring Solana's pre/postTokenBalances.
+type tracker struct {
+	preLamports map[solana.Pubkey]solana.Lamports
+	preTokens   map[TokenKey]uint64
+	swaps       []SwapEffect
+}
+
+func newTracker() *tracker {
+	return &tracker{
+		preLamports: make(map[solana.Pubkey]solana.Lamports, 4),
+		preTokens:   make(map[TokenKey]uint64, 4),
+	}
+}
+
+func (t *tracker) touchLamports(b *Bank, k solana.Pubkey) {
+	if _, seen := t.preLamports[k]; !seen {
+		t.preLamports[k] = b.lamports[k]
+	}
+}
+
+func (t *tracker) touchToken(b *Bank, k TokenKey) {
+	if _, seen := t.preTokens[k]; !seen {
+		t.preTokens[k] = b.tokens[k]
+	}
+}
+
+// finish computes net deltas against the tracked pre-images. Ordering is
+// deterministic: sorted by account/owner then mint.
+func (t *tracker) finish(b *Bank, res *TxResult) {
+	for k, pre := range t.preLamports {
+		d := int64(b.lamports[k]) - int64(pre)
+		if d != 0 {
+			res.LamportDeltas = append(res.LamportDeltas, LamportDelta{Account: k, Delta: d})
+		}
+	}
+	for k, pre := range t.preTokens {
+		d := int64(b.tokens[k]) - int64(pre)
+		if d != 0 {
+			res.TokenDeltas = append(res.TokenDeltas, TokenDelta{Owner: k.Owner, Mint: k.Mint, Delta: d})
+		}
+	}
+	sortLamportDeltas(res.LamportDeltas)
+	sortTokenDeltas(res.TokenDeltas)
+	res.Swaps = t.swaps
+}
+
+func sortLamportDeltas(ds []LamportDelta) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && lessBytes32(ds[j].Account, ds[j-1].Account); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+func sortTokenDeltas(ds []TokenDelta) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && tokenDeltaLess(ds[j], ds[j-1]); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+func tokenDeltaLess(a, b TokenDelta) bool {
+	if a.Owner != b.Owner {
+		return lessBytes32(a.Owner, b.Owner)
+	}
+	return lessBytes32(a.Mint, b.Mint)
+}
+
+func lessBytes32(a, b solana.Pubkey) bool {
+	for i := 0; i < 32; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// ExecuteTx validates and executes one transaction against the bank.
+//
+// Fee semantics follow Solana: if the signer cannot cover the fee the
+// transaction is rejected outright (no state change, error returned). If
+// the fee clears but an instruction fails, the instruction effects are
+// rolled back, the fee is kept, and the failure is reported in
+// TxResult.Err — the transaction still "lands" on chain as failed.
+func (b *Bank) ExecuteTx(tx *solana.Transaction) (*TxResult, error) {
+	if err := tx.Validate(); err != nil {
+		return nil, err
+	}
+	fee := tx.Fee()
+	if b.lamports[tx.Signer] < fee {
+		return nil, fmt.Errorf("%w: fee %d > balance %d",
+			ErrInsufficientLamports, fee, b.lamports[tx.Signer])
+	}
+
+	res := &TxResult{Sig: tx.Sig, Signer: tx.Signer, Fee: fee, TipOnly: tx.IsTipOnly()}
+
+	prevTracker := b.tracker
+	b.tracker = newTracker()
+	defer func() { b.tracker = prevTracker }()
+
+	// Charge the fee first; it survives instruction failure.
+	b.setLamports(tx.Signer, b.lamports[tx.Signer]-fee)
+	b.FeesCollected += fee
+
+	b.Checkpoint()
+	var execErr error
+	for _, in := range tx.Instructions {
+		if execErr = b.applyInstruction(tx.Signer, in, res); execErr != nil {
+			break
+		}
+	}
+	if execErr != nil {
+		b.Rollback()
+		res.Err = execErr
+		res.Tip = 0
+		b.FailedTxCount++
+	} else {
+		b.Commit()
+	}
+	b.TxCount++
+
+	b.tracker.finish(b, res)
+	return res, nil
+}
+
+func (b *Bank) applyInstruction(signer solana.Pubkey, in solana.Instruction, res *TxResult) error {
+	switch v := in.(type) {
+	case *solana.Transfer:
+		if v.From != signer {
+			return ErrNotSigner
+		}
+		if b.lamports[v.From] < v.Amount {
+			return fmt.Errorf("%w: transfer %d > balance %d",
+				ErrInsufficientLamports, v.Amount, b.lamports[v.From])
+		}
+		b.setLamports(v.From, b.lamports[v.From]-v.Amount)
+		b.setLamports(v.To, b.lamports[v.To]+v.Amount)
+		return nil
+
+	case *solana.Tip:
+		if b.lamports[signer] < v.Amount {
+			return fmt.Errorf("%w: tip %d > balance %d",
+				ErrInsufficientLamports, v.Amount, b.lamports[signer])
+		}
+		b.setLamports(signer, b.lamports[signer]-v.Amount)
+		b.setLamports(v.TipAccount, b.lamports[v.TipAccount]+v.Amount)
+		b.TipsCollected += v.Amount
+		res.Tip += v.Amount
+		return nil
+
+	case *solana.Swap:
+		pool, ok := b.pools[v.Pool]
+		if !ok {
+			return ErrUnknownPool
+		}
+		inKey := TokenKey{Owner: signer, Mint: v.InputMint}
+		if b.tokens[inKey] < v.AmountIn {
+			return fmt.Errorf("%w: swap in %d > balance %d",
+				ErrInsufficientTokens, v.AmountIn, b.tokens[inKey])
+		}
+		outMint, err := pool.OtherMint(v.InputMint)
+		if err != nil {
+			return err
+		}
+		b.poolWrite(pool)
+		out, err := pool.Swap(v.InputMint, v.AmountIn, v.MinOut)
+		if err != nil {
+			return err
+		}
+		outKey := TokenKey{Owner: signer, Mint: outMint}
+		b.setToken(inKey, b.tokens[inKey]-v.AmountIn)
+		b.setToken(outKey, b.tokens[outKey]+out)
+		if b.tracker != nil {
+			b.tracker.swaps = append(b.tracker.swaps, SwapEffect{
+				Pool:       v.Pool,
+				InputMint:  v.InputMint,
+				OutputMint: outMint,
+				AmountIn:   v.AmountIn,
+				AmountOut:  out,
+			})
+		}
+		return nil
+
+	case *solana.Memo:
+		return nil
+	}
+	return fmt.Errorf("ledger: unknown instruction %T", in)
+}
+
+// ExecuteBundle executes transactions atomically in order: if any
+// transaction fails — validation, fees, or any instruction — every effect
+// of the bundle is rolled back and an error is returned. This is Jito's
+// guarantee, and precisely what removes the attacker's risk (paper §3.3:
+// "if the victim's transaction fails within the bundle, the attacker's
+// transactions within that bundle do not execute").
+func (b *Bank) ExecuteBundle(txs []*solana.Transaction) ([]*TxResult, error) {
+	b.Checkpoint()
+	results := make([]*TxResult, 0, len(txs))
+	for i, tx := range txs {
+		res, err := b.ExecuteTx(tx)
+		if err == nil && res.Err != nil {
+			err = res.Err
+		}
+		if err != nil {
+			b.Rollback()
+			// The failed transactions never land: undo the counters too.
+			b.TxCount -= uint64(len(results))
+			for _, r := range results {
+				b.FeesCollected -= r.Fee
+				b.TipsCollected -= r.Tip
+			}
+			if res != nil {
+				b.TxCount--
+				b.FeesCollected -= res.Fee
+				if res.Err != nil {
+					b.FailedTxCount--
+				}
+			}
+			return nil, fmt.Errorf("ledger: bundle tx %d (%s): %w", i, tx.Sig.Short(), err)
+		}
+		results = append(results, res)
+	}
+	b.Commit()
+	return results, nil
+}

@@ -1,0 +1,210 @@
+package mempool
+
+import (
+	"math"
+	"testing"
+
+	"jitomev/internal/solana"
+)
+
+func memoTx(seed string, nonce uint64, fee solana.Lamports) *solana.Transaction {
+	kp := solana.NewKeypairFromSeed(seed)
+	return solana.NewTransaction(kp, nonce, fee, &solana.Memo{Data: []byte("m")})
+}
+
+func TestAddRemoveLen(t *testing.T) {
+	p := New(VisibilityPublic)
+	tx := memoTx("a", 1, 0)
+	p.Add(tx, 1)
+	p.Add(tx, 2) // duplicate ignored
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if !p.Remove(tx.Sig) {
+		t.Fatal("Remove returned false for present tx")
+	}
+	if p.Remove(tx.Sig) {
+		t.Fatal("Remove returned true for absent tx")
+	}
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d after remove", p.Len())
+	}
+}
+
+func TestObservePublicSeesAll(t *testing.T) {
+	p := New(VisibilityPublic)
+	for i := uint64(0); i < 50; i++ {
+		p.Add(memoTx("pub", i, 0), solana.Slot(i))
+	}
+	searcher := solana.NewKeypairFromSeed("searcher").Pubkey()
+	if got := len(p.Observe(searcher, 0)); got != 50 {
+		t.Errorf("public observe = %d, want 50 (coverage ignored)", got)
+	}
+}
+
+func TestObserveLeaderOnlySeesNothing(t *testing.T) {
+	p := New(VisibilityLeaderOnly)
+	for i := uint64(0); i < 50; i++ {
+		p.Add(memoTx("lo", i, 0), solana.Slot(i))
+	}
+	searcher := solana.NewKeypairFromSeed("searcher").Pubkey()
+	if got := len(p.Observe(searcher, 1.0)); got != 0 {
+		t.Errorf("leader-only observe = %d, want 0", got)
+	}
+}
+
+func TestObservePrivateCoverageFraction(t *testing.T) {
+	p := New(VisibilityPrivate)
+	const n = 4000
+	for i := uint64(0); i < n; i++ {
+		p.Add(memoTx("priv", i, 0), solana.Slot(i))
+	}
+	searcher := solana.NewKeypairFromSeed("searcher").Pubkey()
+
+	for _, cov := range []float64{0.1, 0.5, 0.9} {
+		got := float64(len(p.Observe(searcher, cov))) / n
+		if math.Abs(got-cov) > 0.05 {
+			t.Errorf("coverage %.1f observed %.3f", cov, got)
+		}
+	}
+	if len(p.Observe(searcher, 0)) != 0 {
+		t.Error("zero coverage saw transactions")
+	}
+	if len(p.Observe(searcher, 1)) != n {
+		t.Error("full coverage missed transactions")
+	}
+}
+
+func TestObserveDeterministicPerSearcher(t *testing.T) {
+	p := New(VisibilityPrivate)
+	for i := uint64(0); i < 500; i++ {
+		p.Add(memoTx("det", i, 0), solana.Slot(i))
+	}
+	s1 := solana.NewKeypairFromSeed("s1").Pubkey()
+	a := p.Observe(s1, 0.5)
+	b := p.Observe(s1, 0.5)
+	if len(a) != len(b) {
+		t.Fatal("same searcher saw different sets on repeat calls")
+	}
+	for i := range a {
+		if a[i].Tx.Sig != b[i].Tx.Sig {
+			t.Fatal("observation order not deterministic")
+		}
+	}
+	// A different searcher sees a (very likely) different subset.
+	s2 := solana.NewKeypairFromSeed("s2").Pubkey()
+	c := p.Observe(s2, 0.5)
+	same := 0
+	seen := map[solana.Signature]bool{}
+	for _, pd := range a {
+		seen[pd.Tx.Sig] = true
+	}
+	for _, pd := range c {
+		if seen[pd.Tx.Sig] {
+			same++
+		}
+	}
+	if same == len(a) && len(a) == len(c) {
+		t.Error("two searchers observed identical subsets at 0.5 coverage")
+	}
+}
+
+func TestObserveOldestFirst(t *testing.T) {
+	p := New(VisibilityPublic)
+	txs := make([]*solana.Transaction, 10)
+	for i := range txs {
+		txs[i] = memoTx("order", uint64(i), 0)
+		p.Add(txs[i], solana.Slot(i))
+	}
+	got := p.Observe(solana.Pubkey{}, 1)
+	for i := range got {
+		if got[i].Tx.Sig != txs[i].Sig {
+			t.Fatal("Observe not in arrival order")
+		}
+	}
+}
+
+func TestDrainForBlockPriorityOrder(t *testing.T) {
+	p := New(VisibilityPublic)
+	low := memoTx("low", 1, 10)
+	mid := memoTx("mid", 1, 500)
+	high := memoTx("high", 1, 10_000)
+	p.Add(low, 1)
+	p.Add(high, 1)
+	p.Add(mid, 1)
+
+	got := p.DrainForBlock(2)
+	if len(got) != 2 {
+		t.Fatalf("drained %d", len(got))
+	}
+	if got[0].Sig != high.Sig || got[1].Sig != mid.Sig {
+		t.Error("drain not in priority-fee order")
+	}
+	if p.Len() != 1 {
+		t.Errorf("Len after drain = %d", p.Len())
+	}
+	// Remaining tx drains next.
+	rest := p.DrainForBlock(10)
+	if len(rest) != 1 || rest[0].Sig != low.Sig {
+		t.Error("second drain wrong")
+	}
+}
+
+func TestDrainForBlockEdgeCases(t *testing.T) {
+	p := New(VisibilityPublic)
+	if got := p.DrainForBlock(5); got != nil {
+		t.Error("drain of empty pool returned txs")
+	}
+	p.Add(memoTx("e", 1, 0), 1)
+	if got := p.DrainForBlock(0); got != nil {
+		t.Error("drain with max=0 returned txs")
+	}
+}
+
+func TestExpire(t *testing.T) {
+	p := New(VisibilityPublic)
+	p.Add(memoTx("old", 1, 0), 10)
+	p.Add(memoTx("new", 1, 0), 100)
+	if dropped := p.Expire(200, 150); dropped != 1 {
+		t.Fatalf("Expire dropped %d, want 1", dropped)
+	}
+	if p.Len() != 1 {
+		t.Errorf("Len = %d", p.Len())
+	}
+}
+
+func TestCompactOrderKeepsLiveTxs(t *testing.T) {
+	p := New(VisibilityPublic)
+	var keep []*solana.Transaction
+	for i := uint64(0); i < 300; i++ {
+		tx := memoTx("compact", i, 0)
+		p.Add(tx, 1)
+		if i%10 == 0 {
+			keep = append(keep, tx)
+		} else {
+			p.Remove(tx.Sig)
+		}
+	}
+	got := p.Observe(solana.Pubkey{}, 1)
+	if len(got) != len(keep) {
+		t.Fatalf("after compaction observe = %d, want %d", len(got), len(keep))
+	}
+	for i := range got {
+		if got[i].Tx.Sig != keep[i].Sig {
+			t.Fatal("compaction reordered live transactions")
+		}
+	}
+}
+
+func TestVisibilityString(t *testing.T) {
+	for v, want := range map[Visibility]string{
+		VisibilityLeaderOnly: "leader-only",
+		VisibilityPublic:     "public",
+		VisibilityPrivate:    "private",
+		Visibility(99):       "unknown",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q", v, v.String())
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"jitomev/internal/core"
+	"jitomev/internal/stats"
+)
+
+func TestComputeTradeoff(t *testing.T) {
+	d := buildDataset(t)
+	r := Analyze(d, core.NewDefaultDetector(), 0)
+	tr := ComputeTradeoff(r)
+
+	if tr.AttackRate != r.SandwichShare {
+		t.Error("attack rate mismatch")
+	}
+	// Fabricated dataset: every sandwich loses exactly 100 SOL = $24,200.
+	if tr.MeanLossUSD != 24_200 || tr.MedianLossUSD != 24_200 {
+		t.Errorf("loss stats mean=%f median=%f", tr.MeanLossUSD, tr.MedianLossUSD)
+	}
+	wantExpected := tr.AttackRate * 24_200
+	if diff := tr.ExpectedLossUSD - wantExpected; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("expected loss %f, want %f", tr.ExpectedLossUSD, wantExpected)
+	}
+	if tr.BreakEvenTailProb <= 0 {
+		t.Error("break-even probability not computed")
+	}
+	// At a 4.4% attack rate and $24k mean loss vs a sub-dollar tip,
+	// protection is overwhelmingly rational.
+	if !tr.RationalToProtect() {
+		t.Error("protection should be rational in this dataset")
+	}
+}
+
+func TestRenderTradeoff(t *testing.T) {
+	d := buildDataset(t)
+	r := Analyze(d, core.NewDefaultDetector(), 0)
+	var buf bytes.Buffer
+	RenderTradeoff(&buf, ComputeTradeoff(r))
+	for _, want := range []string{"attack rate", "break-even", "correlation"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("tradeoff output missing %q", want)
+		}
+	}
+}
+
+func TestPearsonDirections(t *testing.T) {
+	up, down, flat := stats.NewTimeSeries(), stats.NewTimeSeries(), stats.NewTimeSeries()
+	for d := 0; d < 50; d++ {
+		up.Add(d, float64(d))
+		down.Add(d, float64(100-d))
+		flat.Add(d, 5)
+	}
+	if r := stats.Pearson(up, down); r > -0.99 {
+		t.Errorf("anti-correlated series r = %f", r)
+	}
+	if r := stats.Pearson(up, up); r < 0.99 {
+		t.Errorf("self correlation r = %f", r)
+	}
+	if r := stats.Pearson(up, flat); r != 0 {
+		t.Errorf("constant series r = %f", r)
+	}
+	if r := stats.Pearson(stats.NewTimeSeries(), up); r != 0 {
+		t.Errorf("empty series r = %f", r)
+	}
+}

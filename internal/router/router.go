@@ -1,0 +1,219 @@
+// Package router implements a Jupiter-like swap aggregator: given a set of
+// AMM pools, it quotes the best route between two mints — direct, or
+// two-hop through a shared intermediate (in practice SOL, which quotes
+// every memecoin pool).
+//
+// The paper's victims mostly trade through Jupiter, "Solana's largest and
+// most popular aggregator" (§3.3), and Jupiter is also where defensive
+// bundling enters the picture: its "MEV protection" option wraps the
+// routed transaction in a length-1 Jito bundle. The router therefore
+// produces exactly the transaction shapes the workload needs — single
+// swaps for direct routes, two-swap transactions for hops — and exposes
+// the MEV-protection wrapping decision.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"jitomev/internal/amm"
+	"jitomev/internal/solana"
+)
+
+// Errors returned by routing.
+var (
+	ErrNoRoute   = errors.New("router: no route between mints")
+	ErrSameMint  = errors.New("router: input and output mints are equal")
+	ErrZeroInput = errors.New("router: zero input amount")
+)
+
+// Hop is one pool traversal in a route.
+type Hop struct {
+	Pool       *amm.Pool
+	InputMint  solana.Pubkey
+	OutputMint solana.Pubkey
+}
+
+// Route is a quoted path from an input mint to an output mint.
+type Route struct {
+	Hops      []Hop
+	AmountIn  uint64
+	AmountOut uint64 // quoted output at quote time
+}
+
+// Direct reports whether the route is a single pool traversal.
+func (r *Route) Direct() bool { return len(r.Hops) == 1 }
+
+// String renders the route for logs.
+func (r *Route) String() string {
+	s := fmt.Sprintf("route in=%d", r.AmountIn)
+	for _, h := range r.Hops {
+		s += fmt.Sprintf(" ->[%s]", h.Pool.Address.Short())
+	}
+	return s + fmt.Sprintf(" out=%d", r.AmountOut)
+}
+
+// Router indexes pools by mint pair and by member mint.
+type Router struct {
+	pools  []*amm.Pool
+	byMint map[solana.Pubkey][]*amm.Pool
+}
+
+// New builds a router over pool snapshots. The router never mutates pools;
+// callers re-quote against fresh snapshots when state may have moved.
+func New(pools []*amm.Pool) *Router {
+	r := &Router{byMint: make(map[solana.Pubkey][]*amm.Pool)}
+	for _, p := range pools {
+		r.pools = append(r.pools, p)
+		r.byMint[p.MintA] = append(r.byMint[p.MintA], p)
+		r.byMint[p.MintB] = append(r.byMint[p.MintB], p)
+	}
+	// Deterministic candidate order regardless of input order.
+	for _, list := range r.byMint {
+		sort.Slice(list, func(i, j int) bool {
+			return lessKey(list[i].Address, list[j].Address)
+		})
+	}
+	return r
+}
+
+func lessKey(a, b solana.Pubkey) bool {
+	for i := 0; i < 32; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// PoolCount returns the number of indexed pools.
+func (r *Router) PoolCount() int { return len(r.pools) }
+
+// BestRoute quotes the best route from in to out for amountIn, considering
+// every direct pool and every two-hop path through a shared mint, and
+// returns the route with the highest quoted output.
+func (r *Router) BestRoute(in, out solana.Pubkey, amountIn uint64) (*Route, error) {
+	if in == out {
+		return nil, ErrSameMint
+	}
+	if amountIn == 0 {
+		return nil, ErrZeroInput
+	}
+
+	var best *Route
+
+	consider := func(candidate *Route) {
+		if candidate == nil {
+			return
+		}
+		if best == nil || candidate.AmountOut > best.AmountOut {
+			best = candidate
+		}
+	}
+
+	// Direct routes.
+	for _, p := range r.byMint[in] {
+		if !p.Trades(out) {
+			continue
+		}
+		got, err := p.QuoteOut(in, amountIn)
+		if err != nil {
+			continue
+		}
+		consider(&Route{
+			Hops:      []Hop{{Pool: p, InputMint: in, OutputMint: out}},
+			AmountIn:  amountIn,
+			AmountOut: got,
+		})
+	}
+
+	// Two-hop routes through a shared mint.
+	for _, p1 := range r.byMint[in] {
+		mid, err := p1.OtherMint(in)
+		if err != nil || mid == out {
+			continue
+		}
+		midAmt, err := p1.QuoteOut(in, amountIn)
+		if err != nil || midAmt == 0 {
+			continue
+		}
+		for _, p2 := range r.byMint[mid] {
+			if p2 == p1 || !p2.Trades(out) {
+				continue
+			}
+			got, err := p2.QuoteOut(mid, midAmt)
+			if err != nil {
+				continue
+			}
+			consider(&Route{
+				Hops: []Hop{
+					{Pool: p1, InputMint: in, OutputMint: mid},
+					{Pool: p2, InputMint: mid, OutputMint: out},
+				},
+				AmountIn:  amountIn,
+				AmountOut: got,
+			})
+		}
+	}
+
+	if best == nil {
+		return nil, ErrNoRoute
+	}
+	return best, nil
+}
+
+// Instructions converts a route into swap instructions with an overall
+// slippage tolerance in basis points applied to the final output. For
+// multi-hop routes intermediate hops carry no MinOut (atomic transaction
+// execution makes per-hop floors redundant); the final hop enforces the
+// user's tolerance.
+func (rt *Route) Instructions(slippageBps uint64) []solana.Instruction {
+	out := make([]solana.Instruction, 0, len(rt.Hops))
+	amountIn := rt.AmountIn
+	for i, h := range rt.Hops {
+		sw := &solana.Swap{Pool: h.Pool.Address, InputMint: h.InputMint, AmountIn: amountIn}
+		if i == len(rt.Hops)-1 && slippageBps > 0 {
+			sw.MinOut = rt.AmountOut * (10_000 - slippageBps) / 10_000
+		}
+		if i < len(rt.Hops)-1 {
+			// Chain the quoted intermediate amount into the next hop.
+			q, err := h.Pool.QuoteOut(h.InputMint, amountIn)
+			if err != nil {
+				return nil
+			}
+			amountIn = q
+		}
+		out = append(out, sw)
+	}
+	return out
+}
+
+// SwapRequest is what a user asks the aggregator for.
+type SwapRequest struct {
+	User        *solana.Keypair
+	In, Out     solana.Pubkey
+	AmountIn    uint64
+	SlippageBps uint64
+	// MEVProtect selects Jupiter's MEV-protection path: the returned
+	// transaction should be submitted inside a length-1 Jito bundle with
+	// a minimal tip rather than natively (paper §3.3).
+	MEVProtect bool
+	Nonce      uint64
+}
+
+// BuildSwap quotes and builds the signed transaction for a request. The
+// second return value reports whether the caller must wrap it in a
+// defensive bundle (MEV protection) or may submit natively.
+func (r *Router) BuildSwap(req SwapRequest) (*solana.Transaction, bool, error) {
+	route, err := r.BestRoute(req.In, req.Out, req.AmountIn)
+	if err != nil {
+		return nil, false, err
+	}
+	instrs := route.Instructions(req.SlippageBps)
+	if instrs == nil {
+		return nil, false, ErrNoRoute
+	}
+	tx := solana.NewTransaction(req.User, req.Nonce, 0, instrs...)
+	return tx, req.MEVProtect, nil
+}

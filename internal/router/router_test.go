@@ -1,0 +1,203 @@
+package router
+
+import (
+	"testing"
+
+	"jitomev/internal/amm"
+	"jitomev/internal/solana"
+	"jitomev/internal/token"
+)
+
+// testUniverse: three memecoins, each with a SOL pool, plus one direct
+// A↔B pool that is deliberately shallow.
+type testUniverse struct {
+	reg        *token.Registry
+	a, b, c    token.Mint
+	poolA      *amm.Pool // A/SOL deep
+	poolB      *amm.Pool // B/SOL deep
+	poolC      *amm.Pool // C/SOL deep
+	poolABThin *amm.Pool // A/B shallow
+	router     *Router
+}
+
+func newTestUniverse(t *testing.T) *testUniverse {
+	t.Helper()
+	u := &testUniverse{reg: token.NewRegistry()}
+	u.a = u.reg.NewMemecoin("AAA")
+	u.b = u.reg.NewMemecoin("BBB")
+	u.c = u.reg.NewMemecoin("CCC")
+	sol := token.SOL.Address
+	u.poolA = amm.New(u.a.Address, sol, 1e12, 1e12, amm.DefaultFeeBps)
+	u.poolB = amm.New(u.b.Address, sol, 1e12, 1e12, amm.DefaultFeeBps)
+	u.poolC = amm.New(u.c.Address, sol, 1e12, 1e12, amm.DefaultFeeBps)
+	u.poolABThin = amm.New(u.a.Address, u.b.Address, 1e8, 1e8, amm.DefaultFeeBps)
+	u.router = New([]*amm.Pool{u.poolA, u.poolB, u.poolC, u.poolABThin})
+	return u
+}
+
+func TestBestRouteDirect(t *testing.T) {
+	u := newTestUniverse(t)
+	r, err := u.router.BestRoute(token.SOL.Address, u.a.Address, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Direct() || r.Hops[0].Pool.Address != u.poolA.Address {
+		t.Errorf("route %v", r)
+	}
+	if r.AmountOut == 0 {
+		t.Error("zero quote")
+	}
+}
+
+func TestBestRoutePrefersTwoHopOverThinDirect(t *testing.T) {
+	u := newTestUniverse(t)
+	// A→B: direct pool is tiny (1e8 reserves); a 1e7 trade there loses
+	// ~10% to impact, while A→SOL→B through deep pools loses ~0.5%.
+	in := uint64(10_000_000)
+	r, err := u.router.BestRoute(u.a.Address, u.b.Address, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Direct() {
+		t.Fatalf("chose thin direct pool: %v", r)
+	}
+	if len(r.Hops) != 2 {
+		t.Fatalf("hops = %d", len(r.Hops))
+	}
+	if r.Hops[0].OutputMint != token.SOL.Address {
+		t.Error("intermediate is not SOL")
+	}
+	// And the quote must beat the direct pool's.
+	direct, err := u.poolABThin.QuoteOut(u.a.Address, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AmountOut <= direct {
+		t.Errorf("two-hop %d not better than thin direct %d", r.AmountOut, direct)
+	}
+}
+
+func TestBestRoutePrefersDirectForDust(t *testing.T) {
+	u := newTestUniverse(t)
+	// A 1,000-unit trade barely moves even the thin pool; direct wins by
+	// saving a second fee.
+	r, err := u.router.BestRoute(u.a.Address, u.b.Address, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Direct() {
+		t.Errorf("dust trade should route direct: %v", r)
+	}
+}
+
+func TestBestRouteErrors(t *testing.T) {
+	u := newTestUniverse(t)
+	if _, err := u.router.BestRoute(u.a.Address, u.a.Address, 100); err != ErrSameMint {
+		t.Errorf("same mint: %v", err)
+	}
+	if _, err := u.router.BestRoute(u.a.Address, u.b.Address, 0); err != ErrZeroInput {
+		t.Errorf("zero input: %v", err)
+	}
+	stranger := solana.NewKeypairFromSeed("stranger-mint").Pubkey()
+	if _, err := u.router.BestRoute(u.a.Address, stranger, 100); err != ErrNoRoute {
+		t.Errorf("unroutable: %v", err)
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	u := newTestUniverse(t)
+	// Same pools in different input orders must route identically.
+	other := New([]*amm.Pool{u.poolABThin, u.poolC, u.poolB, u.poolA})
+	for _, in := range []uint64{1_000, 1_000_000, 50_000_000} {
+		r1, err1 := u.router.BestRoute(u.a.Address, u.b.Address, in)
+		r2, err2 := other.BestRoute(u.a.Address, u.b.Address, in)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if r1.AmountOut != r2.AmountOut || len(r1.Hops) != len(r2.Hops) {
+			t.Fatalf("routing depends on pool insertion order at in=%d", in)
+		}
+	}
+}
+
+func TestInstructionsSlippageOnFinalHopOnly(t *testing.T) {
+	u := newTestUniverse(t)
+	r, err := u.router.BestRoute(u.a.Address, u.b.Address, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Direct() {
+		t.Skip("expected two-hop route")
+	}
+	instrs := r.Instructions(100)
+	if len(instrs) != 2 {
+		t.Fatalf("instructions = %d", len(instrs))
+	}
+	first := instrs[0].(*solana.Swap)
+	last := instrs[1].(*solana.Swap)
+	if first.MinOut != 0 {
+		t.Error("intermediate hop carries MinOut")
+	}
+	want := r.AmountOut * 9_900 / 10_000
+	if last.MinOut != want {
+		t.Errorf("final MinOut = %d, want %d", last.MinOut, want)
+	}
+	// The chained input of hop 2 must equal hop 1's quote.
+	q, _ := r.Hops[0].Pool.QuoteOut(first.InputMint, first.AmountIn)
+	if last.AmountIn != q {
+		t.Errorf("hop chaining: %d != %d", last.AmountIn, q)
+	}
+}
+
+func TestBuildSwap(t *testing.T) {
+	u := newTestUniverse(t)
+	user := solana.NewKeypairFromSeed("router-user")
+
+	tx, protect, err := u.router.BuildSwap(SwapRequest{
+		User: user, In: token.SOL.Address, Out: u.a.Address,
+		AmountIn: 5_000_000, SlippageBps: 50, MEVProtect: true, Nonce: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !protect {
+		t.Error("MEV protection flag lost")
+	}
+	if err := tx.Validate(); err != nil {
+		t.Fatalf("built tx invalid: %v", err)
+	}
+	if !tx.HasSwap() {
+		t.Error("no swap instruction")
+	}
+	sw := tx.Instructions[0].(*solana.Swap)
+	if sw.MinOut == 0 {
+		t.Error("slippage floor missing")
+	}
+
+	if _, _, err := u.router.BuildSwap(SwapRequest{
+		User: user, In: u.a.Address, Out: u.a.Address, AmountIn: 100, Nonce: 2,
+	}); err == nil {
+		t.Error("same-mint request accepted")
+	}
+}
+
+func BenchmarkBestRouteTwoHop(b *testing.B) {
+	reg := token.NewRegistry()
+	var pools []*amm.Pool
+	sol := token.SOL.Address
+	mints := make([]token.Mint, 30)
+	for i := range mints {
+		mints[i] = reg.NewMemecoin(string(rune('A'+i%26)) + "X")
+		pools = append(pools, amm.New(mints[i].Address, sol, 1e12, 1e12, amm.DefaultFeeBps))
+	}
+	r := New(pools)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.BestRoute(mints[0].Address, mints[1].Address, 1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

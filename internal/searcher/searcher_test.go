@@ -1,0 +1,297 @@
+package searcher
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jitomev/internal/amm"
+	"jitomev/internal/core"
+	"jitomev/internal/jito"
+	"jitomev/internal/ledger"
+	"jitomev/internal/mempool"
+	"jitomev/internal/solana"
+	"jitomev/internal/token"
+)
+
+type world struct {
+	bank   *ledger.Bank
+	engine *jito.BlockEngine
+	mp     *mempool.Pool
+	pool   *amm.Pool
+	meme   token.Mint
+	victim *solana.Keypair
+}
+
+func newWorld(t testing.TB, visibility mempool.Visibility) *world {
+	t.Helper()
+	w := &world{
+		bank:   ledger.NewBank(),
+		mp:     mempool.New(visibility),
+		victim: solana.NewKeypairFromSeed("victim"),
+	}
+	reg := token.NewRegistry()
+	w.meme = reg.NewMemecoin("MEME")
+	w.pool = amm.New(w.meme.Address, token.SOL.Address, 1e13, 1e13, amm.DefaultFeeBps)
+	w.bank.AddPool(w.pool)
+	w.engine = jito.NewBlockEngine(w.bank, solana.Clock{Genesis: time.Unix(0, 0)})
+
+	w.bank.CreditLamports(w.victim.Pubkey(), 1000*solana.LamportsPerSOL)
+	w.bank.MintTo(w.victim.Pubkey(), token.SOL.Address, 1e13)
+	return w
+}
+
+func (w *world) fund(s *Sandwicher) {
+	w.bank.CreditLamports(s.Keys.Pubkey(), 1000*solana.LamportsPerSOL)
+	w.bank.MintTo(s.Keys.Pubkey(), token.SOL.Address, 1e13)
+	w.bank.MintTo(s.Keys.Pubkey(), w.meme.Address, 1e13)
+}
+
+// victimTx submits a juicy victim swap into the mempool.
+func (w *world) victimTx(nonce uint64, in uint64, slippageBps uint64) *solana.Transaction {
+	quote, _ := w.pool.QuoteOut(token.SOL.Address, in)
+	minOut := quote * (10_000 - slippageBps) / 10_000
+	tx := solana.NewTransaction(w.victim, nonce, 0,
+		&solana.Swap{Pool: w.pool.Address, InputMint: token.SOL.Address, AmountIn: in, MinOut: minOut})
+	w.mp.Add(tx, 0)
+	return tx
+}
+
+func newBot(seed string, coverage float64) *Sandwicher {
+	return New(seed, coverage, 1<<42, 10_000, 0.5, rand.New(rand.NewSource(1)))
+}
+
+func TestScanAttacksProfitableVictim(t *testing.T) {
+	w := newWorld(t, mempool.VisibilityPublic)
+	bot := newBot("bot", 1)
+	w.fund(bot)
+	victimTx := w.victimTx(1, 200_000_000_000, 500) // 2% of pool, 5% slippage
+
+	attacks := bot.Scan(w.mp, w.bank, w.engine)
+	if len(attacks) != 1 {
+		t.Fatalf("attacks = %d", len(attacks))
+	}
+	if attacks[0].VictimSig != victimTx.Sig {
+		t.Error("wrong victim")
+	}
+	if attacks[0].PlannedProfit <= 0 {
+		t.Error("non-positive planned profit")
+	}
+	if attacks[0].TipLamports < solana.MinJitoTip {
+		t.Error("tip below minimum")
+	}
+	if w.mp.Len() != 0 {
+		t.Error("victim not claimed from mempool")
+	}
+	if w.engine.PendingCount() != 1 {
+		t.Error("bundle not submitted")
+	}
+}
+
+func TestAttackLandsAndIsDetected(t *testing.T) {
+	w := newWorld(t, mempool.VisibilityPublic)
+	bot := newBot("bot", 1)
+	w.fund(bot)
+	w.victimTx(1, 200_000_000_000, 500)
+
+	attacks := bot.Scan(w.mp, w.bank, w.engine)
+	if len(attacks) != 1 {
+		t.Fatal("no attack")
+	}
+	acc := w.engine.ProcessSlot(1)
+	if len(acc) != 1 {
+		t.Fatal("attack bundle did not land")
+	}
+	v := core.NewDefaultDetector().Detect(&acc[0].Record, acc[0].Details)
+	if !v.Sandwich {
+		t.Fatalf("searcher's own bundle not detected as sandwich: %v", v.Failed)
+	}
+	if v.Attacker != bot.Keys.Pubkey() {
+		t.Error("attacker attribution wrong")
+	}
+	// Realized gain equals the plan (same pool state).
+	if int64(v.AttackerGainLamports) != attacks[0].PlannedProfit {
+		t.Errorf("realized %v != planned %d", v.AttackerGainLamports, attacks[0].PlannedProfit)
+	}
+	if acc[0].Record.Tip() != attacks[0].TipLamports {
+		t.Error("tip mismatch")
+	}
+}
+
+func TestScanSkipsUnprofitableVictims(t *testing.T) {
+	w := newWorld(t, mempool.VisibilityPublic)
+	bot := newBot("bot", 1)
+	w.fund(bot)
+	w.victimTx(1, 1_000_000, 10) // tiny trade, tight slippage
+
+	if attacks := bot.Scan(w.mp, w.bank, w.engine); len(attacks) != 0 {
+		t.Fatalf("attacked an unprofitable victim: %+v", attacks)
+	}
+	if w.mp.Len() != 1 {
+		t.Error("unprofitable victim was claimed anyway")
+	}
+}
+
+func TestScanSkipsNonSwapTxs(t *testing.T) {
+	w := newWorld(t, mempool.VisibilityPublic)
+	bot := newBot("bot", 1)
+	w.fund(bot)
+	tx := solana.NewTransaction(w.victim, 1, 0, &solana.Memo{Data: []byte("hi")})
+	w.mp.Add(tx, 0)
+	if attacks := bot.Scan(w.mp, w.bank, w.engine); len(attacks) != 0 {
+		t.Fatal("attacked a non-swap transaction")
+	}
+}
+
+func TestScanRespectsVisibility(t *testing.T) {
+	w := newWorld(t, mempool.VisibilityLeaderOnly)
+	bot := newBot("bot", 1)
+	w.fund(bot)
+	w.victimTx(1, 200_000_000_000, 500)
+	if attacks := bot.Scan(w.mp, w.bank, w.engine); len(attacks) != 0 {
+		t.Fatal("attacked despite leader-only visibility (stock Solana)")
+	}
+}
+
+func TestPartialCoverageSeesFewerVictims(t *testing.T) {
+	wFull := newWorld(t, mempool.VisibilityPrivate)
+	wHalf := newWorld(t, mempool.VisibilityPrivate)
+
+	botFull := newBot("bot", 1)
+	botHalf := newBot("bot", 0.3)
+	wFull.fund(botFull)
+	wHalf.fund(botHalf)
+
+	for i := uint64(0); i < 60; i++ {
+		wFull.victimTx(i+1, 50_000_000_000, 500)
+		wHalf.victimTx(i+1, 50_000_000_000, 500)
+	}
+	full := len(botFull.Scan(wFull.mp, wFull.bank, wFull.engine))
+	half := len(botHalf.Scan(wHalf.mp, wHalf.bank, wHalf.engine))
+	if full == 0 {
+		t.Fatal("full-coverage bot found nothing")
+	}
+	if half >= full {
+		t.Errorf("30%% coverage found %d >= full coverage %d", half, full)
+	}
+}
+
+func TestTwoBotsDoNotDoubleClaim(t *testing.T) {
+	w := newWorld(t, mempool.VisibilityPublic)
+	a := newBot("a", 1)
+	b := newBot("b", 1)
+	w.fund(a)
+	w.fund(b)
+	w.victimTx(1, 200_000_000_000, 500)
+
+	attacks := append(a.Scan(w.mp, w.bank, w.engine), b.Scan(w.mp, w.bank, w.engine)...)
+	if len(attacks) != 1 {
+		t.Fatalf("victim claimed %d times", len(attacks))
+	}
+}
+
+func TestTipForBounds(t *testing.T) {
+	bot := newBot("bot", 1)
+	for _, profit := range []int64{1_001, 10_000, 1_000_000, 5_000_000_000} {
+		tip := bot.tipFor(profit)
+		if tip < solana.MinJitoTip {
+			t.Errorf("profit %d: tip %d below minimum", profit, tip)
+		}
+		if int64(tip) >= profit && profit > int64(solana.MinJitoTip) {
+			t.Errorf("profit %d: tip %d not below profit", profit, tip)
+		}
+	}
+}
+
+func TestDisguisedBundlesAreLength4(t *testing.T) {
+	w := newWorld(t, mempool.VisibilityPublic)
+	bot := newBot("bot", 1)
+	bot.DisguiseRate = 1.0
+	w.fund(bot)
+	w.victimTx(1, 200_000_000_000, 500)
+
+	attacks := bot.Scan(w.mp, w.bank, w.engine)
+	if len(attacks) != 1 || !attacks[0].Disguised {
+		t.Fatal("disguise did not trigger")
+	}
+	acc := w.engine.ProcessSlot(1)
+	if len(acc) != 1 {
+		t.Fatal("disguised bundle did not land")
+	}
+	if acc[0].Record.NumTxs() != 4 {
+		t.Fatalf("disguised bundle length = %d, want 4", acc[0].Record.NumTxs())
+	}
+	// The paper's length-3 detector misses it — the lower-bound gap.
+	v := core.NewDefaultDetector().Detect(&acc[0].Record, acc[0].Details)
+	if v.Sandwich {
+		t.Error("length-4 disguise should evade the length-3 detector")
+	}
+	if v.Failed != core.CritLength {
+		t.Errorf("failed criterion %v, want CritLength", v.Failed)
+	}
+}
+
+func TestScanDeterministicWithSeed(t *testing.T) {
+	run := func() []Attack {
+		w := newWorld(t, mempool.VisibilityPublic)
+		bot := New("det", 1, 1<<42, 10_000, 0.5, rand.New(rand.NewSource(99)))
+		w.fund(bot)
+		for i := uint64(0); i < 5; i++ {
+			w.victimTx(i+1, 100_000_000_000, 300)
+		}
+		return bot.Scan(w.mp, w.bank, w.engine)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different attack counts across identical runs")
+	}
+	for i := range a {
+		if a[i].BundleID != b[i].BundleID || a[i].TipLamports != b[i].TipLamports {
+			t.Fatal("attack stream not deterministic")
+		}
+	}
+}
+
+func TestPreflightDropsStalePlans(t *testing.T) {
+	// Two bots race the same victim with preflight on. The first bot's
+	// plan is computed, then we move the pool out from under the second
+	// bot by shrinking the victim's headroom — without preflight the
+	// second bundle would submit and fail atomically; with it, nothing
+	// doomed is ever submitted.
+	w := newWorld(t, mempool.VisibilityPublic)
+	bot := newBot("preflight", 1)
+	bot.Preflight = true
+	w.fund(bot)
+
+	// A victim with essentially zero slippage headroom after we shift
+	// the pool: quote it first, then move the pool, then let the bot scan.
+	in := uint64(200_000_000_000)
+	quote, _ := w.pool.QuoteOut(token.SOL.Address, in)
+	minOut := quote * 9_999 / 10_000
+	tx := solana.NewTransaction(w.victim, 1, 0,
+		&solana.Swap{Pool: w.pool.Address, InputMint: token.SOL.Address,
+			AmountIn: in, MinOut: minOut})
+	w.mp.Add(tx, 0)
+
+	// Shift the live pool so the victim's MinOut is already under water:
+	// any sandwich (indeed the victim tx itself) must now fail.
+	shifter := solana.NewKeypairFromSeed("shifter")
+	w.bank.CreditLamports(shifter.Pubkey(), 1000*solana.LamportsPerSOL)
+	w.bank.MintTo(shifter.Pubkey(), token.SOL.Address, 1e13)
+	shift := solana.NewTransaction(shifter, 1, 0,
+		&solana.Swap{Pool: w.pool.Address, InputMint: token.SOL.Address, AmountIn: 500_000_000_000})
+	if _, err := w.bank.ExecuteTx(shift); err != nil {
+		t.Fatal(err)
+	}
+
+	attacks := bot.Scan(w.mp, w.bank, w.engine)
+	if len(attacks) != 0 {
+		t.Fatalf("preflight let %d doomed attacks through", len(attacks))
+	}
+	if w.mp.Len() != 1 {
+		t.Error("victim should remain in the pool after a dropped plan")
+	}
+	if w.engine.PendingCount() != 0 {
+		t.Error("doomed bundle was submitted despite preflight")
+	}
+}

@@ -1,0 +1,40 @@
+package solana
+
+import "time"
+
+// Slot is Solana's unit of block time. A new slot begins every 400 ms, so a
+// day spans 216,000 slots.
+type Slot uint64
+
+// SlotDuration is the nominal time per slot on Solana mainnet.
+const SlotDuration = 400 * time.Millisecond
+
+// SlotsPerDay is the number of slots in 24 hours at the nominal rate.
+const SlotsPerDay Slot = Slot(24 * time.Hour / SlotDuration)
+
+// Clock converts between simulated wall time and slots. The zero value
+// starts the chain at Unix time 0; studies set Genesis to their measurement
+// start date (the paper's window opens 2025-02-09).
+type Clock struct {
+	Genesis time.Time
+}
+
+// SlotAt returns the slot in progress at time t.
+func (c Clock) SlotAt(t time.Time) Slot {
+	d := t.Sub(c.Genesis)
+	if d < 0 {
+		return 0
+	}
+	return Slot(d / SlotDuration)
+}
+
+// TimeOf returns the wall-clock start of slot s.
+func (c Clock) TimeOf(s Slot) time.Time {
+	return c.Genesis.Add(time.Duration(s) * SlotDuration)
+}
+
+// DayOf returns the zero-based study day containing slot s.
+func (c Clock) DayOf(s Slot) int { return int(s / SlotsPerDay) }
+
+// DayStart returns the first slot of day d.
+func DayStart(d int) Slot { return Slot(d) * SlotsPerDay }

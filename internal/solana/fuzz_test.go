@@ -1,0 +1,79 @@
+package solana
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Decoder robustness: UnmarshalBinary consumes collector-fetched bytes, so
+// it must reject — never panic on — arbitrary input.
+
+func TestUnmarshalBinaryNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50_000; trial++ {
+		n := rng.Intn(400)
+		b := make([]byte, n)
+		rng.Read(b)
+		var tx Transaction
+		// Error or success are both fine; a panic fails the test run.
+		_ = tx.UnmarshalBinary(b)
+	}
+}
+
+func TestUnmarshalBinaryMutatedValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	base := sampleTx("fuzz", 1)
+	valid, err := base.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20_000; trial++ {
+		b := append([]byte(nil), valid...)
+		// Flip 1–4 random bytes.
+		for k := 0; k <= rng.Intn(4); k++ {
+			b[rng.Intn(len(b))] ^= byte(1 + rng.Intn(255))
+		}
+		var tx Transaction
+		if err := tx.UnmarshalBinary(b); err != nil {
+			continue
+		}
+		// Structurally decodable mutants must still fail signature
+		// verification unless the mutation was confined to the signature
+		// half that is not covered — in this construction every byte is
+		// covered, so any decodable mutant that differs must not verify.
+		reEnc, _ := tx.MarshalBinary()
+		if string(reEnc) == string(valid) {
+			continue // mutation round-tripped to the original (memo padding etc.)
+		}
+		if tx.Validate() == nil {
+			t.Fatalf("trial %d: mutated transaction still validates", trial)
+		}
+	}
+}
+
+func TestUnmarshalBinaryHostileCounts(t *testing.T) {
+	base := sampleTx("hostile", 1)
+	b, _ := base.MarshalBinary()
+	// Overwrite the instruction count (offset 64+32+8+8) with a huge value.
+	for _, count := range []uint32{65, 1 << 20, 1<<32 - 1} {
+		mut := append([]byte(nil), b...)
+		mut[112] = byte(count)
+		mut[113] = byte(count >> 8)
+		mut[114] = byte(count >> 16)
+		mut[115] = byte(count >> 24)
+		var tx Transaction
+		if err := tx.UnmarshalBinary(mut); err == nil {
+			t.Errorf("instruction count %d accepted", count)
+		}
+	}
+	// Memo with a length prefix far past the buffer.
+	kp := NewKeypairFromSeed("hostile2")
+	memoTx := NewTransaction(kp, 1, 0, &Memo{Data: []byte("abc")})
+	mb, _ := memoTx.MarshalBinary()
+	// Memo length lives right after the kind byte at the end; corrupt it.
+	mb[len(mb)-4-3] = 0xFF
+	var tx Transaction
+	if err := tx.UnmarshalBinary(mb); err == nil {
+		t.Error("oversized memo length accepted")
+	}
+}

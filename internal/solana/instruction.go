@@ -1,0 +1,133 @@
+package solana
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Instruction is one executable step inside a transaction. The simulation
+// uses a small closed set of instruction kinds — lamport transfers, AMM
+// swaps, Jito tips and memos — which covers everything the paper's
+// detector can observe on chain: balance movements and trades.
+type Instruction interface {
+	// Kind returns the instruction discriminator.
+	Kind() InstrKind
+	// AppendBinary appends the canonical wire encoding used for signing
+	// and transaction IDs.
+	AppendBinary(b []byte) []byte
+	// String renders the instruction for logs and example output.
+	String() string
+}
+
+// InstrKind discriminates instruction types on the wire.
+type InstrKind uint8
+
+// Instruction kinds.
+const (
+	KindTransfer InstrKind = iota + 1
+	KindSwap
+	KindTip
+	KindMemo
+)
+
+// String returns the lowercase name of the kind.
+func (k InstrKind) String() string {
+	switch k {
+	case KindTransfer:
+		return "transfer"
+	case KindSwap:
+		return "swap"
+	case KindTip:
+		return "tip"
+	case KindMemo:
+		return "memo"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Transfer moves lamports between system accounts.
+type Transfer struct {
+	From, To Pubkey
+	Amount   Lamports
+}
+
+// Kind implements Instruction.
+func (t *Transfer) Kind() InstrKind { return KindTransfer }
+
+// AppendBinary implements Instruction.
+func (t *Transfer) AppendBinary(b []byte) []byte {
+	b = append(b, byte(KindTransfer))
+	b = append(b, t.From[:]...)
+	b = append(b, t.To[:]...)
+	return binary.LittleEndian.AppendUint64(b, uint64(t.Amount))
+}
+
+func (t *Transfer) String() string {
+	return fmt.Sprintf("transfer %s -> %s %s", t.From.Short(), t.To.Short(), t.Amount)
+}
+
+// Swap trades on a constant-product AMM pool. Direction is expressed by
+// InputMint: the swapper pays AmountIn of InputMint and receives the other
+// side of the pool, subject to MinOut slippage protection.
+type Swap struct {
+	Pool      Pubkey // pool address
+	InputMint Pubkey // mint being sold into the pool
+	AmountIn  uint64 // base units of InputMint
+	MinOut    uint64 // slippage floor in base units of the output mint; 0 = no protection
+}
+
+// Kind implements Instruction.
+func (s *Swap) Kind() InstrKind { return KindSwap }
+
+// AppendBinary implements Instruction.
+func (s *Swap) AppendBinary(b []byte) []byte {
+	b = append(b, byte(KindSwap))
+	b = append(b, s.Pool[:]...)
+	b = append(b, s.InputMint[:]...)
+	b = binary.LittleEndian.AppendUint64(b, s.AmountIn)
+	return binary.LittleEndian.AppendUint64(b, s.MinOut)
+}
+
+func (s *Swap) String() string {
+	return fmt.Sprintf("swap pool=%s in=%d of %s minOut=%d",
+		s.Pool.Short(), s.AmountIn, s.InputMint.Short(), s.MinOut)
+}
+
+// Tip pays a Jito validator tip into one of the tip accounts. It is a plain
+// lamport transfer on chain; keeping it a distinct kind lets the ledger
+// account tips separately, exactly as the Explorer reports them.
+type Tip struct {
+	TipAccount Pubkey
+	Amount     Lamports
+}
+
+// Kind implements Instruction.
+func (t *Tip) Kind() InstrKind { return KindTip }
+
+// AppendBinary implements Instruction.
+func (t *Tip) AppendBinary(b []byte) []byte {
+	b = append(b, byte(KindTip))
+	b = append(b, t.TipAccount[:]...)
+	return binary.LittleEndian.AppendUint64(b, uint64(t.Amount))
+}
+
+func (t *Tip) String() string {
+	return fmt.Sprintf("tip %s -> %s", t.Amount, t.TipAccount.Short())
+}
+
+// Memo carries opaque bytes; used by the workload to pad disguised bundles.
+type Memo struct {
+	Data []byte
+}
+
+// Kind implements Instruction.
+func (m *Memo) Kind() InstrKind { return KindMemo }
+
+// AppendBinary implements Instruction.
+func (m *Memo) AppendBinary(b []byte) []byte {
+	b = append(b, byte(KindMemo))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Data)))
+	return append(b, m.Data...)
+}
+
+func (m *Memo) String() string { return fmt.Sprintf("memo %d bytes", len(m.Data)) }

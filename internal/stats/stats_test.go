@@ -1,0 +1,255 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{3, 1, 2, 4, 5})
+	if e.Len() != 5 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	if e.Quantile(0.5) != 3 {
+		t.Errorf("median = %v", e.Quantile(0.5))
+	}
+	if e.Quantile(0) != 1 || e.Quantile(1) != 5 {
+		t.Error("extreme quantiles wrong")
+	}
+	if e.At(3) != 0.6 {
+		t.Errorf("At(3) = %v", e.At(3))
+	}
+	if e.At(0.5) != 0 || e.At(100) != 1 {
+		t.Error("At extremes wrong")
+	}
+	if e.Mean() != 3 {
+		t.Errorf("Mean = %v", e.Mean())
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.At(1) != 0 || e.Quantile(0.5) != 0 || e.Mean() != 0 || e.Curve(5) != nil {
+		t.Error("empty ECDF should be all zeros")
+	}
+}
+
+func TestECDFDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	NewECDF(in)
+	if in[0] != 3 || in[1] != 1 {
+		t.Error("NewECDF sorted the caller's slice")
+	}
+}
+
+func TestECDFCurveMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = rng.ExpFloat64() * 100
+	}
+	curve := NewECDF(samples).Curve(50)
+	if len(curve) != 50 {
+		t.Fatalf("curve points = %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].X < curve[i-1].X || curve[i].F <= curve[i-1].F {
+			t.Fatal("CDF curve not monotone")
+		}
+	}
+	if curve[len(curve)-1].F != 1 {
+		t.Error("curve does not reach 1")
+	}
+}
+
+func TestQuantileProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			vals[i] = v
+		}
+		e := NewECDF(vals)
+		// Quantile and At must be inverse-consistent:
+		// At(Quantile(q)) >= q for all q.
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.99} {
+			if e.At(e.Quantile(q)) < q-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogHistogramQuantiles(t *testing.T) {
+	h := NewTipHistogram()
+	// A known mixture: 90% at 1,000 lamports, 10% at 2,000,000.
+	h.AddN(1_000, 900)
+	h.AddN(2_000_000, 100)
+
+	if h.Total() != 1000 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	med := h.Quantile(0.5)
+	if med < 900 || med > 1_100 {
+		t.Errorf("median = %v, want ≈1000", med)
+	}
+	p95 := h.Quantile(0.95)
+	if p95 < 1_800_000 || p95 > 2_200_000 {
+		t.Errorf("p95 = %v, want ≈2e6", p95)
+	}
+}
+
+func TestLogHistogramAccuracyProperty(t *testing.T) {
+	// Histogram quantiles must match exact ECDF quantiles within the
+	// bucket resolution (~2.3% at 50 buckets/decade ⇒ allow 6%).
+	rng := rand.New(rand.NewSource(7))
+	h := NewTipHistogram()
+	var raw []float64
+	for i := 0; i < 20_000; i++ {
+		v := math.Exp(rng.NormFloat64()*2 + 9) // lognormal around e^9≈8100
+		h.Add(v)
+		raw = append(raw, v)
+	}
+	e := NewECDF(raw)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		exact, approx := e.Quantile(q), h.Quantile(q)
+		if rel := math.Abs(approx-exact) / exact; rel > 0.06 {
+			t.Errorf("q=%v: exact %v approx %v (rel %.3f)", q, exact, approx, rel)
+		}
+	}
+}
+
+func TestLogHistogramAtAndCurve(t *testing.T) {
+	h := NewLogHistogram(1, 6, 10)
+	h.AddN(10, 50)
+	h.AddN(10_000, 50)
+	if f := h.At(100); f != 0.5 {
+		t.Errorf("At(100) = %v", f)
+	}
+	if f := h.At(100_000); f != 1 {
+		t.Errorf("At(1e5) = %v", f)
+	}
+	curve := h.Curve()
+	if len(curve) != 2 {
+		t.Fatalf("curve buckets = %d", len(curve))
+	}
+	if curve[1].F != 1 {
+		t.Error("curve does not reach 1")
+	}
+}
+
+func TestLogHistogramEdges(t *testing.T) {
+	h := NewLogHistogram(1, 3, 10)
+	h.Add(0.5)  // below min → bucket 0
+	h.Add(1e12) // above range → clamped to last bucket
+	if h.Total() != 2 {
+		t.Fatal("total wrong")
+	}
+	if h.Quantile(0) == 0 {
+		t.Error("quantile of non-empty histogram is 0")
+	}
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Error("out-of-range q not clamped")
+	}
+	empty := NewLogHistogram(1, 3, 10)
+	if empty.Quantile(0.5) != 0 || empty.At(10) != 0 || empty.Curve() != nil {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries()
+	ts.Add(3, 10)
+	ts.Add(1, 5)
+	ts.Add(3, 2)
+	if ts.Get(3) != 12 || ts.Get(1) != 5 || ts.Get(99) != 0 {
+		t.Error("Get wrong")
+	}
+	days := ts.Days()
+	if len(days) != 2 || days[0] != 1 || days[1] != 3 {
+		t.Errorf("Days = %v", days)
+	}
+	if ts.Sum() != 17 {
+		t.Errorf("Sum = %v", ts.Sum())
+	}
+}
+
+func TestLinearTrend(t *testing.T) {
+	up := NewTimeSeries()
+	down := NewTimeSeries()
+	for d := 0; d < 100; d++ {
+		up.Add(d, float64(10+2*d))
+		down.Add(d, float64(1000-5*d))
+	}
+	if b := up.LinearTrend(); math.Abs(b-2) > 1e-9 {
+		t.Errorf("up slope = %v", b)
+	}
+	if b := down.LinearTrend(); math.Abs(b+5) > 1e-9 {
+		t.Errorf("down slope = %v", b)
+	}
+	if NewTimeSeries().LinearTrend() != 0 {
+		t.Error("empty trend should be 0")
+	}
+}
+
+func TestLamportsToUSD(t *testing.T) {
+	if got := LamportsToUSD(1e9, 242); got != 242 {
+		t.Errorf("1 SOL = $%v", got)
+	}
+	// The paper's defensive-tip average: $0.0028 at $242/SOL ≈ 11.6k lamports.
+	if got := LamportsToUSD(11_570, SOLPriceUSD); math.Abs(got-0.0028) > 0.0001 {
+		t.Errorf("11570 lamports = $%v", got)
+	}
+}
+
+func BenchmarkLogHistogramAdd(b *testing.B) {
+	h := NewTipHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Add(float64(i%1_000_000 + 1))
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = 100 + rng.NormFloat64()*10
+	}
+	lo, hi := BootstrapCI(samples, 0.5, 0.05, 400, rng)
+	if lo >= hi {
+		t.Fatalf("degenerate interval [%f, %f]", lo, hi)
+	}
+	med := NewECDF(samples).Quantile(0.5)
+	if med < lo || med > hi {
+		t.Errorf("point estimate %f outside CI [%f, %f]", med, lo, hi)
+	}
+	// Interval width should be modest for n=500, sigma=10: a few units.
+	if hi-lo > 5 {
+		t.Errorf("CI implausibly wide: [%f, %f]", lo, hi)
+	}
+	// Edge cases.
+	if lo, hi := BootstrapCI(nil, 0.5, 0.05, 100, rng); lo != 0 || hi != 0 {
+		t.Error("empty sample should return zeros")
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	samples := []float64{5, 1, 9, 3, 7, 2, 8}
+	l1, h1 := BootstrapCI(samples, 0.5, 0.1, 200, rand.New(rand.NewSource(3)))
+	l2, h2 := BootstrapCI(samples, 0.5, 0.1, 200, rand.New(rand.NewSource(3)))
+	if l1 != l2 || h1 != h2 {
+		t.Error("bootstrap not deterministic under a fixed seed")
+	}
+}

@@ -1,0 +1,92 @@
+package token
+
+import (
+	"testing"
+
+	"jitomev/internal/solana"
+)
+
+func TestSOLMint(t *testing.T) {
+	if !SOL.IsSOL() {
+		t.Error("SOL mint does not report IsSOL")
+	}
+	if SOL.Decimals != 9 {
+		t.Errorf("SOL decimals = %d, want 9", SOL.Decimals)
+	}
+	if SOL.UIAmount(uint64(solana.LamportsPerSOL)) != 1.0 {
+		t.Error("1e9 lamports should be 1 SOL")
+	}
+}
+
+func TestUIAndBaseAmount(t *testing.T) {
+	m := Mint{Symbol: "X", Decimals: 6}
+	if m.UIAmount(1_500_000) != 1.5 {
+		t.Errorf("UIAmount = %v", m.UIAmount(1_500_000))
+	}
+	if m.BaseAmount(2.5) != 2_500_000 {
+		t.Errorf("BaseAmount = %v", m.BaseAmount(2.5))
+	}
+	if m.BaseAmount(-1) != 0 {
+		t.Error("negative UI amount should clamp to 0")
+	}
+	if m.IsSOL() {
+		t.Error("non-SOL mint reports IsSOL")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if r.Len() != 1 {
+		t.Fatalf("new registry has %d mints, want 1 (SOL)", r.Len())
+	}
+	if _, ok := r.Get(SOL.Address); !ok {
+		t.Fatal("SOL not pre-registered")
+	}
+
+	bonk := r.NewMemecoin("BONK")
+	if bonk.Decimals != 6 {
+		t.Errorf("memecoin decimals = %d, want 6", bonk.Decimals)
+	}
+	got, ok := r.Get(bonk.Address)
+	if !ok || got.Symbol != "BONK" {
+		t.Fatalf("Get(BONK) = %+v, %v", got, ok)
+	}
+	if r.Symbol(bonk.Address) != "BONK" {
+		t.Error("Symbol lookup failed")
+	}
+
+	unknown := solana.NewKeypairFromSeed("nope").Pubkey()
+	if r.Symbol(unknown) == "" {
+		t.Error("unknown mint symbol should fall back to short address")
+	}
+}
+
+func TestMemecoinDeterministicAddress(t *testing.T) {
+	a := NewRegistry().NewMemecoin("WIF")
+	b := NewRegistry().NewMemecoin("WIF")
+	if a.Address != b.Address {
+		t.Error("same symbol produced different mint addresses across registries")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	r := NewRegistry()
+	r.NewMemecoin("ZETA")
+	r.NewMemecoin("AAA")
+	all := r.All()
+	if len(all) != 3 {
+		t.Fatalf("All() returned %d mints, want 3", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Symbol > all[i].Symbol {
+			t.Fatal("All() not sorted by symbol")
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	m := Mint{Symbol: "WIF", Decimals: 6}
+	if got := m.Format(1_250_000); got != "1.250000 WIF" {
+		t.Errorf("Format = %q", got)
+	}
+}

@@ -1,0 +1,167 @@
+package validator
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"jitomev/internal/amm"
+	"jitomev/internal/jito"
+	"jitomev/internal/ledger"
+	"jitomev/internal/mempool"
+	"jitomev/internal/solana"
+	"jitomev/internal/token"
+)
+
+func TestNewSetStakeAndAdoption(t *testing.T) {
+	s := NewSet(500, 7)
+	if s.Len() != 500 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	share := s.JitoStakeShare()
+	if share < JitoAdoptionRate || share > 1.0 {
+		t.Errorf("Jito stake share = %.4f, want >= %.2f", share, JitoAdoptionRate)
+	}
+}
+
+func TestNewSetDeterministic(t *testing.T) {
+	a := NewSet(100, 3)
+	b := NewSet(100, 3)
+	for slot := solana.Slot(0); slot < 50; slot++ {
+		if a.LeaderAt(slot).Identity != b.LeaderAt(slot).Identity {
+			t.Fatal("leader schedule not deterministic across identical sets")
+		}
+	}
+}
+
+func TestLeaderAtStakeWeighted(t *testing.T) {
+	s := NewSet(200, 11)
+	// Count leadership over many slots; the top validator (highest stake,
+	// ~ stake share of 1/H(200) ≈ 17%) must lead far more often than a
+	// tail validator.
+	counts := map[solana.Pubkey]int{}
+	const slots = 20_000
+	for slot := solana.Slot(0); slot < slots; slot++ {
+		counts[s.LeaderAt(slot).Identity]++
+	}
+	top := counts[s.validators[0].Identity]
+	tail := counts[s.validators[199].Identity]
+	if top <= tail*5 {
+		t.Errorf("stake weighting weak: top=%d tail=%d", top, tail)
+	}
+	// Top validator share should be near its stake share.
+	wantShare := float64(s.validators[0].Stake) / float64(s.totalStake)
+	gotShare := float64(top) / slots
+	if math.Abs(gotShare-wantShare) > 0.03 {
+		t.Errorf("top leader share %.3f, stake share %.3f", gotShare, wantShare)
+	}
+}
+
+func TestProduceSlotExecutesBundlesAndLooseTxs(t *testing.T) {
+	bank := ledger.NewBank()
+	reg := token.NewRegistry()
+	meme := reg.NewMemecoin("MEME")
+	pool := amm.New(meme.Address, token.SOL.Address, 1e12, 1e12, amm.DefaultFeeBps)
+	bank.AddPool(pool)
+
+	alice := solana.NewKeypairFromSeed("alice")
+	bank.CreditLamports(alice.Pubkey(), 100*solana.LamportsPerSOL)
+	bank.MintTo(alice.Pubkey(), token.SOL.Address, 1e12)
+
+	clock := solana.Clock{Genesis: time.Unix(0, 0)}
+	engine := jito.NewBlockEngine(bank, clock)
+	mp := mempool.New(mempool.VisibilityPrivate)
+
+	// All-Jito set so the bundle lands on the first slot.
+	set := NewSet(10, 1)
+	for i := range set.validators {
+		set.validators[i].RunsJito = true
+	}
+	p := NewProducer(set, bank, engine, mp, 100)
+
+	bundleTx := solana.NewTransaction(alice, 1, 0,
+		&solana.Swap{Pool: pool.Address, InputMint: token.SOL.Address, AmountIn: 1e6},
+		&solana.Tip{TipAccount: jito.TipAccounts[0], Amount: 5_000})
+	if err := engine.Submit(jito.NewBundle(bundleTx)); err != nil {
+		t.Fatal(err)
+	}
+
+	loose := solana.NewTransaction(alice, 2, 99,
+		&solana.Swap{Pool: pool.Address, InputMint: token.SOL.Address, AmountIn: 2e6})
+	mp.Add(loose, 0)
+
+	blk := p.ProduceSlot(5)
+	if len(blk.Bundles) != 1 {
+		t.Fatalf("bundles in block = %d", len(blk.Bundles))
+	}
+	if len(blk.LooseTxs) != 1 || blk.LooseTxs[0] != loose.Sig {
+		t.Fatalf("loose txs = %v", blk.LooseTxs)
+	}
+	if mp.Len() != 0 {
+		t.Error("mempool not drained")
+	}
+	if blk.Leader.IsZero() {
+		t.Error("block has no leader")
+	}
+}
+
+func TestNonJitoLeaderDefersBundles(t *testing.T) {
+	bank := ledger.NewBank()
+	alice := solana.NewKeypairFromSeed("alice")
+	bank.CreditLamports(alice.Pubkey(), solana.LamportsPerSOL)
+
+	clock := solana.Clock{Genesis: time.Unix(0, 0)}
+	engine := jito.NewBlockEngine(bank, clock)
+	mp := mempool.New(mempool.VisibilityPrivate)
+
+	set := NewSet(4, 2)
+	for i := range set.validators {
+		set.validators[i].RunsJito = false
+	}
+	p := NewProducer(set, bank, engine, mp, 10)
+
+	tipTx := solana.NewTransaction(alice, 1, 0,
+		&solana.Tip{TipAccount: jito.TipAccounts[0], Amount: 5_000})
+	if err := engine.Submit(jito.NewBundle(tipTx)); err != nil {
+		t.Fatal(err)
+	}
+
+	blk := p.ProduceSlot(1)
+	if len(blk.Bundles) != 0 {
+		t.Fatal("non-Jito leader executed bundles")
+	}
+	if engine.PendingCount() != 1 {
+		t.Fatal("bundle lost while leader was non-Jito")
+	}
+
+	// Flip everyone to Jito: the deferred bundle lands next slot.
+	for i := range set.validators {
+		set.validators[i].RunsJito = true
+	}
+	blk = p.ProduceSlot(2)
+	if len(blk.Bundles) != 1 {
+		t.Fatal("deferred bundle did not land under Jito leader")
+	}
+}
+
+func TestProduceSlotCountsFailedLooseTxs(t *testing.T) {
+	bank := ledger.NewBank()
+	alice := solana.NewKeypairFromSeed("alice")
+	bank.CreditLamports(alice.Pubkey(), solana.LamportsPerSOL)
+
+	clock := solana.Clock{Genesis: time.Unix(0, 0)}
+	engine := jito.NewBlockEngine(bank, clock)
+	mp := mempool.New(mempool.VisibilityPublic)
+	set := NewSet(4, 3)
+	p := NewProducer(set, bank, engine, mp, 10)
+
+	// Transfer more than the balance: lands but fails.
+	bad := solana.NewTransaction(alice, 1, 0,
+		&solana.Transfer{From: alice.Pubkey(), To: solana.Pubkey{}, Amount: 1 << 62})
+	mp.Add(bad, 0)
+
+	blk := p.ProduceSlot(1)
+	if len(blk.LooseTxs) != 1 || blk.Failed != 1 {
+		t.Errorf("landed=%d failed=%d", len(blk.LooseTxs), blk.Failed)
+	}
+}

@@ -1,0 +1,82 @@
+package validator
+
+import (
+	"math/rand"
+)
+
+// Vote traffic. The paper's scale framing (§2.1) distinguishes Solana's
+// ~80M daily *non-voting* transactions from total traffic precisely
+// because consensus votes dominate raw transaction counts: every active
+// validator submits roughly one vote transaction per slot. The simulator
+// models votes statistically — they never touch user balances and no MEV
+// pipeline observes them — but block statistics carry them so volume
+// comparisons against chain explorers line up.
+
+// VoteModel produces per-slot vote transaction counts for a validator set.
+type VoteModel struct {
+	// Participation is the fraction of validators landing a vote in any
+	// given slot (votes lag and batch; ~0.85 matches mainnet behaviour).
+	Participation float64
+	set           *Set
+	rng           *rand.Rand
+}
+
+// NewVoteModel builds a vote model over the set, seeded deterministically.
+func NewVoteModel(set *Set, seed int64) *VoteModel {
+	return &VoteModel{
+		Participation: 0.85,
+		set:           set,
+		rng:           rand.New(rand.NewSource(seed ^ 0x766f7465)),
+	}
+}
+
+// VotesInSlot returns the number of vote transactions landing in a slot:
+// binomial around Participation × validators, approximated by a normal
+// draw for speed at 216,000 slots/day.
+func (m *VoteModel) VotesInSlot() int {
+	n := float64(m.set.Len())
+	mean := m.Participation * n
+	sd := 0.05 * n
+	v := int(mean + m.rng.NormFloat64()*sd)
+	if v < 0 {
+		v = 0
+	}
+	if v > m.set.Len() {
+		v = m.set.Len()
+	}
+	return v
+}
+
+// ChainStats aggregates block production over a window, the counters a
+// chain explorer (Solscan's "200K blocks with over 80M non-voting
+// transactions per day", §2.1) would report.
+type ChainStats struct {
+	Blocks       uint64
+	VoteTxs      uint64
+	NonVoteTxs   uint64
+	BundleTxs    uint64
+	FailedTxs    uint64
+	SkippedSlots uint64 // slots with no block (leader offline)
+}
+
+// ObserveBlock folds one produced block plus its vote count.
+func (s *ChainStats) ObserveBlock(blk *Block, votes int) {
+	s.Blocks++
+	s.VoteTxs += uint64(votes)
+	s.NonVoteTxs += uint64(len(blk.LooseTxs))
+	for _, acc := range blk.Bundles {
+		n := uint64(acc.Record.NumTxs())
+		s.NonVoteTxs += n
+		s.BundleTxs += n
+	}
+	s.FailedTxs += uint64(blk.Failed)
+}
+
+// NonVoteShare returns the fraction of transactions that are not votes.
+func (s *ChainStats) NonVoteShare() float64 {
+	total := s.VoteTxs + s.NonVoteTxs
+	if total == 0 {
+		return 0
+	}
+	return float64(s.NonVoteTxs) / float64(total)
+}

@@ -1,0 +1,62 @@
+package validator
+
+import (
+	"testing"
+
+	"jitomev/internal/jito"
+	"jitomev/internal/solana"
+)
+
+func TestVoteModelBounds(t *testing.T) {
+	set := NewSet(200, 4)
+	m := NewVoteModel(set, 4)
+	var sum int
+	const slots = 5_000
+	for i := 0; i < slots; i++ {
+		v := m.VotesInSlot()
+		if v < 0 || v > set.Len() {
+			t.Fatalf("votes %d out of [0,%d]", v, set.Len())
+		}
+		sum += v
+	}
+	mean := float64(sum) / slots
+	want := 0.85 * float64(set.Len())
+	if mean < want*0.95 || mean > want*1.05 {
+		t.Errorf("mean votes/slot = %.1f, want ≈%.1f", mean, want)
+	}
+}
+
+func TestVoteModelDeterministic(t *testing.T) {
+	set := NewSet(50, 9)
+	a, b := NewVoteModel(set, 9), NewVoteModel(set, 9)
+	for i := 0; i < 100; i++ {
+		if a.VotesInSlot() != b.VotesInSlot() {
+			t.Fatal("vote stream not deterministic")
+		}
+	}
+}
+
+func TestChainStats(t *testing.T) {
+	var s ChainStats
+	blk := &Block{
+		Slot:     1,
+		LooseTxs: make([]solana.Signature, 3),
+		Failed:   1,
+		Bundles: []*jito.Accepted{
+			{Record: jito.BundleRecord{TxIDs: make([]solana.Signature, 2)}},
+		},
+	}
+	s.ObserveBlock(blk, 170)
+	if s.Blocks != 1 || s.VoteTxs != 170 || s.NonVoteTxs != 5 || s.BundleTxs != 2 || s.FailedTxs != 1 {
+		t.Errorf("stats %+v", s)
+	}
+	// Votes dominate raw counts, so the non-vote share is small — the
+	// distinction the paper's §2.1 framing rests on.
+	if share := s.NonVoteShare(); share > 0.05 {
+		t.Errorf("non-vote share = %.3f", share)
+	}
+	var empty ChainStats
+	if empty.NonVoteShare() != 0 {
+		t.Error("empty stats share should be 0")
+	}
+}

@@ -1,0 +1,202 @@
+// Package workload generates the synthetic Solana/Jito traffic that stands
+// in for the paper's four-month measurement window (2025-02-09 to
+// 2025-06-09). Every magnitude is calibrated to a statistic the paper
+// reports, divided by a configurable Scale so studies run on a laptop:
+//
+//   - 14.8M bundles/day and 26M bundled txs/day (§3.1) → length mix with
+//     mean ≈ 1.76 txs/bundle, 2.77% of bundles at length 3
+//   - sandwich attacks/day declining from ≈15,000 to ≈1,000 (§4.1)
+//   - defensive bundles rising, averaging 86% of length-1 bundles (§4.2)
+//   - median length-3 tip 1,000 lamports vs median sandwich tip
+//     >2,000,000 lamports (Figure 4)
+//   - median victim loss ≈ $5 with a tail beyond $100 (Figure 3)
+//
+// Shares, medians, CDF shapes and trends are scale-invariant; only the
+// absolute counts shrink by Scale.
+package workload
+
+import (
+	"math"
+	"time"
+
+	"jitomev/internal/solana"
+)
+
+// Paper-scale calibration constants (see DESIGN.md §2 for provenance).
+const (
+	// PaperBundlesPerDay is the average daily bundle count the paper
+	// measured (§3.1).
+	PaperBundlesPerDay = 14_800_000
+
+	// PaperLen3Share is the share of length-3 bundles per day (§3.1).
+	PaperLen3Share = 0.0277
+
+	// PaperAttacksDay0 and PaperAttacksFinal bound the declining attack
+	// trend in Figure 2 (§4.1).
+	PaperAttacksDay0  = 15_000
+	PaperAttacksFinal = 1_000
+
+	// PaperDefensiveShareStart/End produce the rising defensive trend
+	// averaging the reported 86% of length-1 bundles (§4.2).
+	PaperDefensiveShareStart = 0.80
+	PaperDefensiveShareEnd   = 0.92
+)
+
+// DayRange is an inclusive range of study days.
+type DayRange struct {
+	From, To int
+}
+
+// Contains reports whether day d falls in the range.
+func (r DayRange) Contains(d int) bool { return d >= r.From && d <= r.To }
+
+// Params configures a study. Zero values are filled by Defaults.
+type Params struct {
+	Seed    int64
+	Days    int       // study length; the paper's window is 120 days
+	Scale   int       // divide paper-scale volumes by this factor
+	Genesis time.Time // chain time of day 0
+
+	NumMemecoins int // token universe size (each gets a SOL pool)
+	NumTraders   int // normal-user population
+	NumBots      int // sandwich searchers
+
+	// AttackDecayDays is the exponential time constant of the declining
+	// attack trend; 35 days reproduces the paper's ≈4,970/day average
+	// between the 15,000 start and 1,000 floor.
+	AttackDecayDays float64
+
+	// BotTipShare is the mean fraction of planned profit attackers bid
+	// as Jito tip. 0.25 lands the median sandwich tip near the paper's
+	// 2,000,000 lamports given the victim-size distribution below.
+	BotTipShare float64
+
+	// DisguiseRate is the fraction of attacks padded to length 4,
+	// invisible to the length-3 detector (the paper's lower-bound gap).
+	DisguiseRate float64
+
+	// VictimMedianSOL and VictimSigma shape the lognormal victim trade
+	// size (in SOL). Median 0.45 SOL with σ=1.25 puts the median loss near
+	// $5 and the tail beyond $100 (Figure 3).
+	VictimMedianSOL float64
+	VictimSigma     float64
+
+	// VictimSlippageMinBps/MaxBps bound victims' slippage tolerance;
+	// attackable victims set loose tolerances (2–10%).
+	VictimSlippageMinBps int
+	VictimSlippageMaxBps int
+
+	// RoutedVictimShare is the fraction of attackable victims whose trade
+	// is an aggregator-routed two-hop swap (meme→SOL→meme) instead of a
+	// single swap. Sandwiches against the first hop of a routed trade
+	// evade the paper's detector: the victim's net balance deltas span
+	// three mints, so criterion C2's same-mint-set check fails. Default 0
+	// keeps the calibrated detector counts; turn it up to study this
+	// second source of lower-bound undercounting.
+	RoutedVictimShare float64
+
+	// Outages are collector downtime windows (the grey bands of
+	// Figures 1–2). Generation continues; collection does not.
+	Outages []DayRange
+}
+
+// Defaults fills unset fields with the calibrated defaults and returns the
+// result. The zero Params value becomes a 120-day, Scale-2000 study.
+func (p Params) Defaults() Params {
+	if p.Days == 0 {
+		p.Days = 120
+	}
+	if p.Scale == 0 {
+		p.Scale = 2000
+	}
+	if p.Genesis.IsZero() {
+		p.Genesis = time.Date(2025, 2, 9, 0, 0, 0, 0, time.UTC)
+	}
+	if p.NumMemecoins == 0 {
+		p.NumMemecoins = 24
+	}
+	if p.NumTraders == 0 {
+		p.NumTraders = 400
+	}
+	if p.NumBots == 0 {
+		p.NumBots = 6
+	}
+	if p.AttackDecayDays == 0 {
+		p.AttackDecayDays = 35
+	}
+	if p.BotTipShare == 0 {
+		p.BotTipShare = 0.25
+	}
+	if p.DisguiseRate == 0 {
+		p.DisguiseRate = 0.02
+	}
+	if p.VictimMedianSOL == 0 {
+		p.VictimMedianSOL = 0.45
+	}
+	if p.VictimSigma == 0 {
+		p.VictimSigma = 1.25
+	}
+	if p.VictimSlippageMinBps == 0 {
+		p.VictimSlippageMinBps = 100
+	}
+	if p.VictimSlippageMaxBps == 0 {
+		p.VictimSlippageMaxBps = 500
+	}
+	if p.Outages == nil {
+		// Shaped after the grey bands in Figures 1–2: a handful of
+		// multi-day gaps scattered through the window.
+		p.Outages = []DayRange{{18, 21}, {47, 48}, {76, 79}, {103, 103}}
+	}
+	return p
+}
+
+// BundlesPerDay returns the scaled average daily bundle count.
+func (p Params) BundlesPerDay() int { return PaperBundlesPerDay / p.Scale }
+
+// Clock returns the chain clock anchored at the study's genesis.
+func (p Params) Clock() solana.Clock { return solana.Clock{Genesis: p.Genesis} }
+
+// AttackTarget returns the scaled target number of sandwich attacks on
+// day d: an exponential decay from PaperAttacksDay0 toward
+// PaperAttacksFinal, matching Figure 2's shape.
+func (p Params) AttackTarget(d int) float64 {
+	raw := PaperAttacksFinal + (PaperAttacksDay0-PaperAttacksFinal)*
+		math.Exp(-float64(d)/p.AttackDecayDays)
+	return raw / float64(p.Scale)
+}
+
+// DefensiveShare returns the fraction of length-1 bundles that are
+// defensive on day d (linear ramp, averaging 86% over the window).
+func (p Params) DefensiveShare(d int) float64 {
+	if p.Days <= 1 {
+		return (PaperDefensiveShareStart + PaperDefensiveShareEnd) / 2
+	}
+	t := float64(d) / float64(p.Days-1)
+	return PaperDefensiveShareStart + t*(PaperDefensiveShareEnd-PaperDefensiveShareStart)
+}
+
+// InOutage reports whether the collector is down on day d.
+func (p Params) InOutage(d int) bool {
+	for _, r := range p.Outages {
+		if r.Contains(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// LengthMix is the distribution of bundle lengths. Index i holds the share
+// of bundles with i transactions (index 0 unused). Calibrated so that the
+// mean is ≈1.76 txs/bundle (26M txs over 14.8M bundles) with length 3 at
+// the measured 2.77%.
+var LengthMix = [6]float64{0, 0.65, 0.17, PaperLen3Share, 0.08, 0.0723}
+
+// MeanTxsPerBundle returns the expected transactions per bundle under
+// LengthMix (≈1.7546, the paper's 26/14.8 ≈ 1.757).
+func MeanTxsPerBundle() float64 {
+	var m float64
+	for n := 1; n <= 5; n++ {
+		m += float64(n) * LengthMix[n]
+	}
+	return m
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"jitomev/internal/solana"
+	"jitomev/internal/stats"
+	"jitomev/internal/token"
+)
+
+func testUniverse(t *testing.T, seed int64) *universe {
+	t.Helper()
+	p := Params{Seed: seed}.Defaults()
+	return newUniverse(p, rand.New(rand.NewSource(seed)))
+}
+
+func TestDefensiveTipCalibration(t *testing.T) {
+	u := testUniverse(t, 1)
+	var sum float64
+	n := 50_000
+	for i := 0; i < n; i++ {
+		tip := u.defensiveTip()
+		if tip < solana.MinJitoTip || tip > solana.DefensiveTipCeiling {
+			t.Fatalf("defensive tip %d out of bounds", tip)
+		}
+		sum += float64(tip)
+	}
+	// Paper H7: mean defensive tip ≈ $0.0028 at $242/SOL ≈ 11.6k lamports.
+	mean := sum / float64(n)
+	if mean < 8_000 || mean > 15_000 {
+		t.Errorf("mean defensive tip = %.0f lamports, want ≈11.6k", mean)
+	}
+}
+
+func TestPriorityTipAboveCeiling(t *testing.T) {
+	u := testUniverse(t, 2)
+	for i := 0; i < 10_000; i++ {
+		if tip := u.priorityTip(); tip <= solana.DefensiveTipCeiling {
+			t.Fatalf("priority tip %d not above the defensive ceiling", tip)
+		}
+	}
+}
+
+func TestBenignBundleTipMedianIsMinimum(t *testing.T) {
+	u := testUniverse(t, 3)
+	h := stats.NewTipHistogram()
+	for i := 0; i < 50_000; i++ {
+		tip := u.benignBundleTip()
+		if tip < solana.MinJitoTip {
+			t.Fatalf("tip %d below minimum", tip)
+		}
+		h.Add(float64(tip))
+	}
+	// Paper Figure 4: median length-3 tip is the 1,000-lamport minimum.
+	if med := h.Quantile(0.5); med > 1_100 {
+		t.Errorf("median benign tip = %.0f, want ≈1,000", med)
+	}
+}
+
+func TestPoolUniverseShape(t *testing.T) {
+	u := testUniverse(t, 4)
+	p := Params{Seed: 4}.Defaults()
+	if len(u.pools) != p.NumMemecoins {
+		t.Errorf("SOL pools = %d", len(u.pools))
+	}
+	if len(u.crossPools) == 0 {
+		t.Error("no cross pools")
+	}
+	// Every mint has a price; SOL is the unit.
+	if u.priceLamports[token.SOL.Address] != 1 {
+		t.Error("SOL price must be 1 lamport per lamport")
+	}
+	for _, m := range u.memes {
+		if u.priceLamports[m.Address] <= 0 {
+			t.Errorf("mint %s has no price", m.Symbol)
+		}
+	}
+	// Cross pools are priced consistently: reserve value ratio within
+	// rounding of 1.
+	for _, cp := range u.crossPools {
+		va := float64(cp.ReserveA) * u.priceLamports[cp.MintA]
+		vb := float64(cp.ReserveB) * u.priceLamports[cp.MintB]
+		if va/vb > 1.01 || vb/va > 1.01 {
+			t.Errorf("cross pool mispriced: %f vs %f", va, vb)
+		}
+	}
+}
+
+func TestRoutedSwapTxShape(t *testing.T) {
+	u := testUniverse(t, 5)
+	kp := u.traders[0]
+	tx := u.routedSwapTx(kp, 2_000_000_000, 300)
+	if tx == nil {
+		t.Fatal("routedSwapTx returned nil")
+	}
+	if err := tx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Two swap hops; the final hop carries the slippage floor.
+	var swaps []*solana.Swap
+	for _, in := range tx.Instructions {
+		if sw, ok := in.(*solana.Swap); ok {
+			swaps = append(swaps, sw)
+		}
+	}
+	if len(swaps) != 2 {
+		t.Fatalf("routed tx has %d swaps, want 2", len(swaps))
+	}
+	if swaps[0].MinOut != 0 {
+		t.Error("intermediate hop carries MinOut")
+	}
+	if swaps[1].MinOut == 0 {
+		t.Error("final hop missing slippage floor")
+	}
+	if swaps[0].InputMint == token.SOL.Address {
+		t.Error("routed trade should start from a memecoin")
+	}
+	// The intermediate mint is SOL (hop 2 sells SOL).
+	if swaps[1].InputMint != token.SOL.Address {
+		t.Errorf("intermediate mint is %s, want SOL", swaps[1].InputMint.Short())
+	}
+}
+
+func TestSwapInstrSizing(t *testing.T) {
+	u := testUniverse(t, 6)
+	pool := u.randomPool()
+
+	// Buying with the quote side: input is MintB sized by its price.
+	sw := u.swapInstr(pool, 1_000_000_000, false, 0)
+	if sw.InputMint != pool.MintB {
+		t.Error("buy should sell the quote side")
+	}
+	// Selling the base side: input amount scales inversely with price.
+	sw = u.swapInstr(pool, 1_000_000_000, true, 100)
+	if sw.InputMint != pool.MintA {
+		t.Error("sell should sell the base side")
+	}
+	if sw.MinOut == 0 {
+		t.Error("slippage floor not applied")
+	}
+	price := u.priceLamports[pool.MintA]
+	wantIn := uint64(1_000_000_000 / price)
+	if sw.AmountIn < wantIn*99/100 || sw.AmountIn > wantIn*101/100 {
+		t.Errorf("sell sizing: %d, want ≈%d", sw.AmountIn, wantIn)
+	}
+}

@@ -1,0 +1,186 @@
+// Package jitomev reproduces the measurement pipeline of "Quantifying the
+// Threat of Sandwiching MEV on Jito" (IMC '25) end to end, against a
+// calibrated synthetic Solana/Jito substrate:
+//
+//	workload  →  Jito block engine  →  explorer (HTTP API)  →  collector
+//	                                                  ↓
+//	                      sandwich detector + defensive-bundling classifier
+//	                                                  ↓
+//	                      Figures 1–4, Table 1 and headline statistics
+//
+// The one-call entry point is Run:
+//
+//	out, err := jitomev.Run(jitomev.Config{Workload: workload.Params{Days: 30, Scale: 5000}})
+//	report.RenderHeadline(os.Stdout, out.Results, out.Study.P.Scale)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured-
+// versus-paper numbers.
+package jitomev
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"jitomev/internal/collector"
+	"jitomev/internal/core"
+	"jitomev/internal/explorer"
+	"jitomev/internal/jito"
+	"jitomev/internal/report"
+	"jitomev/internal/validator"
+	"jitomev/internal/workload"
+)
+
+// Config configures one full study.
+type Config struct {
+	// Workload shapes the synthetic traffic; zero values take the
+	// calibrated defaults (120 days at 1/2000 of paper volume).
+	Workload workload.Params
+
+	// Collector overrides the scraper configuration. A zero PageLimit is
+	// auto-scaled: the paper's 50,000-bundle page divided by the workload
+	// scale, so page-vs-traffic coverage dynamics match the paper's.
+	Collector collector.Config
+
+	// UseHTTP routes collection through a real loopback HTTP server
+	// speaking the explorer's JSON API, exactly like the paper's scraper.
+	// The default (false) reads the store in-process: byte-identical
+	// datasets, much faster at large scales.
+	UseHTTP bool
+
+	// SOLPriceUSD for dollar conversions; 0 selects the paper's $242.
+	SOLPriceUSD float64
+
+	// RunAblation also scores the full detector against the naive A-B-A
+	// baseline on simulator ground truth.
+	RunAblation bool
+
+	// ExtendedDetection widens detail collection to length-4/5 bundles and
+	// runs the extended detector over them, recovering disguised
+	// sandwiches the paper's length-3 methodology misses by construction.
+	ExtendedDetection bool
+
+	// BackfillPages enables the collector's spike-recovery improvement:
+	// on a broken overlap pair it pages backwards up to this many pages
+	// through the explorer's cursor. 0 reproduces the paper's collector
+	// exactly (spike-overflowed bundles are lost).
+	BackfillPages int
+
+	// RunBlockScan also runs the pre-bundle, Ethereum-style block-scan
+	// detector over every produced block (transaction order without
+	// bundle boundaries), for comparison against the bundle-aware count.
+	RunBlockScan bool
+}
+
+// Outcome bundles everything a study produces.
+type Outcome struct {
+	Results   *report.Results
+	Ablation  report.AblationResult
+	Study     *workload.Study
+	Collector *collector.Collector
+	Store     *explorer.Store
+
+	// CoverageRate is collected bundles over bundles actually accepted
+	// on chain — the completeness the paper argues for via page overlap.
+	CoverageRate float64
+
+	// BlockScanFlags counts sandwich-shaped triples the Ethereum-style
+	// block scanner flags (set by Config.RunBlockScan); compare with
+	// Results.Sandwiches to see what bundle visibility buys.
+	BlockScanFlags int
+}
+
+// truthAdapter exposes workload ground truth through report.Truther.
+type truthAdapter struct{ gt *workload.GroundTruth }
+
+func (t truthAdapter) IsSandwich(id jito.BundleID) bool {
+	return t.gt.Lookup(id).Label == workload.LabelSandwich
+}
+
+// Run executes the full pipeline: generate, collect, fetch details,
+// detect, analyze.
+func Run(cfg Config) (*Outcome, error) {
+	st := workload.New(cfg.Workload)
+	p := st.P
+
+	ccfg := cfg.Collector
+	if ccfg.PageLimit == 0 {
+		ccfg.PageLimit = explorer.MaxPageLimit / p.Scale
+		if ccfg.PageLimit < 20 {
+			ccfg.PageLimit = 20
+		}
+	}
+
+	ccfg.BackfillPages = cfg.BackfillPages
+
+	store := explorer.NewStore()
+	if cfg.ExtendedDetection {
+		store.RetainDetailsFor(3, 4, 5)
+		ccfg.DetailLengths = []int{4, 5}
+	}
+	var transport collector.Transport = collector.Direct{Store: store}
+	var shutdown func()
+	if cfg.UseHTTP {
+		srv, addr, err := serveLoopback(store)
+		if err != nil {
+			return nil, err
+		}
+		transport = collector.NewHTTP("http://" + addr)
+		shutdown = func() { _ = srv.Shutdown(context.Background()) }
+		defer shutdown()
+	}
+
+	coll := collector.New(ccfg, p.Clock(), transport)
+	sink := &collector.PollingSink{Store: store, Collector: coll, InOutage: p.InOutage}
+
+	var blockScanFlags int
+	if cfg.RunBlockScan {
+		scanDet := core.NewDefaultDetector()
+		st.BlockObserver = func(blk *validator.Block) {
+			blockScanFlags += len(scanDet.DetectBlockScan(blk.TxDetails(), core.BlockScanWindow))
+		}
+	}
+	st.Run(sink)
+
+	if _, err := coll.FetchDetails(); err != nil {
+		return nil, fmt.Errorf("jitomev: fetching details: %w", err)
+	}
+
+	det := core.NewDefaultDetector()
+	res := report.Analyze(coll.Data, det, cfg.SOLPriceUSD)
+	res.OverlapRate = coll.OverlapRate()
+	res.PollCount = coll.Polls
+	res.DetailRequests = coll.DetailRequests
+
+	out := &Outcome{
+		Results:        res,
+		Study:          st,
+		Collector:      coll,
+		Store:          store,
+		BlockScanFlags: blockScanFlags,
+	}
+	if store.Len() > 0 {
+		out.CoverageRate = float64(coll.Data.Collected) / float64(store.Len())
+	}
+	if cfg.RunAblation {
+		out.Ablation = report.Ablate(coll.Data, det, truthAdapter{st.GT})
+	}
+	return out, nil
+}
+
+// serveLoopback starts an explorer API server on an ephemeral loopback
+// port and returns the server and its address.
+func serveLoopback(store *explorer.Store) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", fmt.Errorf("jitomev: loopback listener: %w", err)
+	}
+	srv := &http.Server{
+		Handler:           explorer.NewServer(store, 0),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

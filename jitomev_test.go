@@ -1,0 +1,254 @@
+package jitomev
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"jitomev/internal/report"
+	"jitomev/internal/workload"
+)
+
+func smallConfig() Config {
+	return Config{
+		Workload:    workload.Params{Seed: 11, Days: 8, Scale: 10_000},
+		RunAblation: true,
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	out, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out.Results
+	if r.TotalBundles == 0 {
+		t.Fatal("nothing collected")
+	}
+	if r.Sandwiches == 0 {
+		t.Error("no sandwiches detected")
+	}
+	if r.VictimLossSOL <= 0 || r.AttackerGainSOL <= 0 {
+		t.Error("loss/gain not quantified")
+	}
+	// The full-window calibration has gains ≈ 1.3× losses (paper: 1.26×);
+	// at this test's tiny sample a single whale victim can swing the
+	// aggregate, so only require the right order of magnitude here. The
+	// strict gains-above-losses shape is asserted on a larger sample in
+	// workload's TestStudyLossAndTipCalibration.
+	if r.AttackerGainSOL < 0.3*r.VictimLossSOL {
+		t.Errorf("gains %.2f far below losses %.2f; paper has gains above losses",
+			r.AttackerGainSOL, r.VictimLossSOL)
+	}
+	if out.CoverageRate < 0.8 {
+		t.Errorf("coverage %.2f too low outside outages", out.CoverageRate)
+	}
+	if r.OverlapRate == 0 || r.PollCount == 0 {
+		t.Error("overlap statistic not measured")
+	}
+	// Defensive share in the paper's neighborhood.
+	if s := r.Defense.DefensiveShare(); s < 0.7 || s > 0.95 {
+		t.Errorf("defensive share %.2f", s)
+	}
+	// The ablation must show the naive baseline is strictly worse on
+	// precision (it flags app patterns and unprofitable A-B-As).
+	if out.Ablation.Naive.Precision() >= out.Ablation.Full.Precision() {
+		t.Errorf("naive precision %.3f >= full %.3f",
+			out.Ablation.Naive.Precision(), out.Ablation.Full.Precision())
+	}
+	if out.Ablation.Full.Recall() < 0.95 {
+		t.Errorf("full detector recall %.3f", out.Ablation.Full.Recall())
+	}
+}
+
+func TestRunHTTPMatchesDirect(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workload.Days = 3
+	direct, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.UseHTTP = true
+	viaHTTP, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := direct.Results, viaHTTP.Results
+	if a.TotalBundles != b.TotalBundles || a.Sandwiches != b.Sandwiches ||
+		a.VictimLossSOL != b.VictimLossSOL {
+		t.Errorf("direct (%d,%d,%f) != http (%d,%d,%f)",
+			a.TotalBundles, a.Sandwiches, a.VictimLossSOL,
+			b.TotalBundles, b.Sandwiches, b.VictimLossSOL)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workload.Days = 3
+	cfg.RunAblation = false
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Results.TotalBundles != b.Results.TotalBundles ||
+		a.Results.Sandwiches != b.Results.Sandwiches ||
+		a.Results.VictimLossSOL != b.Results.VictimLossSOL ||
+		a.Results.OverlapRate != b.Results.OverlapRate {
+		t.Error("identical configs produced different results")
+	}
+}
+
+func TestRendersProduceOutput(t *testing.T) {
+	out, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	report.RenderHeadline(&buf, out.Results, out.Study.P.Scale)
+	report.RenderFigure1(&buf, out.Results, out.Study.P.InOutage)
+	report.RenderFigure2(&buf, out.Results, out.Study.P.InOutage)
+	report.RenderFigure3(&buf, out.Results, 20)
+	report.RenderFigure4(&buf, out.Results)
+	report.RenderRejections(&buf, out.Results)
+	report.RenderAblation(&buf, out.Ablation)
+	report.WriteCSV(&buf, out.Results, out.Study.P.InOutage)
+
+	for _, want := range []string{
+		"H1", "H15", "Figure 1", "Figure 2", "Figure 3", "Figure 4",
+		"sandwich", "precision", "day,len1",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+func TestBackfillImprovesCoverage(t *testing.T) {
+	base := Config{
+		Workload: workload.Params{Seed: 17, Days: 4, Scale: 5_000,
+			Outages: []workload.DayRange{}},
+	}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.BackfillPages = 6
+	filled, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.CoverageRate >= 0.999 {
+		t.Skip("no spikes overflowed the page at this seed; nothing to recover")
+	}
+	if filled.CoverageRate <= plain.CoverageRate {
+		t.Errorf("backfill coverage %.4f did not improve on %.4f",
+			filled.CoverageRate, plain.CoverageRate)
+	}
+	if filled.Collector.BackfilledBundles == 0 {
+		t.Error("backfill recovered nothing despite imperfect coverage")
+	}
+	// The overlap diagnostic itself is unchanged by backfill (same polls).
+	if filled.Results.OverlapRate != plain.Results.OverlapRate {
+		t.Error("backfill altered the overlap statistic")
+	}
+}
+
+func TestExtendedDetectionRecoversDisguised(t *testing.T) {
+	cfg := Config{
+		Workload: workload.Params{
+			Seed: 21, Days: 10, Scale: 5_000,
+			// Disguise half of all attacks so the extended pass has a
+			// solid sample.
+			DisguiseRate: 0.5,
+			Outages:      []workload.DayRange{},
+		},
+		ExtendedDetection: true,
+	}
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out.Results
+	disguisedTruth := out.Study.GT.CountLabel(workload.LabelDisguised)
+	if disguisedTruth == 0 {
+		t.Fatal("workload produced no disguised attacks")
+	}
+	if r.LongBundlesScanned == 0 {
+		t.Fatal("no length-4/5 bundles scanned despite ExtendedDetection")
+	}
+	if r.DisguisedSandwiches == 0 {
+		t.Fatalf("extended detector recovered none of %d disguised attacks", disguisedTruth)
+	}
+	// Recovery should be near-complete on collected bundles (some fall in
+	// page-overflow gaps).
+	if float64(r.DisguisedSandwiches) < 0.5*float64(disguisedTruth) {
+		t.Errorf("recovered %d of %d disguised attacks", r.DisguisedSandwiches, disguisedTruth)
+	}
+	// Lower-bound fidelity: the plain length-3 count must not exceed the
+	// non-disguised ground truth (disguised attacks are invisible to it).
+	plainTruth := out.Study.GT.CountLabel(workload.LabelSandwich)
+	if r.Sandwiches > uint64(plainTruth)+uint64(plainTruth)/10+2 {
+		t.Errorf("length-3 count %d exceeds plain ground truth %d", r.Sandwiches, plainTruth)
+	}
+
+	// Without ExtendedDetection nothing longer than 3 is scanned.
+	cfg.ExtendedDetection = false
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Results.LongBundlesScanned != 0 || plain.Results.DisguisedSandwiches != 0 {
+		t.Error("extended pass ran without being enabled")
+	}
+}
+
+func TestOutageDaysMissingFromCollection(t *testing.T) {
+	cfg := Config{
+		Workload: workload.Params{
+			Seed: 3, Days: 6, Scale: 10_000,
+			Outages: []workload.DayRange{{From: 2, To: 3}},
+		},
+	}
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, day := range []int{2, 3} {
+		if agg, ok := out.Results.BundlesByDay[day]; ok && agg.Bundles > 50 {
+			t.Errorf("outage day %d collected %d bundles", day, agg.Bundles)
+		}
+	}
+	// Non-outage days are well covered.
+	if agg := out.Results.BundlesByDay[1]; agg == nil || agg.Bundles < 500 {
+		t.Error("non-outage day under-collected")
+	}
+	// Overall coverage reflects the 2 lost days of 6.
+	if out.CoverageRate > 0.8 {
+		t.Errorf("coverage %.2f should reflect outage losses", out.CoverageRate)
+	}
+}
+
+func TestRunBlockScanComparison(t *testing.T) {
+	cfg := Config{
+		Workload: workload.Params{Seed: 23, Days: 6, Scale: 5_000,
+			Outages: []workload.DayRange{}},
+		RunBlockScan: true,
+	}
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BlockScanFlags == 0 {
+		t.Fatal("block scan flagged nothing")
+	}
+	// Landed sandwiches are contiguous in their blocks, so the scanner
+	// must find at least as many as the bundle-aware detector.
+	if out.BlockScanFlags < int(out.Results.Sandwiches) {
+		t.Errorf("block scan %d < bundle-aware %d",
+			out.BlockScanFlags, out.Results.Sandwiches)
+	}
+}
