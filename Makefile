@@ -1,0 +1,30 @@
+GO ?= go
+
+# Concurrency-bearing packages exercised under the race detector: the
+# worker pool, the sharded analysis fan-in, and the pipelined
+# generation→ingest sink.
+RACE_PKGS = ./internal/parallel ./internal/report ./internal/collector ./internal/workload
+
+.PHONY: verify build test vet race bench
+
+# verify is the extended tier-1 gate (see ROADMAP.md): build + tests,
+# static checks, and the race suite over the concurrent packages.
+verify: build test vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# bench smoke-runs every benchmark once — cheap proof that each figure,
+# table and pipeline benchmark still executes; use -benchtime=default
+# runs for real measurements.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

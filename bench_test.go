@@ -142,6 +142,68 @@ func BenchmarkHeadlineStats(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeSerial runs the single-core reference analysis pass
+// (Workers=1) over the 20-day Scale=10,000 bench study — the baseline
+// BenchmarkAnalyzeParallel is measured against.
+func BenchmarkAnalyzeSerial(b *testing.B) {
+	out := benchPipeline(b)
+	det := core.NewDefaultDetector()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := report.AnalyzeN(out.Collector.Data, det, 0, 1)
+		if r.Sandwiches == 0 {
+			b.Fatal("analysis found nothing")
+		}
+	}
+}
+
+// BenchmarkAnalyzeParallel shards the same pass across GOMAXPROCS
+// workers; results are bit-identical to the serial pass (asserted by
+// TestAnalyzeDeterministicAcrossWorkers), only faster on multicore.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	out := benchPipeline(b)
+	det := core.NewDefaultDetector()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := report.AnalyzeN(out.Collector.Data, det, 0, 0)
+		if r.Sandwiches == 0 {
+			b.Fatal("analysis found nothing")
+		}
+	}
+}
+
+// BenchmarkStudyRunPipelined times generation with ingest pipelined
+// behind block production (Workers>1 path of jitomev.Run); compare with
+// BenchmarkStudyRunSync for the overlap won on multicore hardware.
+func BenchmarkStudyRunPipelined(b *testing.B) {
+	benchStudyRun(b, true)
+}
+
+// BenchmarkStudyRunSync is the synchronous generation→ingest baseline.
+func BenchmarkStudyRunSync(b *testing.B) {
+	benchStudyRun(b, false)
+}
+
+func benchStudyRun(b *testing.B, pipelined bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := workload.New(workload.Params{Seed: int64(i + 1), Days: 3, Scale: 20_000})
+		store := explorer.NewStore()
+		coll := collector.New(collector.Config{}, st.P.Clock(), collector.Direct{Store: store})
+		sink := &collector.PollingSink{Store: store, Collector: coll, InOutage: st.P.InOutage}
+		if pipelined {
+			st.RunPipelined(sink, 0)
+		} else {
+			st.Run(sink)
+		}
+		if coll.Data.Collected == 0 {
+			b.Fatal("empty study")
+		}
+	}
+}
+
 // BenchmarkOverlapValidation regenerates the §3.1 completeness check: a
 // full polling pass (paged reads, dedup, successive-page overlap) over a
 // pre-generated explorer store.

@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	jitosim [-days 120] [-scale 2000] [-seed 1] [-http] [-csv out.csv] [-fig all]
+//	jitosim [-days 120] [-scale 2000] [-seed 1] [-workers 0] [-http] [-csv out.csv] [-fig all]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"jitomev"
@@ -31,8 +33,24 @@ func main() {
 		backfill  = flag.Int("backfill", 0, "backfill pages on broken overlap (0 = paper behaviour)")
 		saveData  = flag.String("savedata", "", "persist the collected dataset to this path")
 		blockscan = flag.Bool("blockscan", false, "also run the pre-bundle block-scan baseline")
+		workers   = flag.Int("workers", 0, "pipeline workers: 0 = all cores, 1 = serial reference path")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this path (taken after the run)")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jitosim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "jitosim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	start := time.Now()
 	out, err := jitomev.Run(jitomev.Config{
@@ -43,10 +61,28 @@ func main() {
 		ExtendedDetection: *extended,
 		BackfillPages:     *backfill,
 		RunBlockScan:      *blockscan,
+		Workers:           *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jitosim:", err)
 		os.Exit(1)
+	}
+	if *memProf != "" {
+		// Snapshot the heap right after the pipeline, before rendering.
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jitosim:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "jitosim:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "jitosim:", err)
+			os.Exit(1)
+		}
 	}
 	r := out.Results
 	p := out.Study.P

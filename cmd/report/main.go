@@ -27,8 +27,9 @@ func main() {
 		days   = flag.Int("days", 60, "study length in days")
 		scale  = flag.Int("scale", 5_000, "volume divisor vs paper scale")
 		seed   = flag.Int64("seed", 1, "deterministic seed")
-		points = flag.Int("points", 25, "CDF points for figure 3")
-		load   = flag.String("load", "", "analyze a saved dataset instead of regenerating")
+		points  = flag.Int("points", 25, "CDF points for figure 3")
+		load    = flag.String("load", "", "analyze a saved dataset instead of regenerating")
+		workers = flag.Int("workers", 0, "analysis workers: 0 = all cores, 1 = serial reference path")
 	)
 	flag.Parse()
 
@@ -38,13 +39,14 @@ func main() {
 	}
 
 	if *load != "" {
-		renderFromFile(*load, *fig, *points)
+		renderFromFile(*load, *fig, *points, *workers)
 		return
 	}
 
 	out, err := jitomev.Run(jitomev.Config{
 		Workload:    workload.Params{Seed: *seed, Days: *days, Scale: *scale},
 		RunAblation: *fig == "ablation",
+		Workers:     *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "report:", err)
@@ -79,7 +81,7 @@ func main() {
 // renders the requested figure. Outage shading is unavailable (the saved
 // dataset does not carry the workload's outage calendar); gaps still show
 // as missing days.
-func renderFromFile(path, fig string, points int) {
+func renderFromFile(path, fig string, points, workers int) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "report:", err)
@@ -91,7 +93,7 @@ func renderFromFile(path, fig string, points int) {
 		fmt.Fprintln(os.Stderr, "report:", err)
 		os.Exit(1)
 	}
-	r := report.Analyze(data, core.NewDefaultDetector(), 0)
+	r := report.AnalyzeN(data, core.NewDefaultDetector(), 0, workers)
 	switch fig {
 	case "headline":
 		report.RenderHeadline(os.Stdout, r, 1)

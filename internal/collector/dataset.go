@@ -128,15 +128,26 @@ func (d *Dataset) Ingest(rec jito.BundleRecord) bool {
 // DetailsFor returns the aligned detail slice for a length-3 record, and
 // whether every member transaction's detail has been fetched.
 func (d *Dataset) DetailsFor(rec *jito.BundleRecord) ([]jito.TxDetail, bool) {
-	out := make([]jito.TxDetail, 0, len(rec.TxIDs))
+	out, ok := d.AppendDetails(make([]jito.TxDetail, 0, len(rec.TxIDs)), rec)
+	if !ok {
+		return nil, false
+	}
+	return out, true
+}
+
+// AppendDetails appends the record's aligned details to dst and reports
+// whether every member transaction's detail is present. Passing a reused
+// scratch slice (dst[:0]) keeps the analysis hot loop allocation-free;
+// safe to call from concurrent readers once ingestion has finished.
+func (d *Dataset) AppendDetails(dst []jito.TxDetail, rec *jito.BundleRecord) ([]jito.TxDetail, bool) {
 	for _, id := range rec.TxIDs {
 		det, ok := d.Details[id]
 		if !ok {
-			return nil, false
+			return dst, false
 		}
-		out = append(out, det)
+		dst = append(dst, det)
 	}
-	return out, true
+	return dst, true
 }
 
 // SortedDays returns the days present, ascending.

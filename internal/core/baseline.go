@@ -66,6 +66,15 @@ func (c *Confusion) Observe(predicted, actual bool) {
 	}
 }
 
+// Merge folds another confusion tally into c. Counts are integers, so a
+// sharded tally merged in any order equals the serial one.
+func (c *Confusion) Merge(o Confusion) {
+	c.TruePositive += o.TruePositive
+	c.FalsePositive += o.FalsePositive
+	c.TrueNegative += o.TrueNegative
+	c.FalseNegative += o.FalseNegative
+}
+
 // Precision returns TP/(TP+FP), or 1 when nothing was predicted positive.
 func (c *Confusion) Precision() float64 {
 	d := c.TruePositive + c.FalsePositive

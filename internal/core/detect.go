@@ -41,6 +41,11 @@ const (
 	CritTipOnly                    // C5: final transaction is tip-only
 )
 
+// NumCriteria is the number of distinct Criterion values, so hot loops
+// can tally rejections in a fixed-size array indexed by Criterion
+// instead of a map.
+const NumCriteria = int(CritTipOnly) + 1
+
 // String names the criterion for reports.
 func (c Criterion) String() string {
 	switch c {

@@ -1,0 +1,127 @@
+// Package parallel provides the deterministic concurrency building blocks
+// the pipeline's hot paths share: a bounded worker pool running an
+// ordered, sharded map/reduce whose fan-in merges partial results in
+// shard order — so a parallel pass reproduces the serial pass bit for
+// bit — and a bounded ordered queue that pipelines a producer with a
+// single consumer goroutine while preserving submission order exactly.
+//
+// Determinism is the repo's core fidelity guarantee: every figure and
+// headline statistic must be a pure function of (seed, days, scale),
+// regardless of GOMAXPROCS or scheduling. Both primitives here are
+// designed around that constraint rather than raw throughput: shard
+// boundaries depend only on (n, workers) and reduction order depends
+// only on shard index, never on which worker finished first.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// shardFactor oversubscribes shards versus workers so uneven per-shard
+// costs load-balance across the pool without disturbing the
+// deterministic merge order.
+const shardFactor = 4
+
+// Workers resolves a worker-count knob: zero or negative selects
+// GOMAXPROCS (use every core), any positive count is returned as-is.
+// By convention across the repo, 1 selects the serial reference path.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// MapReduce splits [0, n) into contiguous shards, runs mapRange over the
+// shards on a bounded pool of workers, and calls reduce once per shard
+// in ascending shard order. Shard boundaries are a pure function of
+// (n, workers) and the fan-in buffers every partial result, so reduce
+// observes exactly the left-to-right order a serial pass would produce —
+// identical reductions at any worker count, including floating-point
+// accumulation order when reduce replays per-item contributions.
+//
+// mapRange runs concurrently and must not share mutable state; reduce
+// always runs on the calling goroutine after every shard completes.
+func MapReduce[T any](workers, n int, mapRange func(lo, hi int) T, reduce func(T)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers == 1 {
+		reduce(mapRange(0, n))
+		return
+	}
+	shards := workers * shardFactor
+	if shards > n {
+		shards = n
+	}
+	size := (n + shards - 1) / shards
+	shards = (n + size - 1) / size // drop empty tail shards
+	if workers > shards {
+		workers = shards
+	}
+
+	results := make([]T, shards)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= shards {
+					return
+				}
+				lo := i * size
+				hi := lo + size
+				if hi > n {
+					hi = n
+				}
+				results[i] = mapRange(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := range results {
+		reduce(results[i])
+	}
+}
+
+// Queue is a bounded FIFO connecting one producer to one consumer
+// goroutine. Push blocks while the buffer is full (backpressure rather
+// than unbounded memory), and items are consumed strictly in push order,
+// so a pipelined sink preserves acceptance order exactly.
+type Queue[T any] struct {
+	ch   chan T
+	done chan struct{}
+}
+
+// NewQueue starts a consumer goroutine draining the queue into consume.
+// buffer < 1 is clamped to 1.
+func NewQueue[T any](buffer int, consume func(T)) *Queue[T] {
+	if buffer < 1 {
+		buffer = 1
+	}
+	q := &Queue[T]{ch: make(chan T, buffer), done: make(chan struct{})}
+	go func() {
+		defer close(q.done)
+		for v := range q.ch {
+			consume(v)
+		}
+	}()
+	return q
+}
+
+// Push enqueues one item, blocking while the buffer is full.
+func (q *Queue[T]) Push(v T) { q.ch <- v }
+
+// Close signals end of input and blocks until the consumer has drained
+// every pushed item. The queue must not be pushed to after Close.
+func (q *Queue[T]) Close() {
+	close(q.ch)
+	<-q.done
+}

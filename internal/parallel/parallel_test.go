@@ -1,0 +1,127 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct{ in, want int }{
+		{0, max}, {-3, max}, {1, 1}, {7, 7},
+	} {
+		if got := Workers(tc.in); got != tc.want {
+			t.Errorf("Workers(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestMapReduceOrder asserts the core determinism contract: every index
+// is visited exactly once and reduction observes shards left to right,
+// at every worker count.
+func TestMapReduceOrder(t *testing.T) {
+	const n = 1000
+	for _, workers := range []int{1, 2, 3, 8, 16, 0} {
+		var got []int
+		MapReduce(workers, n,
+			func(lo, hi int) []int {
+				out := make([]int, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					out = append(out, i)
+				}
+				return out
+			},
+			func(part []int) { got = append(got, part...) })
+		if len(got) != n {
+			t.Fatalf("workers=%d: covered %d of %d indices", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: position %d holds %d — merge out of order", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapReduceSmallN(t *testing.T) {
+	// Fewer items than workers: shards must still partition [0, n).
+	for _, n := range []int{1, 2, 5} {
+		var seen []int
+		MapReduce(8, n,
+			func(lo, hi int) [2]int { return [2]int{lo, hi} },
+			func(r [2]int) {
+				for i := r[0]; i < r[1]; i++ {
+					seen = append(seen, i)
+				}
+			})
+		if len(seen) != n {
+			t.Fatalf("n=%d: covered %d indices", n, len(seen))
+		}
+	}
+}
+
+func TestMapReduceEmpty(t *testing.T) {
+	called := false
+	MapReduce(4, 0,
+		func(lo, hi int) int { called = true; return 0 },
+		func(int) { called = true })
+	if called {
+		t.Error("MapReduce over empty range invoked callbacks")
+	}
+}
+
+// TestMapReduceConcurrentMap verifies the map stage actually runs off the
+// calling goroutine's serial order (workers really work) while reduce
+// still sees deterministic order. With GOMAXPROCS=1 this degenerates
+// gracefully; the -race runs in CI exercise the synchronization.
+func TestMapReduceConcurrentMap(t *testing.T) {
+	var calls atomic.Int64
+	var sum int
+	MapReduce(4, 100,
+		func(lo, hi int) int {
+			calls.Add(1)
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += i
+			}
+			return s
+		},
+		func(part int) { sum += part })
+	if want := 100 * 99 / 2; sum != want {
+		t.Errorf("sum = %d, want %d", sum, want)
+	}
+	if calls.Load() == 0 {
+		t.Error("map stage never ran")
+	}
+}
+
+func TestQueuePreservesOrder(t *testing.T) {
+	const n = 10_000
+	var got []int
+	q := NewQueue(16, func(v int) { got = append(got, v) })
+	for i := 0; i < n; i++ {
+		q.Push(i)
+	}
+	q.Close()
+	if len(got) != n {
+		t.Fatalf("consumed %d of %d items", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d holds %d — order broken", i, v)
+		}
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	var count atomic.Int64
+	q := NewQueue(1, func(int) { count.Add(1) }) // tiny buffer forces backpressure
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	q.Close()
+	if count.Load() != 100 {
+		t.Fatalf("Close returned with %d of 100 items consumed", count.Load())
+	}
+}

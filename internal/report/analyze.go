@@ -8,6 +8,7 @@ import (
 	"jitomev/internal/collector"
 	"jitomev/internal/core"
 	"jitomev/internal/jito"
+	"jitomev/internal/parallel"
 	"jitomev/internal/stats"
 )
 
@@ -66,15 +67,55 @@ type Results struct {
 }
 
 // Analyze runs the detector over a collected dataset and computes every
-// reported statistic. solPriceUSD ≤ 0 selects the paper's $242 rate.
+// reported statistic, sharding the detection pass across all cores.
+// solPriceUSD ≤ 0 selects the paper's $242 rate. Equivalent to
+// AnalyzeN(data, det, solPriceUSD, 0).
 func Analyze(data *collector.Dataset, det *core.Detector, solPriceUSD float64) *Results {
+	return AnalyzeN(data, det, solPriceUSD, 0)
+}
+
+// verdictEst sizes the sandwich-verdict preallocation from the length-3
+// population: sandwiches are a small share of length-3 bundles (the paper
+// measured ~1–2%), so 1/16 of the population plus slack avoids regrowth
+// in practice without over-reserving at large scales.
+func verdictEst(n int) int { return n/16 + 8 }
+
+// hit is one positive verdict with its study day, recorded by a detection
+// shard in index order and replayed by the deterministic fan-in.
+type hit struct {
+	v   core.Verdict
+	day int
+}
+
+// len3Shard is one shard's partial result over data.Len3.
+type len3Shard struct {
+	withDetails uint64
+	rejections  [core.NumCriteria]uint64
+	hits        []hit
+}
+
+// longShard is one shard's partial result over data.Long.
+type longShard struct {
+	scanned  uint64
+	verdicts []core.Verdict
+}
+
+// AnalyzeN is Analyze with an explicit worker count: 0 selects
+// GOMAXPROCS, 1 runs the legacy single-core pass (kept as the reference
+// implementation), and any other count shards data.Len3 and data.Long
+// across that many workers. Detection — the hot, pure per-bundle work —
+// runs in the shards; every statistic that cares about order (verdict
+// ordering, float accumulation into totals, time series and ECDF
+// samples) is replayed on the calling goroutine in shard order, so the
+// Results are identical at every worker count, bit for bit.
+func AnalyzeN(data *collector.Dataset, det *core.Detector, solPriceUSD float64, workers int) *Results {
+	workers = parallel.Workers(workers)
 	if solPriceUSD <= 0 {
 		solPriceUSD = stats.SOLPriceUSD
 	}
 	r := &Results{
 		TotalBundles:  data.Collected,
 		Len3Bundles:   uint64(len(data.Len3)),
-		Rejections:    make(map[core.Criterion]uint64),
 		BundlesByDay:  data.Days,
 		AttacksByDay:  stats.NewTimeSeries(),
 		LossSOLByDay:  stats.NewTimeSeries(),
@@ -101,29 +142,24 @@ func Analyze(data *collector.Dataset, det *core.Detector, solPriceUSD float64) *
 		r.Days = r.CollectedDays[len(r.CollectedDays)-1] + 1
 	}
 
-	var lossUSD []float64
-	var sandwichTips []float64
+	est := verdictEst(len(data.Len3))
+	r.Verdicts = make([]core.Verdict, 0, est)
+	lossUSD := make([]float64, 0, est)
+	sandwichTips := make([]float64, 0, est)
+	var rejections [core.NumCriteria]uint64
 
-	for i := range data.Len3 {
-		rec := &data.Len3[i]
-		details, ok := data.DetailsFor(rec)
-		if !ok {
-			continue
-		}
-		r.Len3WithDetails++
-		v := det.Detect(rec, details)
-		if !v.Sandwich {
-			r.Rejections[v.Failed]++
-			continue
-		}
+	// record folds one positive verdict into the results. Both the serial
+	// pass and the parallel fan-in call it in bundle index order, which
+	// pins verdict ordering and float accumulation order to the serial
+	// reference exactly.
+	record := func(v core.Verdict, day int) {
 		r.Sandwiches++
 		r.Verdicts = append(r.Verdicts, v)
-		day := data.Clock.DayOf(rec.Slot)
 		r.AttacksByDay.Add(day, 1)
 		sandwichTips = append(sandwichTips, float64(v.TipLamports))
 		if !v.HasSOL {
 			r.SandwichesNoSOL++
-			continue
+			return
 		}
 		lossSOL := v.VictimLossLamports / 1e9
 		gainSOL := v.AttackerGainLamports / 1e9
@@ -134,19 +170,111 @@ func Analyze(data *collector.Dataset, det *core.Detector, solPriceUSD float64) *
 		lossUSD = append(lossUSD, lossSOL*solPriceUSD)
 	}
 
+	if workers == 1 {
+		// Serial reference pass.
+		var scratch []jito.TxDetail
+		for i := range data.Len3 {
+			rec := &data.Len3[i]
+			var ok bool
+			scratch, ok = data.AppendDetails(scratch[:0], rec)
+			if !ok {
+				continue
+			}
+			r.Len3WithDetails++
+			v := det.Detect(rec, scratch)
+			if !v.Sandwich {
+				rejections[v.Failed]++
+				continue
+			}
+			record(v, data.Clock.DayOf(rec.Slot))
+		}
+	} else {
+		// Sharded pass: workers run the pure per-bundle detection over
+		// contiguous index ranges; the fan-in replays hits in shard order.
+		parallel.MapReduce(workers, len(data.Len3),
+			func(lo, hi int) len3Shard {
+				var sh len3Shard
+				var scratch []jito.TxDetail
+				for i := lo; i < hi; i++ {
+					rec := &data.Len3[i]
+					var ok bool
+					scratch, ok = data.AppendDetails(scratch[:0], rec)
+					if !ok {
+						continue
+					}
+					sh.withDetails++
+					v := det.Detect(rec, scratch)
+					if !v.Sandwich {
+						sh.rejections[v.Failed]++
+						continue
+					}
+					sh.hits = append(sh.hits, hit{v: v, day: data.Clock.DayOf(rec.Slot)})
+				}
+				return sh
+			},
+			func(sh len3Shard) {
+				r.Len3WithDetails += sh.withDetails
+				for c, n := range sh.rejections {
+					rejections[c] += n
+				}
+				for _, h := range sh.hits {
+					record(h.v, h.day)
+				}
+			})
+	}
+
 	// Extended pass over retained longer bundles: recover disguised
 	// sandwiches the length-3 methodology misses by construction.
-	for i := range data.Long {
-		rec := &data.Long[i]
-		details, ok := data.DetailsFor(rec)
-		if !ok {
-			continue
+	if workers == 1 {
+		var scratch []jito.TxDetail
+		for i := range data.Long {
+			rec := &data.Long[i]
+			var ok bool
+			scratch, ok = data.AppendDetails(scratch[:0], rec)
+			if !ok {
+				continue
+			}
+			r.LongBundlesScanned++
+			ev := det.DetectExtended(rec, scratch)
+			for _, v := range ev.Sandwiches {
+				r.DisguisedSandwiches++
+				r.DisguisedVerdicts = append(r.DisguisedVerdicts, v)
+			}
 		}
-		r.LongBundlesScanned++
-		ev := det.DetectExtended(rec, details)
-		for _, v := range ev.Sandwiches {
-			r.DisguisedSandwiches++
-			r.DisguisedVerdicts = append(r.DisguisedVerdicts, v)
+	} else {
+		parallel.MapReduce(workers, len(data.Long),
+			func(lo, hi int) longShard {
+				var sh longShard
+				var scratch []jito.TxDetail
+				for i := lo; i < hi; i++ {
+					rec := &data.Long[i]
+					var ok bool
+					scratch, ok = data.AppendDetails(scratch[:0], rec)
+					if !ok {
+						continue
+					}
+					sh.scanned++
+					ev := det.DetectExtended(rec, scratch)
+					sh.verdicts = append(sh.verdicts, ev.Sandwiches...)
+				}
+				return sh
+			},
+			func(sh longShard) {
+				r.LongBundlesScanned += sh.scanned
+				for _, v := range sh.verdicts {
+					r.DisguisedSandwiches++
+					r.DisguisedVerdicts = append(r.DisguisedVerdicts, v)
+				}
+			})
+	}
+
+	// Export the fixed-size rejection tally as the map the boundary (and
+	// renderers) expect; the serial map never held zero-count entries, so
+	// only observed criteria cross over.
+	r.Rejections = make(map[core.Criterion]uint64, core.NumCriteria)
+	for c, n := range rejections {
+		if n > 0 {
+			r.Rejections[core.Criterion(c)] = n
 		}
 	}
 
@@ -201,19 +329,39 @@ type Truther interface {
 }
 
 // Ablate runs both detectors over the dataset and scores them against
-// ground truth. Only length-3 bundles with fetched details participate
-// (both detectors see identical inputs).
+// ground truth, sharding across all cores. Only length-3 bundles with
+// fetched details participate (both detectors see identical inputs).
+// Equivalent to AblateN(data, det, truth, 0).
 func Ablate(data *collector.Dataset, det *core.Detector, truth Truther) AblationResult {
+	return AblateN(data, det, truth, 0)
+}
+
+// AblateN is Ablate with an explicit worker count (0 = GOMAXPROCS,
+// 1 = serial reference). Confusion counts are integers, so the sharded
+// tally is identical to the serial one at any worker count. truth must
+// be safe for concurrent reads (both ground-truth implementations are
+// read-only after the study runs).
+func AblateN(data *collector.Dataset, det *core.Detector, truth Truther, workers int) AblationResult {
 	var ab AblationResult
-	for i := range data.Len3 {
-		rec := &data.Len3[i]
-		details, ok := data.DetailsFor(rec)
-		if !ok {
-			continue
+	scoreRange := func(lo, hi int) AblationResult {
+		var part AblationResult
+		var scratch []jito.TxDetail
+		for i := lo; i < hi; i++ {
+			rec := &data.Len3[i]
+			var ok bool
+			scratch, ok = data.AppendDetails(scratch[:0], rec)
+			if !ok {
+				continue
+			}
+			actual := truth.IsSandwich(rec.ID)
+			part.Full.Observe(det.Detect(rec, scratch).Sandwich, actual)
+			part.Naive.Observe(core.DetectNaive(rec, scratch).Sandwich, actual)
 		}
-		actual := truth.IsSandwich(rec.ID)
-		ab.Full.Observe(det.Detect(rec, details).Sandwich, actual)
-		ab.Naive.Observe(core.DetectNaive(rec, details).Sandwich, actual)
+		return part
 	}
+	parallel.MapReduce(workers, len(data.Len3), scoreRange, func(part AblationResult) {
+		ab.Full.Merge(part.Full)
+		ab.Naive.Merge(part.Naive)
+	})
 	return ab
 }

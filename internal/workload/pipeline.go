@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"jitomev/internal/jito"
+	"jitomev/internal/parallel"
+)
+
+// accepted is one sink event, carrying exactly what Sink.Accept receives.
+type accepted struct {
+	day int
+	acc *jito.Accepted
+}
+
+// DefaultPipelineDepth bounds the in-flight accept queue of a pipelined
+// sink: deep enough to ride out a production burst while ingest is busy
+// polling, small enough to bound memory to a few MB of record pointers.
+const DefaultPipelineDepth = 4096
+
+// PipelinedSink decouples block production from ingest. Accept enqueues
+// into a bounded ordered queue drained by a single background goroutine
+// calling dst.Accept, so explorer ingest and collector polling overlap
+// bank mutation on another core — while acceptance order is preserved
+// exactly (single producer, FIFO queue, single consumer), keeping the
+// collected dataset byte-identical to a synchronous run.
+//
+// The destination sink must not be read by the producer until Close has
+// returned; the engine allocates a fresh Accepted per landed bundle and
+// never mutates it after handing it to the sink, so the consumer owns
+// each event outright.
+type PipelinedSink struct {
+	q *parallel.Queue[accepted]
+}
+
+// NewPipelinedSink starts the ingest goroutine draining into dst.
+// buffer ≤ 0 selects DefaultPipelineDepth.
+func NewPipelinedSink(dst Sink, buffer int) *PipelinedSink {
+	if buffer <= 0 {
+		buffer = DefaultPipelineDepth
+	}
+	return &PipelinedSink{
+		q: parallel.NewQueue(buffer, func(ev accepted) { dst.Accept(ev.day, ev.acc) }),
+	}
+}
+
+// Accept implements Sink, blocking only when the queue is full.
+func (p *PipelinedSink) Accept(day int, acc *jito.Accepted) {
+	p.q.Push(accepted{day: day, acc: acc})
+}
+
+// Close flushes the queue and stops the ingest goroutine, blocking until
+// every accepted bundle has reached the destination sink.
+func (p *PipelinedSink) Close() { p.q.Close() }
+
+// RunPipelined runs the whole study with ingest pipelined behind block
+// production, returning only after the destination sink has absorbed
+// every accepted bundle. The sink sees the exact event sequence Run
+// would deliver.
+func (s *Study) RunPipelined(sink Sink, buffer int) {
+	ps := NewPipelinedSink(sink, buffer)
+	s.Run(ps)
+	ps.Close()
+}

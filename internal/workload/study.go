@@ -94,6 +94,13 @@ type Study struct {
 	u    *universe
 	rng  *rand.Rand
 	Days []DayStats
+
+	// Per-day scratch buffers reused across RunDay calls: the event mix
+	// holds ~14.8M/Scale entries and the burst schedule two fixed-size
+	// weight tables, all previously reallocated every day of a study.
+	events      []event
+	burstWeight []float64
+	burstCum    []float64
 }
 
 // New builds a study from params (defaults applied).
@@ -157,7 +164,7 @@ func (s *Study) RunDay(day int, sink Sink) {
 		benign3 = 0
 	}
 
-	events := make([]event, 0, nDef+nPri+n2+benign3+n4+n5+nVictims)
+	events := s.events[:0]
 	appendN := func(e event, n int) {
 		for i := 0; i < n; i++ {
 			events = append(events, e)
@@ -203,6 +210,7 @@ func (s *Study) RunDay(day int, sink Sink) {
 	// non-Jito leaders).
 	s.produce(dayStart+solana.SlotsPerDay-1, day, sink, &ds)
 	s.Days = append(s.Days, ds)
+	s.events = events // keep the grown buffer for the next day
 }
 
 // burstSchedule maps event index → slot offset within the day, spreading
@@ -213,7 +221,11 @@ func (s *Study) RunDay(day int, sink Sink) {
 // overlap the paper measured (§3.1).
 func (s *Study) burstSchedule(nEvents int) func(i int) solana.Slot {
 	const windows = 720 // 2-minute windows per day
-	weights := make([]float64, windows)
+	if s.burstWeight == nil {
+		s.burstWeight = make([]float64, windows)
+		s.burstCum = make([]float64, windows+1)
+	}
+	weights := s.burstWeight
 	for w := range weights {
 		weights[w] = 1
 	}
@@ -226,7 +238,8 @@ func (s *Study) burstSchedule(nEvents int) func(i int) solana.Slot {
 			weights[j] = mult
 		}
 	}
-	cum := make([]float64, windows+1)
+	cum := s.burstCum
+	cum[0] = 0
 	for i, w := range weights {
 		cum[i+1] = cum[i] + w
 	}
