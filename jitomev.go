@@ -28,6 +28,7 @@ import (
 	"jitomev/internal/core"
 	"jitomev/internal/explorer"
 	"jitomev/internal/jito"
+	"jitomev/internal/parallel"
 	"jitomev/internal/report"
 	"jitomev/internal/validator"
 	"jitomev/internal/workload"
@@ -72,6 +73,14 @@ type Config struct {
 	// detector over every produced block (transaction order without
 	// bundle boundaries), for comparison against the bundle-aware count.
 	RunBlockScan bool
+
+	// Workers bounds pipeline concurrency: the analysis and ablation
+	// passes shard across this many workers, and generation→ingest runs
+	// pipelined (explorer ingest and collector polling overlap block
+	// production). 0 selects GOMAXPROCS; 1 runs the legacy single-core
+	// reference path (serial analysis, synchronous ingest). Every
+	// setting produces bit-identical Results.
+	Workers int
 }
 
 // Outcome bundles everything a study produces.
@@ -142,14 +151,20 @@ func Run(cfg Config) (*Outcome, error) {
 			blockScanFlags += len(scanDet.DetectBlockScan(blk.TxDetails(), core.BlockScanWindow))
 		}
 	}
-	st.Run(sink)
+	if parallel.Workers(cfg.Workers) > 1 {
+		// Ingest (store writes + polling) never touches the bank, so it
+		// overlaps block production; order and output stay identical.
+		st.RunPipelined(sink, 0)
+	} else {
+		st.Run(sink)
+	}
 
 	if _, err := coll.FetchDetails(); err != nil {
 		return nil, fmt.Errorf("jitomev: fetching details: %w", err)
 	}
 
 	det := core.NewDefaultDetector()
-	res := report.Analyze(coll.Data, det, cfg.SOLPriceUSD)
+	res := report.AnalyzeN(coll.Data, det, cfg.SOLPriceUSD, cfg.Workers)
 	res.OverlapRate = coll.OverlapRate()
 	res.PollCount = coll.Polls
 	res.DetailRequests = coll.DetailRequests
@@ -165,7 +180,7 @@ func Run(cfg Config) (*Outcome, error) {
 		out.CoverageRate = float64(coll.Data.Collected) / float64(store.Len())
 	}
 	if cfg.RunAblation {
-		out.Ablation = report.Ablate(coll.Data, det, truthAdapter{st.GT})
+		out.Ablation = report.AblateN(coll.Data, det, truthAdapter{st.GT}, cfg.Workers)
 	}
 	return out, nil
 }
