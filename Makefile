@@ -1,11 +1,11 @@
 GO ?= go
 
 # Concurrency-bearing packages exercised under the race detector: the
-# worker pool, the sharded analysis fan-in, and the pipelined
-# generation→ingest sink.
-RACE_PKGS = ./internal/parallel ./internal/report ./internal/collector ./internal/workload
+# worker pool, the sharded analysis fan-in, the pipelined
+# generation→ingest sink, and the parallel snapshot encode/decode.
+RACE_PKGS = ./internal/parallel ./internal/report ./internal/collector ./internal/workload ./internal/snapshot
 
-.PHONY: verify build test vet race bench
+.PHONY: verify build test vet race bench bench-json
 
 # verify is the extended tier-1 gate (see ROADMAP.md): build + tests,
 # static checks, and the race suite over the concurrent packages.
@@ -28,3 +28,9 @@ race:
 # runs for real measurements.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# bench-json runs the benchmark suite once and writes BENCH_persist.json
+# (benchmark name → ns/op, B/op, allocs/op, MB/s) so future PRs can diff
+# the performance trajectory mechanically.
+bench-json:
+	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_persist.json

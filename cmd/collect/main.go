@@ -6,9 +6,13 @@
 // Usage:
 //
 //	collect [-url http://127.0.0.1:8899] [-polls 30] [-every 2s] [-page 500]
+//	        [-save data.snap] [-checkpoint 10]
 //
 // -every is wall-clock time between polls (the paper used two minutes; a
 // live explorerd compresses simulated days, so seconds are appropriate).
+// -save persists the dataset on exit; with -checkpoint N it is also
+// checkpointed every N polls. Saves are atomic (temp file + rename), so
+// an interrupted run never corrupts the previous checkpoint.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"jitomev/internal/collector"
 	"jitomev/internal/core"
 	"jitomev/internal/report"
+	"jitomev/internal/snapshot"
 	"jitomev/internal/solana"
 )
 
@@ -32,12 +37,26 @@ func main() {
 		batch    = flag.Int("batch", 10_000, "detail-fetch batch size")
 		backfill = flag.Int("backfill", 0, "backfill pages on broken overlap")
 		save     = flag.String("save", "", "persist the collected dataset to this path")
+		ckpt     = flag.Int("checkpoint", 0, "also checkpoint to -save every N polls (0 = only at exit)")
 	)
 	flag.Parse()
 
 	clock := solana.Clock{Genesis: time.Date(2025, 2, 9, 0, 0, 0, 0, time.UTC)}
 	c := collector.New(collector.Config{PageLimit: *page, DetailBatch: *batch, BackfillPages: *backfill},
 		clock, collector.NewHTTP(*url))
+
+	// saveTo checkpoints atomically: the snapshot lands in a temp file
+	// next to the target and is renamed over it only once fully written
+	// and synced, so a crash mid-save never truncates an existing
+	// checkpoint — the property a months-long collection depends on.
+	saveTo := func(path string) {
+		n, err := snapshot.WriteFileAtomic(path, c.Data.Save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "collect:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved dataset to %s (%d bytes)\n", path, n)
+	}
 
 	for i := 0; i < *polls; i++ {
 		if i > 0 {
@@ -49,6 +68,9 @@ func main() {
 		}
 		fmt.Printf("poll %d: %d bundles collected (%d dups), overlap rate %.1f%%\n",
 			i, c.Data.Collected, c.Data.Duplicates, 100*c.OverlapRate())
+		if *save != "" && *ckpt > 0 && i > 0 && i%*ckpt == 0 {
+			saveTo(*save)
+		}
 	}
 
 	n, err := c.FetchDetails()
@@ -67,19 +89,6 @@ func main() {
 	report.RenderRejections(os.Stdout, res)
 
 	if *save != "" {
-		f, err := os.Create(*save)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "collect:", err)
-			os.Exit(1)
-		}
-		if err := c.Data.Save(f); err != nil {
-			fmt.Fprintln(os.Stderr, "collect:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "collect:", err)
-			os.Exit(1)
-		}
-		fmt.Println("saved dataset to", *save)
+		saveTo(*save)
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"jitomev"
 	"jitomev/internal/report"
+	"jitomev/internal/snapshot"
 	"jitomev/internal/workload"
 )
 
@@ -133,20 +134,12 @@ func main() {
 	}
 
 	if *saveData != "" {
-		f, err := os.Create(*saveData)
+		n, err := snapshot.WriteFileAtomic(*saveData, out.Collector.Data.Save)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jitosim:", err)
 			os.Exit(1)
 		}
-		if err := out.Collector.Data.Save(f); err != nil {
-			fmt.Fprintln(os.Stderr, "jitosim:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "jitosim:", err)
-			os.Exit(1)
-		}
-		fmt.Println("saved dataset to", *saveData)
+		fmt.Printf("saved dataset to %s (%d bytes)\n", *saveData, n)
 	}
 
 	if *csvPath != "" {

@@ -23,10 +23,10 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "headline", "headline|1|2|3|4|rejections|ablation|csv|table1")
-		days   = flag.Int("days", 60, "study length in days")
-		scale  = flag.Int("scale", 5_000, "volume divisor vs paper scale")
-		seed   = flag.Int64("seed", 1, "deterministic seed")
+		fig     = flag.String("fig", "headline", "headline|1|2|3|4|rejections|ablation|csv|table1")
+		days    = flag.Int("days", 60, "study length in days")
+		scale   = flag.Int("scale", 5_000, "volume divisor vs paper scale")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
 		points  = flag.Int("points", 25, "CDF points for figure 3")
 		load    = flag.String("load", "", "analyze a saved dataset instead of regenerating")
 		workers = flag.Int("workers", 0, "analysis workers: 0 = all cores, 1 = serial reference path")
@@ -88,7 +88,7 @@ func renderFromFile(path, fig string, points, workers int) {
 		os.Exit(1)
 	}
 	defer f.Close()
-	data, err := collector.LoadDataset(f, 1024)
+	data, err := collector.LoadDatasetWorkers(f, 1024, workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "report:", err)
 		os.Exit(1)

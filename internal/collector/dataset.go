@@ -2,23 +2,17 @@ package collector
 
 import (
 	"jitomev/internal/jito"
+	"jitomev/internal/snapshot"
 	"jitomev/internal/solana"
 	"jitomev/internal/stats"
 )
 
 // DayAgg aggregates one study day of collected bundles — the per-day
-// series behind Figures 1 and 2.
-type DayAgg struct {
-	Bundles  uint64
-	Txs      uint64
-	ByLength [jito.MaxBundleTxs + 1]uint64
-
-	// Defensive-bundling aggregates (paper §3.3 classification applied
-	// at ingest so length-1 bundles never need to be retained).
-	DefensiveCount uint64
-	PriorityCount  uint64
-	DefensiveSpend uint64 // lamports
-}
+// series behind Figures 1 and 2. The definition lives in the snapshot
+// package (the persistence layer encodes it and cannot import the
+// collector); this alias keeps collector.DayAgg the canonical name for
+// every consumer.
+type DayAgg = snapshot.DayAgg
 
 // Dataset is everything the collector keeps: per-day aggregates and tip
 // histograms for all traffic, plus full records (and later, details) for

@@ -1,6 +1,7 @@
 package collector
 
 import (
+	"bufio"
 	"compress/gzip"
 	"encoding/gob"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"jitomev/internal/jito"
+	"jitomev/internal/snapshot"
 	"jitomev/internal/solana"
 	"jitomev/internal/stats"
 )
@@ -18,15 +20,18 @@ func unixNano(ns int64) time.Time { return time.Unix(0, ns).UTC() }
 // Dataset persistence: a four-month collection is too valuable to re-run
 // (the paper's actual dataset took four months of wall time to gather),
 // so the collector can checkpoint what it has and analysis tools can load
-// it without regenerating. The format is gzip-compressed gob of a stable
-// snapshot struct, versioned for forward compatibility.
+// it without regenerating. Save writes the sharded columnar v2 format
+// (package snapshot): parallel encode/decode, byte-identical output at
+// every worker count. LoadDataset sniffs the version and retains the v1
+// single-stream gzip+gob format read-only, so every checkpoint ever
+// written stays loadable.
 
-// snapshotVersion guards the on-disk layout.
-const snapshotVersion = 1
+// v1SnapshotVersion guards the legacy gob layout.
+const v1SnapshotVersion = 1
 
-// datasetSnapshot is the persisted form of a Dataset. Only collection
-// results travel; transient machinery (dedup window) restarts fresh.
-type datasetSnapshot struct {
+// datasetSnapshotV1 is the v1 persisted form of a Dataset, kept for
+// decoding old checkpoints (and for benchmarking v2 against v1).
+type datasetSnapshotV1 struct {
 	Version  int
 	Genesis  int64 // UnixNano of the chain clock genesis
 	Days     map[int]*DayAgg
@@ -40,14 +45,48 @@ type datasetSnapshot struct {
 	Duplicates uint64
 }
 
-// Save writes the dataset to w. The dedup window is not persisted; a
-// loaded dataset resumes collection with a fresh window, which can at
-// worst re-ingest a page boundary's worth of duplicates (and they will be
-// dropped by the record-level dedup on analysis keys).
+// snapshotView is the persistence view of d: shared slices and maps, no
+// copies. The dedup window is deliberately absent; a loaded dataset
+// resumes collection with a fresh window (see LoadDataset).
+func (d *Dataset) snapshotView() *snapshot.Snapshot {
+	return &snapshot.Snapshot{
+		Genesis:    d.Clock.Genesis.UnixNano(),
+		Days:       d.Days,
+		TipsLen1:   d.TipsLen1,
+		TipsLen3:   d.TipsLen3,
+		Len3:       d.Len3,
+		Long:       d.Long,
+		Details:    d.Details,
+		Collected:  d.Collected,
+		Duplicates: d.Duplicates,
+	}
+}
+
+// Save writes the dataset to w in the v2 snapshot format using every
+// core. The dedup window is not persisted; a loaded dataset resumes
+// collection with a fresh window, which can at worst re-ingest a page
+// boundary's worth of duplicates (and they will be dropped by the
+// record-level dedup on analysis keys).
 func (d *Dataset) Save(w io.Writer) error {
+	return d.SaveWorkers(w, 0)
+}
+
+// SaveWorkers is Save with an explicit worker count (0 = all cores,
+// 1 = serial). The bytes written are identical for every worker count.
+func (d *Dataset) SaveWorkers(w io.Writer, workers int) error {
+	if err := snapshot.Write(w, d.snapshotView(), workers); err != nil {
+		return fmt.Errorf("collector: encoding dataset: %w", err)
+	}
+	return nil
+}
+
+// saveV1 writes the legacy gzip+gob format. Unexported: kept only so
+// tests and benchmarks can produce v1 inputs (the golden fixture,
+// v1→v2 equivalence, and the before/after benchmark baseline).
+func (d *Dataset) saveV1(w io.Writer) error {
 	zw := gzip.NewWriter(w)
-	snap := datasetSnapshot{
-		Version:    snapshotVersion,
+	snap := datasetSnapshotV1{
+		Version:    v1SnapshotVersion,
 		Genesis:    d.Clock.Genesis.UnixNano(),
 		Days:       d.Days,
 		TipsLen1:   d.TipsLen1,
@@ -68,27 +107,65 @@ func (d *Dataset) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadDataset reads a dataset previously written by Save. windowSize
+// LoadDataset reads a dataset previously written by Save — either
+// format; the version is sniffed from the leading bytes. windowSize
 // shapes the fresh dedup window for any subsequent ingestion.
 func LoadDataset(r io.Reader, windowSize int) (*Dataset, error) {
-	zr, err := gzip.NewReader(r)
+	return LoadDatasetWorkers(r, windowSize, 0)
+}
+
+// LoadDatasetWorkers is LoadDataset with an explicit worker count for
+// the v2 parallel decode path (0 = all cores, 1 = serial).
+func LoadDatasetWorkers(r io.Reader, windowSize, workers int) (*Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(2)
 	if err != nil {
 		return nil, fmt.Errorf("collector: opening dataset: %w", err)
 	}
-	defer zr.Close()
-
-	var snap datasetSnapshot
-	if err := gob.NewDecoder(zr).Decode(&snap); err != nil {
+	var snap *snapshot.Snapshot
+	if head[0] == 0x1f && head[1] == 0x8b { // gzip magic: the v1 stream
+		snap, err = loadV1(br)
+	} else {
+		snap, err = snapshot.Read(br, workers)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("collector: decoding dataset: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("collector: dataset version %d, want %d", snap.Version, snapshotVersion)
-	}
+	return datasetFromSnapshot(snap, windowSize), nil
+}
 
+// loadV1 decodes the legacy single-stream gzip+gob format.
+func loadV1(r io.Reader) (*snapshot.Snapshot, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	var snap datasetSnapshotV1
+	if err := gob.NewDecoder(zr).Decode(&snap); err != nil {
+		return nil, err
+	}
+	if snap.Version != v1SnapshotVersion {
+		return nil, fmt.Errorf("dataset version %d, want %d", snap.Version, v1SnapshotVersion)
+	}
+	return &snapshot.Snapshot{
+		Genesis:    snap.Genesis,
+		Days:       snap.Days,
+		TipsLen1:   snap.TipsLen1,
+		TipsLen3:   snap.TipsLen3,
+		Len3:       snap.Len3,
+		Long:       snap.Long,
+		Details:    snap.Details,
+		Collected:  snap.Collected,
+		Duplicates: snap.Duplicates,
+	}, nil
+}
+
+// datasetFromSnapshot rebuilds a live dataset around the decoded state.
+func datasetFromSnapshot(snap *snapshot.Snapshot, windowSize int) *Dataset {
 	d := NewDataset(solana.Clock{Genesis: unixNano(snap.Genesis)}, windowSize)
-	d.Days = snap.Days
-	if d.Days == nil {
-		d.Days = make(map[int]*DayAgg)
+	if snap.Days != nil {
+		d.Days = snap.Days
 	}
 	if snap.TipsLen1 != nil {
 		d.TipsLen1 = snap.TipsLen1
@@ -98,9 +175,8 @@ func LoadDataset(r io.Reader, windowSize int) (*Dataset, error) {
 	}
 	d.Len3 = snap.Len3
 	d.Long = snap.Long
-	d.Details = snap.Details
-	if d.Details == nil {
-		d.Details = make(map[solana.Signature]jito.TxDetail)
+	if snap.Details != nil {
+		d.Details = snap.Details
 	}
 	d.Collected = snap.Collected
 	d.Duplicates = snap.Duplicates
@@ -118,5 +194,5 @@ func LoadDataset(r io.Reader, windowSize int) (*Dataset, error) {
 	}
 	reseed(d.Len3)
 	reseed(d.Long)
-	return d, nil
+	return d
 }

@@ -3,7 +3,9 @@ package collector
 import (
 	"bytes"
 	"compress/gzip"
+	"flag"
 	"net/http/httptest"
+	"os"
 	"testing"
 
 	"jitomev/internal/jito"
@@ -230,4 +232,187 @@ func TestBackfillOverHTTP(t *testing.T) {
 	if c.Data.Collected != 25 {
 		t.Errorf("HTTP backfill collected %d, want 25", c.Data.Collected)
 	}
+}
+
+// updateGolden regenerates testdata/v1-golden.snap with the legacy v1
+// encoder: go test ./internal/collector -run GoldenV1 -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite the v1 golden fixture")
+
+// goldenDataset is the hand-built dataset behind the v1 golden fixture.
+// Fully deterministic — no workload, no randomness — so the assertions
+// in TestGoldenV1Fixture can be exact.
+func goldenDataset() *Dataset {
+	d := NewDataset(testClock, 64)
+	var signerA, signerB, mintSOL, mintMEME solana.Pubkey
+	signerA[0], signerB[0], mintSOL[0], mintMEME[0] = 0xAA, 0xBB, 0x01, 0x02
+	for i := 0; i < 30; i++ {
+		rec := jito.BundleRecord{
+			Seq:      uint64(i + 1),
+			Slot:     solana.Slot(i) * 90_000,
+			UnixMs:   1_739_059_200_000 + int64(i)*40_000_000,
+			TipLamps: uint64(500 * (i + 1)),
+		}
+		rec.ID[0], rec.ID[31] = byte(i), 0x77
+		n := 1 + i%5
+		for j := 0; j < n; j++ {
+			var sig solana.Signature
+			sig[0], sig[1], sig[63] = byte(i), byte(j), 0x3C
+			rec.TxIDs = append(rec.TxIDs, sig)
+		}
+		d.Ingest(rec)
+	}
+	for r := range d.Len3 {
+		rec := &d.Len3[r]
+		for j, sig := range rec.TxIDs {
+			det := jito.TxDetail{Sig: sig, Signer: signerA, Slot: rec.Slot,
+				TipLamports: rec.TipLamps * uint64(j)}
+			if j == 1 {
+				det.Signer = signerB
+				det.TokenDeltas = []jito.TokenDelta{
+					{Owner: signerB, Mint: mintSOL, Delta: -1_000_000},
+					{Owner: signerB, Mint: mintMEME, Delta: 42},
+				}
+			}
+			if j == 2 {
+				det.Failed, det.TipOnly = true, true
+			}
+			d.Details[sig] = det
+		}
+	}
+	return d
+}
+
+// datasetsEquivalent asserts a and b carry the same collection results.
+func datasetsEquivalent(t *testing.T, want, got *Dataset) {
+	t.Helper()
+	if !got.Clock.Genesis.Equal(want.Clock.Genesis) {
+		t.Errorf("genesis: %v vs %v", got.Clock.Genesis, want.Clock.Genesis)
+	}
+	if got.Collected != want.Collected || got.Duplicates != want.Duplicates {
+		t.Errorf("counters: %d/%d vs %d/%d",
+			got.Collected, got.Duplicates, want.Collected, want.Duplicates)
+	}
+	if len(got.Days) != len(want.Days) {
+		t.Fatalf("days: %d vs %d", len(got.Days), len(want.Days))
+	}
+	for day, agg := range want.Days {
+		g := got.Days[day]
+		if g == nil || *g != *agg {
+			t.Fatalf("day %d: %+v vs %+v", day, g, agg)
+		}
+	}
+	wantH1, _ := want.TipsLen1.MarshalBinary()
+	gotH1, _ := got.TipsLen1.MarshalBinary()
+	wantH3, _ := want.TipsLen3.MarshalBinary()
+	gotH3, _ := got.TipsLen3.MarshalBinary()
+	if !bytes.Equal(wantH1, gotH1) || !bytes.Equal(wantH3, gotH3) {
+		t.Error("tip histograms diverge")
+	}
+	for _, recs := range []struct {
+		name      string
+		want, got []jito.BundleRecord
+	}{{"len3", want.Len3, got.Len3}, {"long", want.Long, got.Long}} {
+		if len(recs.want) != len(recs.got) {
+			t.Fatalf("%s: %d vs %d", recs.name, len(recs.got), len(recs.want))
+		}
+		for i := range recs.want {
+			if !recs.want[i].Equal(&recs.got[i]) {
+				t.Fatalf("%s[%d]: %+v vs %+v", recs.name, i, recs.got[i], recs.want[i])
+			}
+		}
+	}
+	if len(got.Details) != len(want.Details) {
+		t.Fatalf("details: %d vs %d", len(got.Details), len(want.Details))
+	}
+	for sig, det := range want.Details {
+		g, ok := got.Details[sig]
+		if !ok || !det.Equal(&g) {
+			t.Fatalf("detail %x: %+v vs %+v", sig[:4], g, det)
+		}
+	}
+}
+
+// TestGoldenV1Fixture pins backward compatibility: the checked-in v1
+// (gzip+gob) snapshot must keep decoding through LoadDataset forever,
+// whatever format Save currently writes.
+func TestGoldenV1Fixture(t *testing.T) {
+	const path = "testdata/v1-golden.snap"
+	if *updateGolden {
+		var buf bytes.Buffer
+		if err := goldenDataset().saveV1(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loaded, err := LoadDataset(f, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEquivalent(t, goldenDataset(), loaded)
+}
+
+// TestV1V2Equivalence: the same dataset saved through the legacy gob
+// path and the v2 sharded path must load back identical.
+func TestV1V2Equivalence(t *testing.T) {
+	d := collectedDataset(t).Data
+
+	var v1, v2 bytes.Buffer
+	if err := d.saveV1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Save(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Bytes()[0] == 0x1f {
+		t.Fatal("Save still writes the v1 gzip stream")
+	}
+
+	fromV1, err := LoadDataset(&v1, 200)
+	if err != nil {
+		t.Fatalf("v1 load: %v", err)
+	}
+	fromV2, err := LoadDataset(&v2, 200)
+	if err != nil {
+		t.Fatalf("v2 load: %v", err)
+	}
+	datasetsEquivalent(t, d, fromV1)
+	datasetsEquivalent(t, d, fromV2)
+	datasetsEquivalent(t, fromV1, fromV2)
+}
+
+// TestSaveByteIdenticalAcrossWorkers: checkpoint bytes are a pure
+// function of the dataset, not of the machine's core count.
+func TestSaveByteIdenticalAcrossWorkers(t *testing.T) {
+	d := collectedDataset(t).Data
+	var ref bytes.Buffer
+	if err := d.SaveWorkers(&ref, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5, 0} {
+		var buf bytes.Buffer
+		if err := d.SaveWorkers(&buf, workers); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ref.Bytes(), buf.Bytes()) {
+			t.Fatalf("workers=%d: %d bytes vs %d-byte reference, or content drift",
+				workers, buf.Len(), ref.Len())
+		}
+	}
+	// And a parallel load of those bytes round-trips.
+	loaded, err := LoadDatasetWorkers(&ref, 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEquivalent(t, d, loaded)
 }

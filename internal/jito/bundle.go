@@ -182,6 +182,23 @@ type BundleRecord struct {
 // NumTxs returns the bundle length.
 func (r *BundleRecord) NumTxs() int { return len(r.TxIDs) }
 
+// Equal reports whether two records carry the same data. A nil and an
+// empty TxIDs slice compare equal: serialization round trips (gob and
+// the snapshot codecs alike) do not preserve that distinction.
+func (r *BundleRecord) Equal(o *BundleRecord) bool {
+	if r.Seq != o.Seq || r.ID != o.ID || r.Slot != o.Slot ||
+		r.UnixMs != o.UnixMs || r.TipLamps != o.TipLamps ||
+		len(r.TxIDs) != len(o.TxIDs) {
+		return false
+	}
+	for i := range r.TxIDs {
+		if r.TxIDs[i] != o.TxIDs[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Tip returns the bundle tip.
 func (r *BundleRecord) Tip() solana.Lamports { return solana.Lamports(r.TipLamps) }
 
@@ -205,6 +222,22 @@ type TxDetail struct {
 	TipLamports uint64           `json:"tipLamports,omitempty"`
 	TipOnly     bool             `json:"tipOnly,omitempty"`
 	TokenDeltas []TokenDelta     `json:"tokenDeltas,omitempty"`
+}
+
+// Equal reports whether two details carry the same data, treating nil
+// and empty TokenDeltas as equal (see BundleRecord.Equal).
+func (d *TxDetail) Equal(o *TxDetail) bool {
+	if d.Sig != o.Sig || d.Signer != o.Signer || d.Slot != o.Slot ||
+		d.Failed != o.Failed || d.TipLamports != o.TipLamports ||
+		d.TipOnly != o.TipOnly || len(d.TokenDeltas) != len(o.TokenDeltas) {
+		return false
+	}
+	for i := range d.TokenDeltas {
+		if d.TokenDeltas[i] != o.TokenDeltas[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // DetailFromResult converts an execution result into the Explorer's detail

@@ -357,3 +357,73 @@ func TestSimulateReportsDoomedBundle(t *testing.T) {
 		t.Error("failed simulation leaked state")
 	}
 }
+
+func TestBundleRecordEqual(t *testing.T) {
+	base := BundleRecord{
+		Seq:      7,
+		ID:       BundleID{1, 2, 3},
+		Slot:     99,
+		UnixMs:   -12345,
+		TipLamps: 1047,
+		TxIDs:    []solana.Signature{{1}, {2}, {3}},
+	}
+	same := base
+	same.TxIDs = append([]solana.Signature(nil), base.TxIDs...)
+	if !base.Equal(&same) {
+		t.Error("identical records compare unequal")
+	}
+	empty := BundleRecord{}
+	emptySlice := BundleRecord{TxIDs: []solana.Signature{}}
+	if !empty.Equal(&emptySlice) {
+		t.Error("nil vs empty TxIDs must compare equal (serialization does not preserve the distinction)")
+	}
+	for _, mut := range []func(*BundleRecord){
+		func(r *BundleRecord) { r.Seq++ },
+		func(r *BundleRecord) { r.ID[0]++ },
+		func(r *BundleRecord) { r.Slot++ },
+		func(r *BundleRecord) { r.UnixMs++ },
+		func(r *BundleRecord) { r.TipLamps++ },
+		func(r *BundleRecord) { r.TxIDs = r.TxIDs[:2] },
+		func(r *BundleRecord) { r.TxIDs[1][0]++ },
+	} {
+		mod := base
+		mod.TxIDs = append([]solana.Signature(nil), base.TxIDs...)
+		mut(&mod)
+		if base.Equal(&mod) {
+			t.Error("mutated record compares equal")
+		}
+	}
+}
+
+func TestTxDetailEqual(t *testing.T) {
+	owner := solana.Pubkey{9}
+	base := TxDetail{
+		Sig:         solana.Signature{5},
+		Signer:      solana.Pubkey{6},
+		Slot:        42,
+		Failed:      true,
+		TipOnly:     false,
+		TipLamports: 1000,
+		TokenDeltas: []TokenDelta{{Owner: owner, Mint: solana.Pubkey{7}, Delta: -55}},
+	}
+	same := base
+	same.TokenDeltas = append([]TokenDelta(nil), base.TokenDeltas...)
+	if !base.Equal(&same) {
+		t.Error("identical details compare unequal")
+	}
+	noDeltas := TxDetail{Sig: base.Sig}
+	emptyDeltas := TxDetail{Sig: base.Sig, TokenDeltas: []TokenDelta{}}
+	if !noDeltas.Equal(&emptyDeltas) {
+		t.Error("nil vs empty Deltas must compare equal")
+	}
+	mod := same
+	mod.TokenDeltas = []TokenDelta{{Owner: owner, Mint: solana.Pubkey{7}, Delta: 55}}
+	if base.Equal(&mod) {
+		t.Error("flipped delta sign compares equal")
+	}
+	mod2 := same
+	mod2.TipOnly = true
+	if base.Equal(&mod2) {
+		t.Error("flag change compares equal")
+	}
+}

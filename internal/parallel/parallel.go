@@ -91,6 +91,70 @@ func MapReduce[T any](workers, n int, mapRange func(lo, hi int) T, reduce func(T
 	}
 }
 
+// OrderedStream runs produce(0..n-1) on a bounded pool of workers and
+// feeds every result to consume in strict index order on the calling
+// goroutine. Unlike MapReduce it never buffers more than ~2×workers
+// results: a worker must hold a window token before claiming an index,
+// and the consumer returns tokens as it drains, so peak memory is
+// bounded by the window rather than n. The snapshot writer uses this to
+// compress shards on every core while emitting them to a single
+// io.Writer in a deterministic order.
+//
+// produce runs concurrently and must not share mutable state; consume
+// always runs on the calling goroutine.
+func OrderedStream[T any](workers, n int, produce func(int) T, consume func(T)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			consume(produce(i))
+		}
+		return
+	}
+
+	window := 2 * workers
+	if window > n {
+		window = n
+	}
+	sem := make(chan struct{}, window)
+	out := make([]chan T, n)
+	for i := range out {
+		out[i] = make(chan T, 1)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Acquire the window slot before claiming an index:
+				// indices are claimed in order, so every unconsumed
+				// index below the newest claim holds a token and the
+				// consumer can always make progress.
+				sem <- struct{}{}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					<-sem
+					return
+				}
+				out[i] <- produce(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		consume(<-out[i])
+		<-sem
+	}
+	wg.Wait()
+}
+
 // Queue is a bounded FIFO connecting one producer to one consumer
 // goroutine. Push blocks while the buffer is full (backpressure rather
 // than unbounded memory), and items are consumed strictly in push order,

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkers(t *testing.T) {
@@ -123,5 +124,58 @@ func TestQueueCloseDrains(t *testing.T) {
 	q.Close()
 	if count.Load() != 100 {
 		t.Fatalf("Close returned with %d of 100 items consumed", count.Load())
+	}
+}
+
+func TestOrderedStreamOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		const n = 500
+		var got []int
+		OrderedStream(workers, n,
+			func(i int) int {
+				if i%7 == 0 {
+					time.Sleep(time.Microsecond) // stagger completion order
+				}
+				return i * i
+			},
+			func(v int) { got = append(got, v) })
+		if len(got) != n {
+			t.Fatalf("workers=%d consumed %d of %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d position %d holds %d — order broken", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestOrderedStreamEmpty(t *testing.T) {
+	called := false
+	OrderedStream(4, 0, func(int) int { return 0 }, func(int) { called = true })
+	if called {
+		t.Error("consume ran with n=0")
+	}
+}
+
+// TestOrderedStreamBoundedWindow asserts the memory guarantee: no more
+// than 2×workers results exist unconsumed at any moment.
+func TestOrderedStreamBoundedWindow(t *testing.T) {
+	const workers, n = 3, 200
+	var inFlight, peak atomic.Int64
+	OrderedStream(workers, n,
+		func(i int) int {
+			v := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if v <= p || peak.CompareAndSwap(p, v) {
+					break
+				}
+			}
+			return i
+		},
+		func(int) { inFlight.Add(-1) })
+	if p := peak.Load(); p > 2*workers {
+		t.Errorf("peak in-flight %d exceeds window %d", p, 2*workers)
 	}
 }

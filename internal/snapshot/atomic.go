@@ -1,0 +1,47 @@
+package snapshot
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a snapshot (or any stream) to path without ever
+// exposing a partial file: the payload lands in a temporary file in the
+// destination directory, is synced, and is renamed over path only on
+// success. A crash mid-save leaves any previous checkpoint untouched —
+// the property the collector relies on for mid-run checkpointing of a
+// months-long collection. Returns the byte count written.
+func WriteFileAtomic(path string, write func(w io.Writer) error) (int64, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+
+	if err := write(tmp); err != nil {
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		return 0, fmt.Errorf("snapshot: syncing %s: %w", tmp.Name(), err)
+	}
+	info, err := tmp.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("snapshot: closing %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, fmt.Errorf("snapshot: publishing %s: %w", path, err)
+	}
+	tmp = nil // published: disarm the cleanup
+	return info.Size(), nil
+}

@@ -1,0 +1,65 @@
+package snapshot
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.snap")
+	n, err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("hello snapshot"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len("hello snapshot")) {
+		t.Errorf("reported %d bytes", n)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello snapshot" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+}
+
+// TestWriteFileAtomicPreservesOldOnFailure is the property the collector
+// checkpoints rely on: a failed save must leave the previous checkpoint
+// byte-for-byte intact and no temp litter behind.
+func TestWriteFileAtomicPreservesOldOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.snap")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	_, err := WriteFileAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("partial garbage"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "precious" {
+		t.Fatalf("previous checkpoint damaged: %q, %v", got, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("temp file leaked: %d entries in dir", len(entries))
+	}
+}
+
+func TestWriteFileAtomicMissingDir(t *testing.T) {
+	_, err := WriteFileAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "x"),
+		func(io.Writer) error { return nil })
+	if err == nil {
+		t.Error("write into a missing directory succeeded")
+	}
+}

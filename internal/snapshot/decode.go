@@ -1,0 +1,514 @@
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"io"
+	"sync"
+
+	"jitomev/internal/jito"
+	"jitomev/internal/parallel"
+	"jitomev/internal/solana"
+	"jitomev/internal/stats"
+)
+
+// maxShardBytes bounds any single frame's claimed raw or compressed
+// length. Honest writers stay far below it (shards are ~1 MiB); it
+// exists so a corrupt or hostile length prefix cannot demand an
+// arbitrary allocation before the payload is even read.
+const maxShardBytes = 1 << 28
+
+var gzipReaders = sync.Pool{New: func() any { return new(gzip.Reader) }}
+
+// decompressShard inflates blob, whose decompressed size must be exactly
+// rawLen.
+func decompressShard(blob []byte, rawLen int) ([]byte, error) {
+	zr := gzipReaders.Get().(*gzip.Reader)
+	defer gzipReaders.Put(zr)
+	if err := zr.Reset(bytes.NewReader(blob)); err != nil {
+		return nil, corrupt("shard gzip header: %v", err)
+	}
+	raw := make([]byte, rawLen)
+	if _, err := io.ReadFull(zr, raw); err != nil {
+		return nil, corrupt("shard inflate: %v", err)
+	}
+	// One byte past the claimed length must be clean EOF — this read
+	// also forces the gzip trailer check, so a corrupted blob fails on
+	// its CRC here even when it inflates to the right length.
+	var one [1]byte
+	if n, err := zr.Read(one[:]); n != 0 || err != io.EOF {
+		return nil, corrupt("shard not exactly %d declared bytes: %v", rawLen, err)
+	}
+	return raw, nil
+}
+
+// frameHeader is the per-shard prefix.
+type frameHeader struct {
+	items, rawLen, compLen int
+}
+
+func readFrame(br *bufio.Reader, itemsLeft int) (frameHeader, []byte, error) {
+	var h frameHeader
+	for _, dst := range []*int{&h.items, &h.rawLen, &h.compLen} {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return h, nil, corrupt("shard header: %v", err)
+		}
+		if v > maxShardBytes {
+			return h, nil, corrupt("shard length %d exceeds limit", v)
+		}
+		*dst = int(v)
+	}
+	if h.items > itemsLeft {
+		return h, nil, corrupt("shard items %d overflow section total", h.items)
+	}
+	blob := make([]byte, h.compLen)
+	if _, err := io.ReadFull(br, blob); err != nil {
+		return h, nil, corrupt("shard body: %v", err)
+	}
+	return h, blob, nil
+}
+
+// forEachShard reads shardCount frames from br in order, decompressing
+// and decoding them on a bounded pool of workers: the serial reader
+// stays ahead of the pool by at most ~2×workers shards, so peak
+// transient memory is bounded by the shard size, not the section.
+// handle(base, items, raw) is invoked once per shard with base = the sum
+// of preceding shards' items; it must be safe for concurrent calls on
+// distinct shards.
+func forEachShard(br *bufio.Reader, shardCount, totalItems, workers int, handle func(base, items int, raw []byte) error) error {
+	workers = parallel.Workers(workers)
+	if workers == 1 || shardCount <= 1 {
+		base := 0
+		for i := 0; i < shardCount; i++ {
+			h, blob, err := readFrame(br, totalItems-base)
+			if err != nil {
+				return err
+			}
+			raw, err := decompressShard(blob, h.rawLen)
+			if err != nil {
+				return err
+			}
+			if err := handle(base, h.items, raw); err != nil {
+				return err
+			}
+			base += h.items
+		}
+		if base != totalItems {
+			return corrupt("section holds %d items, header declared %d", base, totalItems)
+		}
+		return nil
+	}
+
+	type job struct {
+		base int
+		h    frameHeader
+		blob []byte
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	jobs := make(chan job, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if failed() {
+					continue
+				}
+				raw, err := decompressShard(j.blob, j.h.rawLen)
+				if err == nil {
+					err = handle(j.base, j.h.items, raw)
+				}
+				if err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+
+	base := 0
+	for i := 0; i < shardCount && !failed(); i++ {
+		h, blob, err := readFrame(br, totalItems-base)
+		if err != nil {
+			fail(err)
+			break
+		}
+		jobs <- job{base: base, h: h, blob: blob}
+		base += h.items
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if base != totalItems {
+		return corrupt("section holds %d items, header declared %d", base, totalItems)
+	}
+	return nil
+}
+
+// Read decodes a v2 snapshot from r. workers bounds the shard
+// decompress/decode pool (0 = all cores, 1 = serial).
+func Read(r io.Reader, workers int) (*Snapshot, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	var magic [len(Magic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, corrupt("magic: %v", err)
+	}
+	if string(magic[:]) != Magic {
+		return nil, corrupt("bad magic %q (not a v2 snapshot)", magic[:])
+	}
+
+	s := &Snapshot{}
+	var interned []solana.Pubkey
+	seen := make(map[byte]bool)
+	for {
+		id, err := br.ReadByte()
+		if err != nil {
+			return nil, corrupt("section id: %v", err)
+		}
+		if id == secEnd {
+			break
+		}
+		if seen[id] {
+			return nil, corrupt("duplicate section %#x", id)
+		}
+		seen[id] = true
+
+		shards64, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, corrupt("shard count: %v", err)
+		}
+		total64, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, corrupt("item count: %v", err)
+		}
+		if shards64 > 1<<24 || total64 > 1<<40 {
+			return nil, corrupt("implausible section shape %d/%d", shards64, total64)
+		}
+		shards, total := int(shards64), int(total64)
+
+		switch id {
+		case secMeta:
+			err = forEachShard(br, shards, total, 1, func(_, _ int, raw []byte) error {
+				if len(raw) != 24 {
+					return corrupt("meta payload %d bytes, want 24", len(raw))
+				}
+				s.Genesis = int64(binary.LittleEndian.Uint64(raw[0:]))
+				s.Collected = binary.LittleEndian.Uint64(raw[8:])
+				s.Duplicates = binary.LittleEndian.Uint64(raw[16:])
+				return nil
+			})
+		case secDays:
+			if total > 0 {
+				s.Days = make(map[int]*DayAgg, total)
+			}
+			err = forEachShard(br, shards, total, 1, func(_, items int, raw []byte) error {
+				return decodeDays(s.Days, items, raw)
+			})
+		case secTipsLen1:
+			s.TipsLen1, err = readHistogram(br, shards, total)
+		case secTipsLen3:
+			s.TipsLen3, err = readHistogram(br, shards, total)
+		case secInterns:
+			if total > 0 {
+				interned = make([]solana.Pubkey, total)
+			}
+			err = forEachShard(br, shards, total, workers, func(base, items int, raw []byte) error {
+				if len(raw) != 32*items {
+					return corrupt("intern shard %d bytes for %d keys", len(raw), items)
+				}
+				for i := 0; i < items; i++ {
+					copy(interned[base+i][:], raw[32*i:])
+				}
+				return nil
+			})
+		case secLen3, secLong:
+			var recs []jito.BundleRecord
+			if total > 0 {
+				recs = make([]jito.BundleRecord, total)
+			}
+			err = forEachShard(br, shards, total, workers, func(base, items int, raw []byte) error {
+				return decodeRecordShard(recs[base:base+items], raw)
+			})
+			if id == secLen3 {
+				s.Len3 = recs
+			} else {
+				s.Long = recs
+			}
+		case secDetails:
+			s.Details = make(map[solana.Signature]jito.TxDetail, total)
+			var mu sync.Mutex
+			err = forEachShard(br, shards, total, workers, func(_, items int, raw []byte) error {
+				return decodeDetailShard(s.Details, &mu, items, raw, interned)
+			})
+		default:
+			return nil, corrupt("unknown section %#x", id)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !seen[secMeta] {
+		return nil, corrupt("missing meta section")
+	}
+	return s, nil
+}
+
+// readHistogram decodes a histogram section: 0 shards means nil.
+func readHistogram(br *bufio.Reader, shards, total int) (*stats.LogHistogram, error) {
+	if shards == 0 {
+		return nil, nil
+	}
+	h := new(stats.LogHistogram)
+	err := forEachShard(br, shards, total, 1, func(_, _ int, raw []byte) error {
+		return h.UnmarshalBinary(raw)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// varintCursor walks a raw shard payload.
+type varintCursor struct {
+	raw []byte
+	off int
+}
+
+func (c *varintCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.raw[c.off:])
+	if n <= 0 {
+		return 0, corrupt("truncated varint at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *varintCursor) u64() (uint64, error) {
+	if c.off+8 > len(c.raw) {
+		return 0, corrupt("truncated u64 at offset %d", c.off)
+	}
+	v := binary.LittleEndian.Uint64(c.raw[c.off:])
+	c.off += 8
+	return v, nil
+}
+
+func (c *varintCursor) take(n int) ([]byte, error) {
+	if n < 0 || c.off+n > len(c.raw) {
+		return nil, corrupt("truncated field at offset %d", c.off)
+	}
+	b := c.raw[c.off : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+func (c *varintCursor) done() error {
+	if c.off != len(c.raw) {
+		return corrupt("%d trailing bytes in shard", len(c.raw)-c.off)
+	}
+	return nil
+}
+
+// decodeDays parses the days payload into dst.
+func decodeDays(dst map[int]*DayAgg, items int, raw []byte) error {
+	c := varintCursor{raw: raw}
+	for i := 0; i < items; i++ {
+		day, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		agg := new(DayAgg)
+		fields := make([]*uint64, 0, 5+len(agg.ByLength))
+		fields = append(fields, &agg.Bundles, &agg.Txs)
+		for j := range agg.ByLength {
+			fields = append(fields, &agg.ByLength[j])
+		}
+		fields = append(fields, &agg.DefensiveCount, &agg.PriorityCount, &agg.DefensiveSpend)
+		for _, f := range fields {
+			if *f, err = c.uvarint(); err != nil {
+				return err
+			}
+		}
+		dst[int(unzigzag(day))] = agg
+	}
+	return c.done()
+}
+
+// decodeRecordShard parses a columnar record shard into dst (one entry
+// per record). Signatures for the whole shard share one backing array.
+func decodeRecordShard(dst []jito.BundleRecord, raw []byte) error {
+	n := len(dst)
+	c := varintCursor{raw: raw}
+	col, err := c.take(8 * n)
+	if err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i].Seq = binary.LittleEndian.Uint64(col[8*i:])
+	}
+	if col, err = c.take(32 * n); err != nil {
+		return err
+	}
+	for i := range dst {
+		copy(dst[i].ID[:], col[32*i:])
+	}
+	if col, err = c.take(8 * n); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i].Slot = solana.Slot(binary.LittleEndian.Uint64(col[8*i:]))
+	}
+	if col, err = c.take(8 * n); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i].UnixMs = int64(binary.LittleEndian.Uint64(col[8*i:]))
+	}
+	if col, err = c.take(8 * n); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i].TipLamps = binary.LittleEndian.Uint64(col[8*i:])
+	}
+	counts, err := c.take(n)
+	if err != nil {
+		return err
+	}
+	totalSigs := 0
+	for _, cnt := range counts {
+		totalSigs += int(cnt)
+	}
+	sigCol, err := c.take(64 * totalSigs)
+	if err != nil {
+		return err
+	}
+	backing := make([]solana.Signature, totalSigs)
+	for i := range backing {
+		copy(backing[i][:], sigCol[64*i:])
+	}
+	off := 0
+	for i := range dst {
+		cnt := int(counts[i])
+		if cnt > 0 {
+			dst[i].TxIDs = backing[off : off+cnt : off+cnt]
+		}
+		off += cnt
+	}
+	return c.done()
+}
+
+// decodeDetailShard parses a detail shard and inserts the entries into
+// dst under mu. Parsing — the expensive part — runs outside the lock.
+func decodeDetailShard(dst map[solana.Signature]jito.TxDetail, mu *sync.Mutex, items int, raw []byte, interned []solana.Pubkey) error {
+	c := varintCursor{raw: raw}
+	sigCol, err := c.take(64 * items)
+	if err != nil {
+		return err
+	}
+	dets := make([]jito.TxDetail, items)
+	for i := range dets {
+		copy(dets[i].Sig[:], sigCol[64*i:])
+	}
+	pubkey := func() (solana.Pubkey, error) {
+		idx, err := c.uvarint()
+		if err != nil {
+			return solana.Pubkey{}, err
+		}
+		if idx >= uint64(len(interned)) {
+			return solana.Pubkey{}, corrupt("intern index %d out of range %d", idx, len(interned))
+		}
+		return interned[idx], nil
+	}
+	for i := range dets {
+		if dets[i].Signer, err = pubkey(); err != nil {
+			return err
+		}
+	}
+	col, err := c.take(8 * items)
+	if err != nil {
+		return err
+	}
+	for i := range dets {
+		dets[i].Slot = solana.Slot(binary.LittleEndian.Uint64(col[8*i:]))
+	}
+	flags, err := c.take(items)
+	if err != nil {
+		return err
+	}
+	for i := range dets {
+		dets[i].Failed = flags[i]&1 != 0
+		dets[i].TipOnly = flags[i]&2 != 0
+	}
+	for i := range dets {
+		if dets[i].TipLamports, err = c.uvarint(); err != nil {
+			return err
+		}
+	}
+	counts := make([]int, items)
+	totalDeltas := 0
+	for i := range dets {
+		n, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > uint64(len(raw)) { // each delta needs ≥3 bytes; cheap sanity bound
+			return corrupt("delta count %d exceeds shard size", n)
+		}
+		counts[i] = int(n)
+		totalDeltas += int(n)
+	}
+	backing := make([]jito.TokenDelta, totalDeltas)
+	off := 0
+	for i := range dets {
+		for j := 0; j < counts[i]; j++ {
+			td := &backing[off+j]
+			if td.Owner, err = pubkey(); err != nil {
+				return err
+			}
+			if td.Mint, err = pubkey(); err != nil {
+				return err
+			}
+			d, err := c.uvarint()
+			if err != nil {
+				return err
+			}
+			td.Delta = unzigzag(d)
+		}
+		if counts[i] > 0 {
+			dets[i].TokenDeltas = backing[off : off+counts[i] : off+counts[i]]
+		}
+		off += counts[i]
+	}
+	if err := c.done(); err != nil {
+		return err
+	}
+	mu.Lock()
+	for i := range dets {
+		dst[dets[i].Sig] = dets[i]
+	}
+	mu.Unlock()
+	return nil
+}

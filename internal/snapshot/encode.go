@@ -1,0 +1,329 @@
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"io"
+	"sort"
+	"sync"
+
+	"jitomev/internal/jito"
+	"jitomev/internal/parallel"
+	"jitomev/internal/solana"
+	"jitomev/internal/stats"
+)
+
+// Shards compress at gzip.BestSpeed: the columnar layout already groups
+// similar bytes, so the fast level lands near v1's on-disk size while
+// cutting the dominant CPU cost of a checkpoint by several times.
+const shardGzipLevel = gzip.BestSpeed
+
+var gzipWriters = sync.Pool{
+	New: func() any {
+		zw, _ := gzip.NewWriterLevel(io.Discard, shardGzipLevel)
+		return zw
+	},
+}
+
+// compressShard gzips raw into a fresh buffer.
+func compressShard(raw []byte) []byte {
+	var buf bytes.Buffer
+	buf.Grow(len(raw)/2 + 64)
+	zw := gzipWriters.Get().(*gzip.Writer)
+	zw.Reset(&buf)
+	zw.Write(raw)
+	zw.Close() // in-memory buffer: cannot fail
+	gzipWriters.Put(zw)
+	return buf.Bytes()
+}
+
+// interner assigns dense indices to pubkeys in first-use order. Built
+// serially (over the sorted detail order) so indices are deterministic;
+// read concurrently by the detail shard encoders.
+type interner struct {
+	idx  map[solana.Pubkey]uint64
+	keys []solana.Pubkey
+}
+
+func newInterner() *interner {
+	return &interner{idx: make(map[solana.Pubkey]uint64)}
+}
+
+func (in *interner) intern(p solana.Pubkey) uint64 {
+	if i, ok := in.idx[p]; ok {
+		return i
+	}
+	i := uint64(len(in.keys))
+	in.idx[p] = i
+	in.keys = append(in.keys, p)
+	return i
+}
+
+// shardFrame is one encoded-and-compressed shard ready to be framed into
+// the output stream.
+type shardFrame struct {
+	items int
+	raw   int
+	blob  []byte
+	err   error
+}
+
+// writer wraps the destination with buffering and sticky error state.
+type writer struct {
+	w   *bufio.Writer
+	err error
+	scr [binary.MaxVarintLen64]byte
+}
+
+func (w *writer) bytes(b []byte) {
+	if w.err == nil {
+		_, w.err = w.w.Write(b)
+	}
+}
+
+func (w *writer) byte1(b byte) {
+	if w.err == nil {
+		w.err = w.w.WriteByte(b)
+	}
+}
+
+func (w *writer) uvarint(v uint64) {
+	w.bytes(appendUvarint(w.scr[:0], v))
+}
+
+// section emits one section: header, then shardCount frames produced by
+// encode(lo, hi) over [0, totalItems) in fixed-size slices. Shards are
+// encoded and compressed on the worker pool but emitted strictly in
+// shard order, so the output is byte-identical at every worker count.
+func (w *writer) section(id byte, totalItems, shardSize, workers int, encode func(lo, hi int) ([]byte, error)) {
+	if w.err != nil {
+		return
+	}
+	shards := (totalItems + shardSize - 1) / shardSize
+	w.byte1(id)
+	w.uvarint(uint64(shards))
+	w.uvarint(uint64(totalItems))
+	parallel.OrderedStream(workers, shards, func(i int) shardFrame {
+		lo := i * shardSize
+		hi := lo + shardSize
+		if hi > totalItems {
+			hi = totalItems
+		}
+		raw, err := encode(lo, hi)
+		if err != nil {
+			return shardFrame{err: err}
+		}
+		return shardFrame{items: hi - lo, raw: len(raw), blob: compressShard(raw)}
+	}, func(f shardFrame) {
+		if w.err == nil && f.err != nil {
+			w.err = f.err
+		}
+		if w.err != nil {
+			return
+		}
+		w.uvarint(uint64(f.items))
+		w.uvarint(uint64(f.raw))
+		w.uvarint(uint64(len(f.blob)))
+		w.bytes(f.blob)
+	})
+}
+
+// Write encodes s to w in the v2 container format. workers bounds the
+// shard encode/compress pool (0 = all cores, 1 = serial); the bytes
+// written are identical for every worker count.
+func Write(w io.Writer, s *Snapshot, workers int) error {
+	bw := &writer{w: bufio.NewWriterSize(w, 1<<16)}
+	bw.bytes([]byte(Magic))
+
+	// meta: three fixed uint64s.
+	bw.section(secMeta, 1, 1, 1, func(_, _ int) ([]byte, error) {
+		raw := make([]byte, 0, 24)
+		raw = appendU64(raw, uint64(s.Genesis))
+		raw = appendU64(raw, s.Collected)
+		raw = appendU64(raw, s.Duplicates)
+		return raw, nil
+	})
+
+	// days, ascending.
+	days := make([]int, 0, len(s.Days))
+	for d := range s.Days {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	bw.section(secDays, len(days), len(days)+1, 1, func(lo, hi int) ([]byte, error) {
+		raw := make([]byte, 0, 32*(hi-lo))
+		for _, d := range days[lo:hi] {
+			agg := s.Days[d]
+			raw = appendUvarint(raw, zigzag(int64(d)))
+			raw = appendUvarint(raw, agg.Bundles)
+			raw = appendUvarint(raw, agg.Txs)
+			for _, c := range agg.ByLength {
+				raw = appendUvarint(raw, c)
+			}
+			raw = appendUvarint(raw, agg.DefensiveCount)
+			raw = appendUvarint(raw, agg.PriorityCount)
+			raw = appendUvarint(raw, agg.DefensiveSpend)
+		}
+		return raw, nil
+	})
+
+	bw.histogram(secTipsLen1, s.TipsLen1)
+	bw.histogram(secTipsLen3, s.TipsLen3)
+
+	// Details in sorted-signature order: the canonical encode order that
+	// makes both the shard payloads and the intern table deterministic.
+	sigs := make([]solana.Signature, 0, len(s.Details))
+	for sig := range s.Details {
+		sigs = append(sigs, sig)
+	}
+	sort.Slice(sigs, func(i, j int) bool {
+		return bytes.Compare(sigs[i][:], sigs[j][:]) < 0
+	})
+	in := newInterner()
+	for _, sig := range sigs {
+		det := s.Details[sig]
+		in.intern(det.Signer)
+		for _, td := range det.TokenDeltas {
+			in.intern(td.Owner)
+			in.intern(td.Mint)
+		}
+	}
+
+	bw.section(secInterns, len(in.keys), internShardSize, workers, func(lo, hi int) ([]byte, error) {
+		raw := make([]byte, 0, 32*(hi-lo))
+		for _, k := range in.keys[lo:hi] {
+			raw = append(raw, k[:]...)
+		}
+		return raw, nil
+	})
+
+	bw.recordSection(secLen3, s.Len3, workers)
+	bw.recordSection(secLong, s.Long, workers)
+
+	bw.section(secDetails, len(sigs), detailShardSize, workers, func(lo, hi int) ([]byte, error) {
+		return encodeDetailShard(sigs[lo:hi], s.Details, in)
+	})
+
+	bw.byte1(secEnd)
+	if bw.err == nil {
+		bw.err = bw.w.Flush()
+	}
+	if bw.err != nil {
+		return &writeError{bw.err}
+	}
+	return nil
+}
+
+// writeError brands container-level write failures.
+type writeError struct{ err error }
+
+func (e *writeError) Error() string { return "snapshot: write: " + e.err.Error() }
+func (e *writeError) Unwrap() error { return e.err }
+
+// histogram emits a histogram section; a nil histogram is an empty
+// section (0 shards) and loads back as nil.
+func (w *writer) histogram(id byte, h *stats.LogHistogram) {
+	n := 0
+	if h != nil {
+		n = 1
+	}
+	w.section(id, n, 1, 1, func(_, _ int) ([]byte, error) {
+		return h.AppendBinary(nil), nil
+	})
+}
+
+// recordSection emits a columnar record section over the worker pool.
+func (w *writer) recordSection(id byte, recs []jito.BundleRecord, workers int) {
+	w.section(id, len(recs), recordShardSize, workers, func(lo, hi int) ([]byte, error) {
+		return encodeRecordShard(recs[lo:hi])
+	})
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// encodeRecordShard lays the shard out column by column (fixed width),
+// then the ragged signature lists.
+func encodeRecordShard(recs []jito.BundleRecord) ([]byte, error) {
+	sigBytes := 0
+	for i := range recs {
+		if len(recs[i].TxIDs) > 255 {
+			return nil, corrupt("bundle %s has %d transactions, limit 255",
+				recs[i].ID.Short(), len(recs[i].TxIDs))
+		}
+		sigBytes += 64 * len(recs[i].TxIDs)
+	}
+	raw := make([]byte, 0, len(recs)*(8*4+32+1)+sigBytes)
+	for i := range recs {
+		raw = appendU64(raw, recs[i].Seq)
+	}
+	for i := range recs {
+		raw = append(raw, recs[i].ID[:]...)
+	}
+	for i := range recs {
+		raw = appendU64(raw, uint64(recs[i].Slot))
+	}
+	for i := range recs {
+		raw = appendU64(raw, uint64(recs[i].UnixMs))
+	}
+	for i := range recs {
+		raw = appendU64(raw, recs[i].TipLamps)
+	}
+	for i := range recs {
+		raw = append(raw, byte(len(recs[i].TxIDs)))
+	}
+	for i := range recs {
+		for _, sig := range recs[i].TxIDs {
+			raw = append(raw, sig[:]...)
+		}
+	}
+	return raw, nil
+}
+
+// encodeDetailShard lays out the details for sigs (already sorted) with
+// pubkeys replaced by intern indices. One map pass gathers the shard's
+// details so the column loops touch only the flat slice.
+func encodeDetailShard(sigs []solana.Signature, details map[solana.Signature]jito.TxDetail, in *interner) ([]byte, error) {
+	dets := make([]jito.TxDetail, len(sigs))
+	for i, sig := range sigs {
+		dets[i] = details[sig]
+	}
+	raw := make([]byte, 0, len(sigs)*96)
+	for _, sig := range sigs {
+		raw = append(raw, sig[:]...)
+	}
+	for i := range dets {
+		raw = appendUvarint(raw, in.idx[dets[i].Signer])
+	}
+	for i := range dets {
+		raw = appendU64(raw, uint64(dets[i].Slot))
+	}
+	for i := range dets {
+		var flags byte
+		if dets[i].Failed {
+			flags |= 1
+		}
+		if dets[i].TipOnly {
+			flags |= 2
+		}
+		raw = append(raw, flags)
+	}
+	for i := range dets {
+		raw = appendUvarint(raw, dets[i].TipLamports)
+	}
+	for i := range dets {
+		raw = appendUvarint(raw, uint64(len(dets[i].TokenDeltas)))
+	}
+	for i := range dets {
+		for _, td := range dets[i].TokenDeltas {
+			raw = appendUvarint(raw, in.idx[td.Owner])
+			raw = appendUvarint(raw, in.idx[td.Mint])
+			raw = appendUvarint(raw, zigzag(td.Delta))
+		}
+	}
+	return raw, nil
+}

@@ -1,0 +1,156 @@
+// Package snapshot implements the dataset checkpoint format (v2): a
+// length-prefixed, versioned container of independently gzip-compressed
+// shards, written and read in parallel. The paper's four-month collection
+// is the asset the whole pipeline exists to protect, and the v1 format —
+// one gzip stream around one reflective gob encoding of the entire
+// dataset — pushed every byte through a single core. v2 splits the
+// dataset into fixed-size shards whose encoding is a pure function of the
+// data (never of the worker count), compresses them concurrently, and
+// concatenates them in shard order, so Save and Load both scale with
+// cores, output bytes are identical at every worker count, and peak
+// transient memory is bounded by the compression window rather than the
+// dataset.
+//
+// # Container layout
+//
+// All multi-byte integers are little-endian when fixed-width and unsigned
+// LEB128 ("uvarint") when variable; signed varints use zigzag. The file
+// is a magic string followed by sections in a fixed order:
+//
+//	offset 0: magic "jitosnp2" (8 bytes; v1 files instead start with the
+//	          gzip magic 0x1f 0x8b, which is how LoadDataset sniffs the
+//	          version without consuming the stream)
+//	then, per section:
+//	  id         byte    (see section constants below)
+//	  shardCount uvarint
+//	  totalItems uvarint (sum of the per-shard item counts)
+//	  then shardCount frames, each:
+//	    items   uvarint (records/keys/entries encoded in this shard)
+//	    rawLen  uvarint (decompressed payload length in bytes)
+//	    compLen uvarint
+//	    blob    compLen bytes of gzip(payload)
+//	terminator: the single byte 0xFF
+//
+// Sections appear in this order: meta, days, tipsLen1, tipsLen3, interns,
+// len3, long, details. The intern table precedes the sections that
+// reference it. Unknown section ids are a decode error — the version
+// byte in the magic, not section skipping, is the compatibility
+// mechanism.
+//
+// # Shard payloads
+//
+// Record shards (len3/long) are columnar with fixed-width columns, one
+// column fully emitted before the next — this groups similar bytes and
+// lets a fast gzip level reach the ratio v1 needed a slow level for:
+//
+//	seq[items]   uint64     id[items]     [32]byte
+//	slot[items]  uint64     unixMs[items] int64 (as uint64 bits)
+//	tip[items]   uint64     nTx[items]    byte
+//	txids        concatenated [64]byte signatures, sum(nTx) of them
+//
+// The intern shard payload is items × 32-byte pubkeys, in first-use
+// order (deterministic because details are encoded in sorted-signature
+// order). Detail shards reference pubkeys as uvarint intern indices so a
+// signer or mint that appears in thousands of transactions is stored
+// once:
+//
+//	sig[items]    [64]byte          signerIdx[items] uvarint
+//	slot[items]   uint64            flags[items]     byte (bit0 failed,
+//	tip[items]    uvarint                             bit1 tipOnly)
+//	nDelta[items] uvarint
+//	deltas        per delta: ownerIdx uvarint, mintIdx uvarint,
+//	              delta zigzag-varint
+//
+// The meta payload is genesis unixNano, collected, duplicates (3 ×
+// uint64). The days payload is, per day in ascending order: zigzag day
+// then uvarint Bundles, Txs, ByLength[0..MaxBundleTxs], DefensiveCount,
+// PriorityCount, DefensiveSpend. Histogram payloads reuse
+// stats.LogHistogram's binary encoding.
+//
+// # Versioning policy
+//
+// The magic string carries the version; readers sniff the first two
+// bytes and route v1 (gzip magic) to the legacy gob decoder, which is
+// retained read-only. Any layout change bumps the magic to "jitosnp3" —
+// old readers fail loudly on new files rather than misparsing them, and
+// new readers keep decoding every format ever shipped.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"jitomev/internal/jito"
+	"jitomev/internal/solana"
+	"jitomev/internal/stats"
+)
+
+// Magic opens every v2 snapshot. The first byte (0x6a) is distinct from
+// the gzip magic's 0x1f, so version sniffing needs only one byte.
+const Magic = "jitosnp2"
+
+// Section identifiers, in file order.
+const (
+	secMeta     = 0x01
+	secDays     = 0x02
+	secTipsLen1 = 0x03
+	secTipsLen3 = 0x04
+	secInterns  = 0x05
+	secLen3     = 0x06
+	secLong     = 0x07
+	secDetails  = 0x08
+	secEnd      = 0xFF
+)
+
+// Shard sizing: fixed constants so shard boundaries — and therefore the
+// output bytes — depend only on the data, never on the worker count.
+// 8192 records ≈ 1 MiB raw for the record columns, which keeps per-shard
+// compression state small while amortizing the frame overhead.
+const (
+	recordShardSize = 8192
+	detailShardSize = 8192
+	internShardSize = 16384
+)
+
+// DayAgg aggregates one study day of collected bundles — the per-day
+// series behind Figures 1 and 2. The canonical definition lives here so
+// the persistence layer and the collector share one type without an
+// import cycle; collector re-exports it under the same name.
+type DayAgg struct {
+	Bundles  uint64
+	Txs      uint64
+	ByLength [jito.MaxBundleTxs + 1]uint64
+
+	// Defensive-bundling aggregates (paper §3.3 classification applied
+	// at ingest so length-1 bundles never need to be retained).
+	DefensiveCount uint64
+	PriorityCount  uint64
+	DefensiveSpend uint64 // lamports
+}
+
+// Snapshot is the persisted view of a dataset: collection results only,
+// shared (not copied) with the live collector.Dataset. Transient
+// machinery like the dedup window restarts fresh on load.
+type Snapshot struct {
+	Genesis  int64 // UnixNano of the chain clock genesis
+	Days     map[int]*DayAgg
+	TipsLen1 *stats.LogHistogram
+	TipsLen3 *stats.LogHistogram
+	Len3     []jito.BundleRecord
+	Long     []jito.BundleRecord
+	Details  map[solana.Signature]jito.TxDetail
+
+	Collected  uint64
+	Duplicates uint64
+}
+
+// zigzag encoding for signed varints.
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+// corrupt builds the uniform decode error.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("snapshot: corrupt: "+format, args...)
+}

@@ -217,11 +217,10 @@ func (h *LogHistogram) Curve() []Point {
 	return out
 }
 
-// MarshalBinary encodes the histogram for persistence (gob honors
-// encoding.BinaryMarshaler, so datasets containing histograms serialize
-// transparently).
-func (h *LogHistogram) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 0, 8*(3+len(h.counts))+16)
+// AppendBinary appends the histogram's binary encoding to buf and
+// returns the extended slice — the allocation-free core of
+// MarshalBinary, called directly by the snapshot encoder.
+func (h *LogHistogram) AppendBinary(buf []byte) []byte {
 	put := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
 	put(math.Float64bits(h.min))
 	put(uint64(h.perDec))
@@ -230,7 +229,14 @@ func (h *LogHistogram) MarshalBinary() ([]byte, error) {
 	for _, c := range h.counts {
 		put(c)
 	}
-	return buf, nil
+	return buf
+}
+
+// MarshalBinary encodes the histogram for persistence (gob honors
+// encoding.BinaryMarshaler, so datasets containing histograms serialize
+// transparently).
+func (h *LogHistogram) MarshalBinary() ([]byte, error) {
+	return h.AppendBinary(make([]byte, 0, 8*(4+len(h.counts)))), nil
 }
 
 // UnmarshalBinary decodes a histogram produced by MarshalBinary.

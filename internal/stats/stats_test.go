@@ -253,3 +253,28 @@ func TestBootstrapDeterministic(t *testing.T) {
 		t.Error("bootstrap not deterministic under a fixed seed")
 	}
 }
+
+func TestLogHistogramAppendBinaryMatchesMarshal(t *testing.T) {
+	h := NewTipHistogram()
+	for _, v := range []float64{1, 2.5, 1000, 2.8e6} {
+		h.Add(v)
+	}
+	marshaled, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended := h.AppendBinary([]byte("prefix"))
+	if string(appended[:6]) != "prefix" {
+		t.Fatal("AppendBinary did not preserve the prefix")
+	}
+	if string(appended[6:]) != string(marshaled) {
+		t.Error("AppendBinary payload differs from MarshalBinary")
+	}
+	var back LogHistogram
+	if err := back.UnmarshalBinary(appended[6:]); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.Total() != h.Total() {
+		t.Errorf("total %d after round trip, want %d", back.Total(), h.Total())
+	}
+}
