@@ -2,10 +2,12 @@ GO ?= go
 
 # Concurrency-bearing packages exercised under the race detector: the
 # worker pool, the sharded analysis fan-in, the pipelined
-# generation→ingest sink, and the parallel snapshot encode/decode.
-RACE_PKGS = ./internal/parallel ./internal/report ./internal/collector ./internal/workload ./internal/snapshot
+# generation→ingest sink, the parallel snapshot encode/decode, the
+# fault injector (atomic call counters shared across goroutines), and
+# the explorer store/server (writer vs. scraper interleavings).
+RACE_PKGS = ./internal/parallel ./internal/report ./internal/collector ./internal/workload ./internal/snapshot ./internal/faults ./internal/explorer
 
-.PHONY: verify build test vet race bench bench-json
+.PHONY: verify build test vet race bench bench-json chaos
 
 # verify is the extended tier-1 gate (see ROADMAP.md): build + tests,
 # static checks, and the race suite over the concurrent packages.
@@ -22,6 +24,14 @@ vet:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# chaos is the resilience gate: every chaos-tagged test under the race
+# detector (fault taxonomy, wire-level middleware, worker-count
+# determinism, 10%-fault integrity), then a seeded end-to-end soak of
+# the full pipeline under a 10% fault rate.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Fault|Resilien|Breaker|Backfill|Outage|Pending' . ./internal/faults ./internal/collector
+	$(GO) run ./cmd/jitosim -days 10 -scale 20000 -fault-rate 0.1 -chaos-seed 7 -fig headline
 
 # bench smoke-runs every benchmark once — cheap proof that each figure,
 # table and pipeline benchmark still executes; use -benchtime=default

@@ -1,0 +1,205 @@
+package jitomev
+
+// Chaos acceptance tests: deterministic fault injection must be exactly
+// reproducible and worker-count independent, and a collection run at a
+// realistic fault rate must degrade gracefully — coverage loss is
+// reported, never silently absorbed as corrupt data.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"jitomev/internal/collector"
+	"jitomev/internal/jito"
+	"jitomev/internal/workload"
+)
+
+func chaosConfig(workers int) Config {
+	return Config{
+		Workload:  workload.Params{Seed: 11, Days: 6, Scale: 10_000},
+		Workers:   workers,
+		FaultRate: 0.1,
+		ChaosSeed: 7,
+	}
+}
+
+// TestChaosDeterministicAcrossWorkers is the headline acceptance
+// criterion: the same (chaos seed, fault rate, workload) produces a
+// byte-identical saved Dataset and identical headline statistics at
+// Workers = 1 and Workers = 8.
+func TestChaosDeterministicAcrossWorkers(t *testing.T) {
+	save := func(workers int) (*Outcome, []byte) {
+		out, err := Run(chaosConfig(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := out.Collector.Data.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return out, buf.Bytes()
+	}
+
+	one, bytes1 := save(1)
+	eight, bytes8 := save(8)
+
+	if !bytes.Equal(bytes1, bytes8) {
+		t.Fatalf("chaos dataset diverges with worker count: %d vs %d bytes",
+			len(bytes1), len(bytes8))
+	}
+	a, b := one.Results, eight.Results
+	if a.TotalBundles != b.TotalBundles || a.Sandwiches != b.Sandwiches ||
+		a.VictimLossSOL != b.VictimLossSOL || a.AttackerGainSOL != b.AttackerGainSOL ||
+		a.OverlapRate != b.OverlapRate {
+		t.Errorf("headline stats diverge: (%d,%d,%f,%f) vs (%d,%d,%f,%f)",
+			a.TotalBundles, a.Sandwiches, a.VictimLossSOL, a.OverlapRate,
+			b.TotalBundles, b.Sandwiches, b.VictimLossSOL, b.OverlapRate)
+	}
+	if one.PendingDetails != eight.PendingDetails ||
+		one.Collector.Faults != eight.Collector.Faults {
+		t.Errorf("degradation accounting diverges: pending %d vs %d, faults %v vs %v",
+			one.PendingDetails, eight.PendingDetails,
+			one.Collector.Faults, eight.Collector.Faults)
+	}
+	// The chaos actually happened — a vacuously fault-free run would
+	// make this test meaningless.
+	if one.Chaos == nil || one.Chaos.Stats().Total() == 0 {
+		t.Fatal("no faults were injected at rate 0.1")
+	}
+	if one.Collector.Faults.Total() == 0 {
+		t.Error("injected faults never surfaced to the collector")
+	}
+}
+
+// TestChaosSeedSelectsUniverse pins reproducibility (same seed → same
+// run) and independence (different chaos seeds over the same workload
+// fault different calls).
+func TestChaosSeedSelectsUniverse(t *testing.T) {
+	run := func(seed int64) *Outcome {
+		cfg := chaosConfig(0)
+		cfg.ChaosSeed = seed
+		out, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	if a.Collector.Faults != b.Collector.Faults ||
+		a.Results.Sandwiches != b.Results.Sandwiches {
+		t.Error("same chaos seed produced different runs")
+	}
+	c := run(8)
+	if a.Collector.Faults == c.Collector.Faults && a.Chaos.Stats() == c.Chaos.Stats() {
+		t.Error("different chaos seeds produced identical fault sequences")
+	}
+}
+
+// TestChaosIntegrityAtTenPercent is the graceful-degradation criterion:
+// at a 10% fault rate the collector completes with zero data-integrity
+// violations — losses show up as reported coverage loss, never as
+// duplicated or invented data.
+func TestChaosIntegrityAtTenPercent(t *testing.T) {
+	out, err := Run(chaosConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := out.Collector.Data
+
+	// No duplicate ingestion despite duplicated/reordered pages.
+	seen := make(map[jito.BundleID]bool, len(d.Len3))
+	for i := range d.Len3 {
+		if seen[d.Len3[i].ID] {
+			t.Fatalf("bundle %x ingested twice", d.Len3[i].ID)
+		}
+		seen[d.Len3[i].ID] = true
+	}
+	// Every stored detail belongs to a collected bundle and is aligned:
+	// a bundle either has its full detail vector or is pending.
+	complete := 0
+	for i := range d.Len3 {
+		det, ok := d.DetailsFor(&d.Len3[i])
+		if !ok {
+			continue
+		}
+		complete++
+		if len(det) != len(d.Len3[i].TxIDs) {
+			t.Fatalf("bundle %x has misaligned details", d.Len3[i].ID)
+		}
+		for j, id := range d.Len3[i].TxIDs {
+			if det[j].Sig != id {
+				t.Fatalf("bundle %x detail %d has wrong signature", d.Len3[i].ID, j)
+			}
+		}
+	}
+	if complete == 0 {
+		t.Fatal("no bundle recovered complete details at 10% faults")
+	}
+	// Coverage loss is visible, not silent: every injected fault either
+	// was healed by retries or is accounted for in a counter.
+	if out.Collector.Faults.Total() == 0 && out.Chaos.Stats().Total() > 0 {
+		t.Error("faults injected but none accounted for")
+	}
+	if out.PendingDetails != out.Collector.PendingDetails() {
+		t.Error("Outcome.PendingDetails disagrees with the collector")
+	}
+	if out.CoverageRate <= 0 || out.CoverageRate > 1 {
+		t.Errorf("coverage rate %v out of range", out.CoverageRate)
+	}
+	// The study still yields the paper's measurements.
+	if out.Results.TotalBundles == 0 || out.Results.Sandwiches == 0 {
+		t.Error("chaos run produced no measurements")
+	}
+}
+
+// TestChaosOverHTTP exercises the wire-level chaos path end to end: the
+// loopback explorer serves through the chaos middleware and the hardened
+// HTTP client must still complete the study.
+func TestChaosOverHTTP(t *testing.T) {
+	cfg := chaosConfig(0)
+	cfg.Workload.Days = 3
+	cfg.UseHTTP = true
+	cfg.Collector.DetailRetries = 3
+	out, err := Run(cfg)
+	if err != nil && !errors.Is(err, collector.ErrDetailShortfall) {
+		t.Fatal(err)
+	}
+	if out.Results.TotalBundles == 0 {
+		t.Fatal("HTTP chaos run collected nothing")
+	}
+	if out.Chaos.Stats().Total() == 0 {
+		t.Error("HTTP chaos injected nothing")
+	}
+}
+
+// TestChaosZeroRateMatchesBaseline: FaultRate 0 must be byte-identical
+// to a config that never mentions chaos — the injection layer is free
+// when off.
+func TestChaosZeroRateMatchesBaseline(t *testing.T) {
+	base := chaosConfig(0)
+	base.FaultRate, base.ChaosSeed = 0, 0
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Chaos != nil || plain.Collector.Faults.Total() != 0 {
+		t.Error("zero fault rate still built an injector")
+	}
+	var a, b bytes.Buffer
+	if err := plain.Collector.Data.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	seeded := base
+	seeded.ChaosSeed = 99 // seed without rate is inert
+	again, err := Run(seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := again.Collector.Data.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("inert chaos seed changed the dataset")
+	}
+}

@@ -6,16 +6,25 @@
 // Usage:
 //
 //	collect [-url http://127.0.0.1:8899] [-polls 30] [-every 2s] [-page 500]
-//	        [-save data.snap] [-checkpoint 10]
+//	        [-save data.snap] [-checkpoint 10] [-resume]
+//	        [-fault-rate 0.1 -chaos-seed 7]
 //
 // -every is wall-clock time between polls (the paper used two minutes; a
 // live explorerd compresses simulated days, so seconds are appropriate).
 // -save persists the dataset on exit; with -checkpoint N it is also
 // checkpointed every N polls. Saves are atomic (temp file + rename), so
-// an interrupted run never corrupts the previous checkpoint.
+// an interrupted run never corrupts the previous checkpoint. -resume
+// loads an existing -save snapshot before polling, so a restarted
+// collection continues where it stopped — including the pending
+// detail-fetch queue, which is re-derived from the loaded dataset.
+//
+// -fault-rate injects the deterministic fault taxonomy client-side
+// (between the collector and the wire), for chaos-testing a collection
+// run without touching the server.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +32,7 @@ import (
 
 	"jitomev/internal/collector"
 	"jitomev/internal/core"
+	"jitomev/internal/faults"
 	"jitomev/internal/report"
 	"jitomev/internal/snapshot"
 	"jitomev/internal/solana"
@@ -30,20 +40,49 @@ import (
 
 func main() {
 	var (
-		url      = flag.String("url", "http://127.0.0.1:8899", "explorer API base URL")
-		polls    = flag.Int("polls", 30, "number of polls before finishing")
-		every    = flag.Duration("every", 2*time.Second, "wall time between polls")
-		page     = flag.Int("page", 500, "recent-bundles page size")
-		batch    = flag.Int("batch", 10_000, "detail-fetch batch size")
-		backfill = flag.Int("backfill", 0, "backfill pages on broken overlap")
-		save     = flag.String("save", "", "persist the collected dataset to this path")
-		ckpt     = flag.Int("checkpoint", 0, "also checkpoint to -save every N polls (0 = only at exit)")
+		url       = flag.String("url", "http://127.0.0.1:8899", "explorer API base URL")
+		polls     = flag.Int("polls", 30, "number of polls before finishing")
+		every     = flag.Duration("every", 2*time.Second, "wall time between polls")
+		page      = flag.Int("page", 500, "recent-bundles page size")
+		batch     = flag.Int("batch", 10_000, "detail-fetch batch size")
+		backfill  = flag.Int("backfill", 0, "backfill pages on broken overlap")
+		save      = flag.String("save", "", "persist the collected dataset to this path")
+		ckpt      = flag.Int("checkpoint", 0, "also checkpoint to -save every N polls (0 = only at exit)")
+		resume    = flag.Bool("resume", false, "load the -save snapshot before polling, if it exists")
+		faultRate = flag.Float64("fault-rate", 0, "per-call fault probability injected client-side (0 = off)")
+		chaosSeed = flag.Int64("chaos-seed", 0, "seed for the deterministic fault schedule")
 	)
 	flag.Parse()
 
 	clock := solana.Clock{Genesis: time.Date(2025, 2, 9, 0, 0, 0, 0, time.UTC)}
+	var transport collector.Transport = collector.NewHTTP(*url)
+	var chaos *faults.Injector
+	if *faultRate > 0 {
+		chaos = faults.NewInjector(*chaosSeed, *faultRate)
+		transport = faults.WrapTransport(transport, chaos, faults.TransportOptions{})
+	}
 	c := collector.New(collector.Config{PageLimit: *page, DetailBatch: *batch, BackfillPages: *backfill},
-		clock, collector.NewHTTP(*url))
+		clock, transport)
+
+	if *resume && *save != "" {
+		if f, err := os.Open(*save); err == nil {
+			data, lerr := collector.LoadDataset(f, 4**page)
+			f.Close()
+			if lerr != nil {
+				fmt.Fprintln(os.Stderr, "collect: resume:", lerr)
+				os.Exit(1)
+			}
+			c.Data = data
+			// The checkpoint carries no overlap chain; the first poll of
+			// the resumed run must not count as a (gap) pair.
+			c.ResetOverlapChain()
+			fmt.Printf("resumed from %s: %d bundles, %d details, %d detail ids pending\n",
+				*save, data.Collected, len(data.Details), c.PendingDetails())
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintln(os.Stderr, "collect: resume:", err)
+			os.Exit(1)
+		}
+	}
 
 	// saveTo checkpoints atomically: the snapshot lands in a temp file
 	// next to the target and is renamed over it only once fully written
@@ -75,10 +114,22 @@ func main() {
 
 	n, err := c.FetchDetails()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "collect:", err)
-		os.Exit(1)
+		if !errors.Is(err, collector.ErrDetailShortfall) {
+			fmt.Fprintln(os.Stderr, "collect:", err)
+			os.Exit(1)
+		}
+		// Degraded, not dead: the skipped ids stay pending in the saved
+		// snapshot and a -resume run will retry them.
+		fmt.Fprintln(os.Stderr, "collect: warning:", err)
 	}
-	fmt.Printf("fetched %d transaction details in %d requests\n", n, c.DetailRequests)
+	fmt.Printf("fetched %d transaction details in %d requests (%d retried batches, %d pending)\n",
+		n, c.DetailRequests, c.DetailRetries, c.PendingDetails())
+	if c.Faults.Total() > 0 {
+		fmt.Printf("faults survived: %s\n", c.Faults)
+	}
+	if chaos != nil {
+		fmt.Printf("faults injected: %s over %d calls\n", chaos.Stats(), chaos.Calls())
+	}
 
 	res := report.Analyze(c.Data, core.NewDefaultDetector(), 0)
 	res.OverlapRate = c.OverlapRate()

@@ -5,10 +5,17 @@
 // Usage:
 //
 //	explorerd [-addr 127.0.0.1:8899] [-days 7] [-scale 10000] [-seed 1] [-rate 120] [-live]
+//	          [-fault-rate 0.1] [-chaos-seed 7] [-slow 100ms]
 //
 // With -live the study streams in real (compressed) time: one simulated
 // day per -daysecs wall seconds, so the recent-bundles endpoint behaves
 // like a live feed. Without it, the whole study is loaded up front.
+//
+// With -fault-rate the server runs in chaos mode: on a deterministic
+// (chaos-seed, request index) schedule it answers with 429 + Retry-After,
+// 5xx, slow responses, or truncated/corrupt JSON — the same failure
+// taxonomy the paper's scraper survived for four months — so a collector
+// pointed at it can be soak-tested against a misbehaving explorer.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"time"
 
 	"jitomev/internal/explorer"
+	"jitomev/internal/faults"
 	"jitomev/internal/jito"
 	"jitomev/internal/workload"
 )
@@ -30,17 +38,27 @@ func main() {
 		scale   = flag.Int("scale", 10_000, "volume divisor vs paper scale")
 		seed    = flag.Int64("seed", 1, "deterministic seed")
 		rate    = flag.Int("rate", 0, "per-client requests/minute (0 = unlimited)")
-		live    = flag.Bool("live", false, "stream the study in compressed real time")
-		daySecs = flag.Int("daysecs", 10, "wall seconds per simulated day with -live")
+		live      = flag.Bool("live", false, "stream the study in compressed real time")
+		daySecs   = flag.Int("daysecs", 10, "wall seconds per simulated day with -live")
+		faultRate = flag.Float64("fault-rate", 0, "chaos mode: per-request fault probability (0 = off)")
+		chaosSeed = flag.Int64("chaos-seed", 0, "seed for the deterministic fault schedule")
+		slow      = flag.Duration("slow", 100*time.Millisecond, "chaos mode: stall injected on slow responses")
 	)
 	flag.Parse()
 
 	store := explorer.NewStore()
 	st := workload.New(workload.Params{Seed: *seed, Days: *days, Scale: *scale})
 
+	var handler http.Handler = explorer.NewServer(store, *rate)
+	if *faultRate > 0 {
+		handler = faults.ChaosHandler(handler, faults.NewInjector(*chaosSeed, *faultRate),
+			faults.ChaosConfig{SlowDelay: *slow})
+		fmt.Printf("chaos mode: fault rate %.0f%%, seed %d\n", 100**faultRate, *chaosSeed)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           explorer.NewServer(store, *rate),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	jitosim [-days 120] [-scale 2000] [-seed 1] [-workers 0] [-http] [-csv out.csv] [-fig all]
+//	        [-fault-rate 0.1 -chaos-seed 7]
 package main
 
 import (
@@ -35,6 +36,8 @@ func main() {
 		saveData  = flag.String("savedata", "", "persist the collected dataset to this path")
 		blockscan = flag.Bool("blockscan", false, "also run the pre-bundle block-scan baseline")
 		workers   = flag.Int("workers", 0, "pipeline workers: 0 = all cores, 1 = serial reference path")
+		faultRate = flag.Float64("fault-rate", 0, "per-call fault probability on the collection path (0 = off)")
+		chaosSeed = flag.Int64("chaos-seed", 0, "seed for the deterministic fault schedule")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this path (taken after the run)")
 	)
@@ -63,6 +66,8 @@ func main() {
 		BackfillPages:     *backfill,
 		RunBlockScan:      *blockscan,
 		Workers:           *workers,
+		FaultRate:         *faultRate,
+		ChaosSeed:         *chaosSeed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jitosim:", err)
@@ -90,6 +95,13 @@ func main() {
 
 	fmt.Printf("study: %d days at 1/%d scale, seed %d — %d bundles collected (%.1f%% coverage, %.1f%% poll overlap) in %v\n\n",
 		p.Days, p.Scale, p.Seed, r.TotalBundles, 100*out.CoverageRate, 100*r.OverlapRate, time.Since(start).Round(time.Millisecond))
+
+	if out.Chaos != nil {
+		c := out.Collector
+		fmt.Printf("chaos: seed %d rate %.0f%% — injected [%s] over %d calls; survived [%s]; %d poll errors, %d detail batches failed (%d retried), %d details pending\n\n",
+			*chaosSeed, 100**faultRate, out.Chaos.Stats(), out.Chaos.Calls(),
+			c.Faults, c.Errors, c.DetailBatchesFailed, c.DetailRetries, out.PendingDetails)
+	}
 
 	show := func(name string) bool { return *fig == "all" || *fig == name }
 	if show("headline") {

@@ -1,9 +1,11 @@
 package collector
 
 import (
+	"errors"
 	"fmt"
 
 	"jitomev/internal/explorer"
+	"jitomev/internal/faults"
 	"jitomev/internal/jito"
 	"jitomev/internal/solana"
 )
@@ -29,6 +31,22 @@ type Config struct {
 	// many extra pages to recover what scrolled past. 0 reproduces the
 	// paper's behaviour (spikes are simply lost).
 	BackfillPages int
+	// DetailRetries bounds per-batch retry attempts in FetchDetails
+	// after the first try; a batch still failing is skipped and its ids
+	// stay pending for the next FetchDetails call. 0 selects 2; negative
+	// disables retries.
+	DetailRetries int
+}
+
+// detailRetries resolves the DetailRetries default.
+func (c Config) detailRetries() int {
+	if c.DetailRetries == 0 {
+		return 2
+	}
+	if c.DetailRetries < 0 {
+		return 0
+	}
+	return c.DetailRetries
 }
 
 // Defaults fills zero fields with the paper's values.
@@ -66,12 +84,24 @@ type Collector struct {
 	OverlapPairs uint64
 	// Errors counts failed polls (transport-level).
 	Errors uint64
+	// Faults breaks every transport failure seen by Poll, backfill and
+	// FetchDetails down by fault class (throttle, 5xx, timeout,
+	// truncation, …) — the structured view of what the collection
+	// survived, and the denominator for arguing coverage under faults.
+	Faults faults.Stats
 	// DetailRequests counts bulk detail calls made by FetchDetails.
 	DetailRequests uint64
+	// DetailRetries counts retried detail batches; DetailBatchesFailed
+	// counts batches skipped after exhausting retries (their ids remain
+	// pending and are re-queued by the next FetchDetails call).
+	DetailRetries       uint64
+	DetailBatchesFailed uint64
 	// BackfillPolls and BackfilledBundles count spike-recovery activity
-	// (zero unless Cfg.BackfillPages is set).
+	// (zero unless Cfg.BackfillPages is set); BackfillErrors counts
+	// backfill pages abandoned on transport failure.
 	BackfillPolls     uint64
 	BackfilledBundles uint64
+	BackfillErrors    uint64
 }
 
 // New builds a collector over the given transport.
@@ -102,6 +132,7 @@ func (c *Collector) Poll() error {
 	page, err := c.transport.RecentBundles(c.Cfg.PageLimit)
 	if err != nil {
 		c.Errors++
+		c.Faults.Record(err)
 		return err
 	}
 	c.Polls++
@@ -146,6 +177,8 @@ func (c *Collector) backfill(cursor uint64) {
 		older, err := c.transport.RecentBundlesBefore(cursor, c.Cfg.PageLimit)
 		if err != nil {
 			c.Errors++
+			c.BackfillErrors++
+			c.Faults.Record(err)
 			return
 		}
 		if len(older) == 0 {
@@ -172,10 +205,18 @@ func (c *Collector) backfill(cursor uint64) {
 // an outage: a gap pair says nothing about steady-state coverage.
 func (c *Collector) ResetOverlapChain() { c.prevPage = nil }
 
-// FetchDetails bulk-fetches transaction details for every collected
-// length-3 bundle that does not have them yet, in batches of at most
-// Cfg.DetailBatch ids. It returns the number of details fetched.
-func (c *Collector) FetchDetails() (int, error) {
+// ErrDetailShortfall marks a FetchDetails return where some batches
+// failed after retries: the fetched count is partial, the failed ids are
+// still pending (PendingDetails reports how many), and a later call will
+// pick them up again. Callers degrade gracefully — the collected records
+// and every already-fetched detail are intact.
+var ErrDetailShortfall = errors.New("collector: detail shortfall")
+
+// pendingDetailIDs lists every transaction id of a retained record whose
+// detail has not been fetched yet. Recomputed from the dataset each time,
+// so the pending queue survives Save/Load checkpoints for free: a resumed
+// collection re-derives exactly the shortfall it left off with.
+func (c *Collector) pendingDetailIDs() []solana.Signature {
 	var pending []solana.Signature
 	collect := func(recs []jito.BundleRecord) {
 		for i := range recs {
@@ -188,21 +229,61 @@ func (c *Collector) FetchDetails() (int, error) {
 	}
 	collect(c.Data.Len3)
 	collect(c.Data.Long)
-	fetched := 0
+	return pending
+}
+
+// PendingDetails counts transaction ids still awaiting details — the
+// visible shortfall after a degraded FetchDetails (or before any fetch).
+func (c *Collector) PendingDetails() int { return len(c.pendingDetailIDs()) }
+
+// FetchDetails bulk-fetches transaction details for every collected
+// length-3 bundle that does not have them yet, in batches of at most
+// Cfg.DetailBatch ids. It returns the number of details fetched.
+//
+// Failure is per batch, not per call: a batch is retried up to
+// Cfg.DetailRetries times, and if it still fails it is skipped — its ids
+// stay pending (see PendingDetails) and the remaining batches proceed, so
+// one bad batch can no longer abort the rest of the fetch or discard
+// partial progress. When any batch was skipped the call returns the
+// partial fetched count and an error wrapping ErrDetailShortfall.
+func (c *Collector) FetchDetails() (int, error) {
+	pending := c.pendingDetailIDs()
+	retries := c.Cfg.detailRetries()
+	fetched, batches, failed := 0, 0, 0
+	var lastErr error
 	for start := 0; start < len(pending); start += c.Cfg.DetailBatch {
 		end := start + c.Cfg.DetailBatch
 		if end > len(pending) {
 			end = len(pending)
 		}
-		c.DetailRequests++
-		details, err := c.transport.TxDetails(pending[start:end])
+		batches++
+		var details []jito.TxDetail
+		var err error
+		for attempt := 0; attempt <= retries; attempt++ {
+			if attempt > 0 {
+				c.DetailRetries++
+			}
+			c.DetailRequests++
+			details, err = c.transport.TxDetails(pending[start:end])
+			if err == nil {
+				break
+			}
+			c.Faults.Record(err)
+		}
 		if err != nil {
-			return fetched, fmt.Errorf("collector: detail batch at %d: %w", start, err)
+			c.DetailBatchesFailed++
+			failed++
+			lastErr = err
+			continue
 		}
 		for _, d := range details {
 			c.Data.Details[d.Sig] = d
 		}
 		fetched += len(details)
+	}
+	if failed > 0 {
+		return fetched, fmt.Errorf("%w: %d of %d batches failed (last: %v), %d ids pending",
+			ErrDetailShortfall, failed, batches, lastErr, c.PendingDetails())
 	}
 	return fetched, nil
 }

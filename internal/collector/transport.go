@@ -1,18 +1,19 @@
-// Package collector implements the paper's measurement pipeline (§3.1):
-// poll the explorer's recent-bundles endpoint on a fixed cadence, dedup
-// into a dataset, measure the overlap between successive pages to validate
-// coverage, and bulk-fetch transaction details for length-3 bundles in
-// batches of at most 10,000.
 package collector
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
 
 	"jitomev/internal/explorer"
+	"jitomev/internal/faults"
 	"jitomev/internal/jito"
 	"jitomev/internal/solana"
 )
@@ -54,17 +55,68 @@ func (d Direct) TxDetails(ids []solana.Signature) ([]jito.TxDetail, error) {
 	return d.Store.TxDetails(ids), nil
 }
 
+// ErrCircuitOpen is returned (wrapped) when an endpoint's circuit breaker
+// is open: recent calls failed persistently and the cooldown has not
+// elapsed, so the call is rejected without touching the network.
+var ErrCircuitOpen = errors.New("collector: circuit open")
+
 // HTTP is the faithful transport: it speaks the explorer's JSON API like
-// the paper's scraper spoke to explorer.jito.wtf, including backing off on
-// HTTP 429.
+// the paper's scraper spoke to explorer.jito.wtf, and survives the API's
+// documented misbehaviours — throttling (429 + Retry-After), transient
+// 5xx, timeouts, oversized or damaged bodies — with capped jittered
+// exponential backoff and a per-endpoint circuit breaker. A four-month
+// collection rides on this loop, so every failure mode is bounded: retry
+// counts, backoff delays, response bytes, consecutive-failure streaks.
 type HTTP struct {
 	BaseURL string
 	Client  *http.Client
 
-	// MaxRetries bounds retry attempts on 429 or transient errors.
+	// Context, when non-nil, bounds every request and backoff sleep;
+	// cancelling it aborts in-flight collection promptly. nil means
+	// context.Background() (a long-lived scraper with no deadline).
+	Context context.Context
+
+	// MaxRetries bounds retry attempts after the first try. Retried:
+	// transport errors, timeouts, 429 and 5xx. Not retried: other 4xx
+	// (a malformed request will not improve) and decode failures of a
+	// 200 body (a cached corrupt page may repeat verbatim).
 	MaxRetries int
-	// Backoff is the base delay between retries (doubled each attempt).
+	// Backoff is the base delay between retries (doubled each attempt,
+	// jittered ±50%, capped at MaxBackoff).
 	Backoff time.Duration
+	// MaxBackoff caps the exponential backoff and any server-suggested
+	// Retry-After delay, so a hostile header cannot stall the scraper.
+	// 0 selects 5s.
+	MaxBackoff time.Duration
+	// MaxBody bounds how many response-body bytes a single request may
+	// buffer through the JSON decoder — a hostile or corrupt payload
+	// cannot balloon memory (the same bounded-allocation guarantee
+	// snapshot decoding gives). 0 selects 256 MiB, comfortably above the
+	// largest legitimate 50,000-bundle page. Bodies cut by the bound
+	// surface as truncation errors.
+	MaxBody int64
+
+	// BreakerThreshold opens an endpoint's circuit after this many
+	// consecutive exhausted calls (0 selects 5); while open, calls fail
+	// fast with ErrCircuitOpen until BreakerCooldown (0 selects 2s)
+	// elapses, then a single half-open probe decides: success closes the
+	// breaker, failure re-opens it for another cooldown.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// BreakerOpens and BreakerShorted count breaker transitions to open
+	// and calls rejected while open. Read them between calls (the
+	// collector drives one request at a time).
+	BreakerOpens   uint64
+	BreakerShorted uint64
+
+	// now and sleep are injectable for tests; nil selects the real clock.
+	now   func() time.Time
+	sleep func(context.Context, time.Duration) error
+
+	mu       sync.Mutex
+	breakers map[string]*breaker
+	jitterN  uint64
 }
 
 // NewHTTP returns an HTTP transport with sane defaults.
@@ -77,31 +129,197 @@ func NewHTTP(baseURL string) *HTTP {
 	}
 }
 
-func (h *HTTP) do(req func() (*http.Response, error)) (*http.Response, error) {
-	backoff := h.Backoff
+// WithContext binds ctx to all subsequent requests and backoff waits.
+// It returns h for chaining.
+func (h *HTTP) WithContext(ctx context.Context) *HTTP {
+	h.Context = ctx
+	return h
+}
+
+func (h *HTTP) ctx() context.Context {
+	if h.Context != nil {
+		return h.Context
+	}
+	return context.Background()
+}
+
+func (h *HTTP) clock() time.Time {
+	if h.now != nil {
+		return h.now()
+	}
+	return time.Now()
+}
+
+func (h *HTTP) maxBackoff() time.Duration {
+	if h.MaxBackoff <= 0 {
+		return 5 * time.Second
+	}
+	return h.MaxBackoff
+}
+
+func (h *HTTP) maxBody() int64 {
+	if h.MaxBody <= 0 {
+		return 256 << 20
+	}
+	return h.MaxBody
+}
+
+// wait sleeps for d or until ctx is cancelled.
+func (h *HTTP) wait(ctx context.Context, d time.Duration) error {
+	if h.sleep != nil {
+		return h.sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryDelay computes the attempt'th backoff: exponential from Backoff,
+// jittered in [0.5, 1.5), capped at MaxBackoff — then raised to any
+// server-suggested Retry-After (itself capped at MaxBackoff, so a hostile
+// header cannot park the scraper).
+func (h *HTTP) retryDelay(attempt int, lastErr error) time.Duration {
+	d := h.Backoff
+	for i := 1; i < attempt && d < h.maxBackoff(); i++ {
+		d *= 2
+	}
+	if d > h.maxBackoff() {
+		d = h.maxBackoff()
+	}
+	// Deterministic decorrelation jitter: a counter-hashed factor in
+	// [0.5, 1.5). No shared rand state, no time dependence.
+	h.mu.Lock()
+	h.jitterN++
+	n := h.jitterN
+	h.mu.Unlock()
+	x := n * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	factor := 0.5 + float64(x&((1<<20)-1))/float64(1<<20)
+	d = time.Duration(float64(d) * factor)
+
+	var fe *faults.Error
+	if errors.As(lastErr, &fe) && fe.RetryAfter > 0 {
+		ra := fe.RetryAfter
+		if ra > h.maxBackoff() {
+			ra = h.maxBackoff()
+		}
+		if ra > d {
+			d = ra
+		}
+	}
+	return d
+}
+
+// breakerFor returns the endpoint's circuit breaker, creating it lazily.
+func (h *HTTP) breakerFor(endpoint string) *breaker {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.breakers == nil {
+		h.breakers = make(map[string]*breaker)
+	}
+	br, ok := h.breakers[endpoint]
+	if !ok {
+		threshold := h.BreakerThreshold
+		if threshold <= 0 {
+			threshold = 5
+		}
+		cooldown := h.BreakerCooldown
+		if cooldown <= 0 {
+			cooldown = 2 * time.Second
+		}
+		br = &breaker{threshold: threshold, cooldown: cooldown}
+		h.breakers[endpoint] = br
+	}
+	return br
+}
+
+// do runs one logical request with the full hardening loop: breaker
+// check, bounded retries with capped jittered backoff, Retry-After
+// honoring, 429/5xx/transport-error retry. On success the caller owns
+// resp.Body.
+func (h *HTTP) do(endpoint string, send func(context.Context) (*http.Response, error)) (*http.Response, error) {
+	ctx := h.ctx()
+	br := h.breakerFor(endpoint)
+	if !br.allow(h.clock()) {
+		h.mu.Lock()
+		h.BreakerShorted++
+		h.mu.Unlock()
+		return nil, fmt.Errorf("collector: %s: %w", endpoint, ErrCircuitOpen)
+	}
 	var lastErr error
 	for attempt := 0; attempt <= h.MaxRetries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+			if err := h.wait(ctx, h.retryDelay(attempt, lastErr)); err != nil {
+				lastErr = err
+				break
+			}
 		}
-		resp, err := req()
+		if err := ctx.Err(); err != nil {
+			lastErr = err
+			break
+		}
+		resp, err := send(ctx)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			resp.Body.Close()
-			lastErr = fmt.Errorf("collector: throttled (429)")
-			continue
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			br.success()
+			return resp, nil
+		case resp.StatusCode == http.StatusTooManyRequests:
+			ra := parseRetryAfter(resp.Header, h.clock)
+			drain(resp)
+			lastErr = &faults.Error{Class: faults.ClassThrottle, Status: resp.StatusCode, RetryAfter: ra}
+		case resp.StatusCode >= 500:
+			ra := parseRetryAfter(resp.Header, h.clock)
+			drain(resp)
+			lastErr = &faults.Error{Class: faults.ClassServer, Status: resp.StatusCode, RetryAfter: ra}
+		default:
+			// Other 4xx: our request is wrong; retrying cannot help and
+			// the server is healthy, so the breaker stays untouched.
+			drain(resp)
+			return nil, fmt.Errorf("collector: %s: HTTP %d", endpoint, resp.StatusCode)
 		}
-		if resp.StatusCode != http.StatusOK {
-			resp.Body.Close()
-			return nil, fmt.Errorf("collector: HTTP %d", resp.StatusCode)
-		}
-		return resp, nil
 	}
-	return nil, fmt.Errorf("collector: retries exhausted: %w", lastErr)
+	if br.failure(h.clock()) {
+		h.mu.Lock()
+		h.BreakerOpens++
+		h.mu.Unlock()
+	}
+	return nil, fmt.Errorf("collector: %s: retries exhausted: %w", endpoint, lastErr)
+}
+
+// drain discards a response body so the connection can be reused.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10)) //nolint:errcheck
+	resp.Body.Close()
+}
+
+// parseRetryAfter reads a Retry-After header: delay seconds (fractions
+// accepted) or an HTTP date. 0 means absent or unparseable.
+func parseRetryAfter(hdr http.Header, now func() time.Time) time.Duration {
+	v := hdr.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseFloat(v, 64); err == nil && secs >= 0 {
+		return time.Duration(secs * float64(time.Second))
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := at.Sub(now()); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // RecentBundles implements Transport.
@@ -116,13 +334,19 @@ func (h *HTTP) RecentBundlesBefore(beforeSeq uint64, limit int) ([]jito.BundleRe
 }
 
 func (h *HTTP) recent(url string) ([]jito.BundleRecord, error) {
-	resp, err := h.do(func() (*http.Response, error) { return h.Client.Get(url) })
+	resp, err := h.do("recent", func(ctx context.Context) (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		return h.Client.Do(req)
+	})
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	var body explorer.RecentResponse
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+	if err := h.decodeBounded(resp.Body, &body); err != nil {
 		return nil, fmt.Errorf("collector: decoding recent bundles: %w", err)
 	}
 	return body.Bundles, nil
@@ -135,16 +359,105 @@ func (h *HTTP) TxDetails(ids []solana.Signature) ([]jito.TxDetail, error) {
 		return nil, err
 	}
 	url := h.BaseURL + "/api/v1/transactions"
-	resp, err := h.do(func() (*http.Response, error) {
-		return h.Client.Post(url, "application/json", bytes.NewReader(payload))
+	resp, err := h.do("details", func(ctx context.Context) (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return h.Client.Do(req)
 	})
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	var body explorer.DetailResponse
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+	if err := h.decodeBounded(resp.Body, &body); err != nil {
 		return nil, fmt.Errorf("collector: decoding tx details: %w", err)
 	}
 	return body.Transactions, nil
+}
+
+// decodeBounded decodes a JSON body read through an io.LimitReader, so a
+// hostile or damaged payload is capped at MaxBody bytes. A body cut by
+// the cap (or by the wire) classifies as truncation; syntactically
+// invalid bytes classify as corruption.
+func (h *HTTP) decodeBounded(body io.Reader, v any) error {
+	limited := io.LimitReader(body, h.maxBody())
+	if err := json.NewDecoder(limited).Decode(v); err != nil {
+		class := faults.ClassCorrupt
+		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+			class = faults.ClassTruncate
+		}
+		return &faults.Error{Class: class, Err: err}
+	}
+	return nil
+}
+
+// breaker is a per-endpoint circuit breaker: closed → open after
+// `threshold` consecutive exhausted calls, open → half-open after
+// `cooldown`, half-open → closed on a successful probe (or back to open
+// on a failed one). It protects a months-long collection from hammering
+// a down endpoint and gives the server room to recover.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	fails    int
+	state    int // 0 closed, 1 open, 2 half-open
+	openedAt time.Time
+}
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// allow reports whether a call may proceed now. In the open state it
+// admits a single half-open probe once the cooldown has elapsed.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: one probe already in flight
+		return false
+	}
+}
+
+// success records a successful call; returns true when it closed a
+// half-open breaker.
+func (b *breaker) success() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	recovered := b.state == breakerHalfOpen
+	b.state = breakerClosed
+	b.fails = 0
+	return recovered
+}
+
+// failure records an exhausted call; returns true when it opened the
+// breaker (threshold crossed, or a half-open probe failed).
+func (b *breaker) failure(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.fails >= b.threshold) {
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	}
+	if b.state == breakerOpen {
+		b.openedAt = now
+	}
+	return false
 }

@@ -1,0 +1,98 @@
+package explorer
+
+// Concurrency tests for the store and server: a live explorer accepts
+// bundles from the producing validator while serving reads to a polling
+// scraper, so writer/reader interleavings must be safe under the race
+// detector (this package is part of the `make verify` race matrix).
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"jitomev/internal/solana"
+)
+
+func TestStoreConcurrentAcceptAndRead(t *testing.T) {
+	s := NewStore()
+	const writers, perWriter = 4, 250
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Accept(0, fakeAccepted(w*perWriter+i+1, 3))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for s.Len() < writers*perWriter {
+			page := s.Recent(50)
+			// Pages must always be internally consistent: newest first.
+			for i := 1; i < len(page); i++ {
+				if page[i].Seq > page[i-1].Seq {
+					t.Error("page out of order under concurrent writes")
+					return
+				}
+			}
+			if len(page) > 0 {
+				s.RecentBefore(page[0].Seq, 20)
+				s.TxDetails([]solana.Signature{page[0].TxIDs[0]})
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if s.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", s.Len(), writers*perWriter)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	s := NewStore()
+	for i := 1; i <= 500; i++ {
+		s.Accept(0, fakeAccepted(i, 3))
+	}
+	srv := httptest.NewServer(NewServer(s, 0))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := http.Get(srv.URL + "/api/v1/bundles/recent?limit=40")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	// Writes keep landing while the clients read.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 501; i <= 600; i++ {
+			s.Accept(0, fakeAccepted(i, 1))
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ChaosConfig shapes the wire-level faults ChaosHandler injects.
+type ChaosConfig struct {
+	// SlowDelay is how long a ClassTimeout request stalls before being
+	// served normally. Pair it with the client's timeout: shorter means
+	// "slow response", longer means "client-observed timeout". 0 selects
+	// 50ms.
+	SlowDelay time.Duration
+	// RetryAfter is the base delay advertised on 429/503 responses
+	// (scaled 1–3× per fault), written as fractional seconds. 0 selects
+	// 20ms.
+	RetryAfter time.Duration
+}
+
+func (c ChaosConfig) slowDelay() time.Duration {
+	if c.SlowDelay <= 0 {
+		return 50 * time.Millisecond
+	}
+	return c.SlowDelay
+}
+
+func (c ChaosConfig) retryAfter() time.Duration {
+	if c.RetryAfter <= 0 {
+		return 20 * time.Millisecond
+	}
+	return c.RetryAfter
+}
+
+// ChaosHandler wraps an HTTP handler (typically explorer.NewServer) with
+// wire-level fault injection on the Injector's deterministic schedule:
+// 429 with Retry-After, 5xx, slow responses, and truncated or corrupt
+// JSON bodies. This is the explorer server's chaos mode — the faithful
+// way to exercise the collector's HTTP hardening, since the faults travel
+// through a real client, real headers and a real JSON decoder.
+//
+// The schedule is per request index; with a single sequential client the
+// injected sequence is exactly reproducible. Retried requests consume
+// fresh indices, as real repeated requests would.
+func ChaosHandler(next http.Handler, inj *Injector, cfg ChaosConfig) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		class, idx := inj.Next(HTTPMask)
+		switch class {
+		case ClassNone:
+			next.ServeHTTP(w, r)
+		case ClassThrottle:
+			scale := 1 + time.Duration(hash(inj.Seed(), idx, 0x7e7a)%3)
+			ra := scale * cfg.retryAfter()
+			w.Header().Set("Retry-After", fmt.Sprintf("%.3f", ra.Seconds()))
+			http.Error(w, "rate limit exceeded (chaos)", http.StatusTooManyRequests)
+		case ClassServer:
+			statuses := [...]int{http.StatusInternalServerError,
+				http.StatusBadGateway, http.StatusServiceUnavailable}
+			status := statuses[hash(inj.Seed(), idx, 0x5e4e)%3]
+			if status == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", fmt.Sprintf("%.3f", cfg.retryAfter().Seconds()))
+			}
+			http.Error(w, "server error (chaos)", status)
+		case ClassTimeout:
+			time.Sleep(cfg.slowDelay())
+			next.ServeHTTP(w, r)
+		case ClassTruncate:
+			rec := record(next, r)
+			copyHeader(w.Header(), rec.header)
+			w.WriteHeader(rec.status)
+			// Cut the body mid-stream: an aborted response that decodes
+			// to an unexpected EOF.
+			w.Write(rec.body.Bytes()[:rec.body.Len()/2]) //nolint:errcheck
+		case ClassCorrupt:
+			rec := record(next, r)
+			body := rec.body.Bytes()
+			// Flip a handful of bytes at deterministic offsets — invalid
+			// JSON that still arrives with status 200.
+			for k := uint64(0); k < 4 && rec.body.Len() > 0; k++ {
+				off := int(hash(inj.Seed(), idx, 0xc042+k) % uint64(len(body)))
+				body[off] ^= 0x5a
+			}
+			copyHeader(w.Header(), rec.header)
+			w.WriteHeader(rec.status)
+			w.Write(body) //nolint:errcheck
+		}
+	})
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// recorder buffers a downstream response so the chaos layer can damage it
+// before it hits the wire.
+type recorder struct {
+	status int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func record(next http.Handler, r *http.Request) *recorder {
+	rec := &recorder{status: http.StatusOK, header: make(http.Header)}
+	next.ServeHTTP(rec, r)
+	return rec
+}
+
+// Header implements http.ResponseWriter.
+func (r *recorder) Header() http.Header { return r.header }
+
+// Write implements http.ResponseWriter.
+func (r *recorder) Write(p []byte) (int, error) { return r.body.Write(p) }
+
+// WriteHeader implements http.ResponseWriter.
+func (r *recorder) WriteHeader(status int) { r.status = status }

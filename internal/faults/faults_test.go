@@ -1,0 +1,169 @@
+package faults
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestScheduleIsPureFunction(t *testing.T) {
+	s := Schedule{Seed: 42, Rate: 0.3}
+	for i := uint64(0); i < 1000; i++ {
+		if s.At(i, PageMask) != s.At(i, PageMask) {
+			t.Fatalf("schedule not deterministic at index %d", i)
+		}
+	}
+	// Two injectors over the same schedule consume identical sequences.
+	a, b := NewInjector(42, 0.3), NewInjector(42, 0.3)
+	for i := 0; i < 1000; i++ {
+		ca, _ := a.Next(PageMask)
+		cb, _ := b.Next(PageMask)
+		if ca != cb {
+			t.Fatalf("injector sequences diverge at call %d: %v vs %v", i, ca, cb)
+		}
+	}
+}
+
+func TestScheduleSeedsDiffer(t *testing.T) {
+	a := Schedule{Seed: 1, Rate: 0.5}
+	b := Schedule{Seed: 2, Rate: 0.5}
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		if a.At(i, PageMask) == b.At(i, PageMask) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleRate(t *testing.T) {
+	for _, rate := range []float64{0, 0.1, 0.5, 1} {
+		s := Schedule{Seed: 7, Rate: rate}
+		faultsN := 0
+		const n = 20000
+		for i := uint64(0); i < n; i++ {
+			if s.At(i, PageMask) != ClassNone {
+				faultsN++
+			}
+		}
+		got := float64(faultsN) / n
+		if got < rate-0.02 || got > rate+0.02 {
+			t.Errorf("rate %.2f: measured fault fraction %.3f", rate, got)
+		}
+	}
+}
+
+func TestScheduleCoversEveryClassInMask(t *testing.T) {
+	s := Schedule{Seed: 9, Rate: 1}
+	fullMask := PageMask | DetailMask | HTTPMask
+	var seen Stats
+	for i := uint64(0); i < 500; i++ {
+		seen.Add(s.At(i, fullMask))
+	}
+	for c := ClassTransport; c < NumClasses; c++ {
+		if fullMask.Has(c) && seen[c] == 0 {
+			t.Errorf("class %v never injected in 500 draws at rate 1", c)
+		}
+	}
+}
+
+func TestScheduleRespectsMask(t *testing.T) {
+	s := Schedule{Seed: 3, Rate: 1}
+	onlyThrottle := MaskOf(ClassThrottle)
+	for i := uint64(0); i < 100; i++ {
+		if c := s.At(i, onlyThrottle); c != ClassThrottle {
+			t.Fatalf("masked schedule produced %v", c)
+		}
+	}
+	// Rate 1 with an empty mask degrades to no injection, not a panic.
+	if c := s.At(0, 0); c != ClassNone {
+		t.Fatalf("empty mask produced %v", c)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{nil, ClassNone},
+		{&Error{Class: ClassThrottle, Status: 429}, ClassThrottle},
+		{&Error{Class: ClassServer, Status: 502}, ClassServer},
+		{errors.New("plain"), ClassTransport},
+		{context.DeadlineExceeded, ClassTimeout},
+		{&Error{Class: ClassTimeout}, ClassTimeout},
+		{io.ErrUnexpectedEOF, ClassTruncate},
+		{&json.SyntaxError{}, ClassCorrupt},
+		// Wrapped typed errors classify through the chain.
+		{errWrap{&Error{Class: ClassPartial}}, ClassPartial},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+type errWrap struct{ inner error }
+
+func (e errWrap) Error() string { return "wrap: " + e.inner.Error() }
+func (e errWrap) Unwrap() error { return e.inner }
+
+func TestErrorRendering(t *testing.T) {
+	e := &Error{Class: ClassThrottle, Status: 429, RetryAfter: 50 * time.Millisecond}
+	for _, want := range []string{"throttle", "429", "50ms"} {
+		if !strings.Contains(e.Error(), want) {
+			t.Errorf("error %q missing %q", e.Error(), want)
+		}
+	}
+	if !e.Temporary() || e.Timeout() {
+		t.Error("throttle should be temporary, not a timeout")
+	}
+	if !(&Error{Class: ClassTimeout}).Timeout() {
+		t.Error("timeout class should report Timeout()")
+	}
+	if (&Error{Class: ClassCorrupt}).Temporary() {
+		t.Error("corrupt payloads are not temporary")
+	}
+}
+
+func TestStats(t *testing.T) {
+	var s Stats
+	s.Record(&Error{Class: ClassServer})
+	s.Record(&Error{Class: ClassServer})
+	s.Record(errors.New("conn reset"))
+	s.Record(nil)
+	if s.Total() != 3 || s[ClassServer] != 2 || s[ClassTransport] != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	str := s.String()
+	if !strings.Contains(str, "server=2") || !strings.Contains(str, "transport=1") {
+		t.Errorf("String() = %q", str)
+	}
+	var zero Stats
+	if zero.String() != "none" {
+		t.Errorf("zero stats = %q", zero.String())
+	}
+}
+
+func TestInjectorTally(t *testing.T) {
+	in := NewInjector(11, 1)
+	for i := 0; i < 200; i++ {
+		in.Next(PageMask)
+	}
+	st := in.Stats()
+	if in.Calls() != 200 || st.Total() != 200 {
+		t.Errorf("calls=%d injected=%d", in.Calls(), st.Total())
+	}
+	for c := ClassTransport; c < NumClasses; c++ {
+		if st[c] > 0 && !PageMask.Has(c) {
+			t.Errorf("injected %v outside mask", c)
+		}
+	}
+}

@@ -19,6 +19,7 @@ package jitomev
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -27,6 +28,7 @@ import (
 	"jitomev/internal/collector"
 	"jitomev/internal/core"
 	"jitomev/internal/explorer"
+	"jitomev/internal/faults"
 	"jitomev/internal/jito"
 	"jitomev/internal/parallel"
 	"jitomev/internal/report"
@@ -81,6 +83,22 @@ type Config struct {
 	// reference path (serial analysis, synchronous ingest). Every
 	// setting produces bit-identical Results.
 	Workers int
+
+	// FaultRate enables deterministic chaos on the collection path: each
+	// transport call faults with this probability, drawn from the full
+	// taxonomy (transport errors, 429 + Retry-After, 5xx, timeouts,
+	// truncated/corrupt payloads, partial details, duplicated and
+	// reordered page entries). The schedule is a pure function of
+	// (ChaosSeed, call index), so a chaos run is exactly reproducible
+	// and — like everything else — bit-identical at any Workers count.
+	// 0 disables injection. With UseHTTP the explorer server is
+	// additionally wrapped in its wire-level chaos mode, so the faults
+	// travel through real headers and a real JSON decoder.
+	FaultRate float64
+	// ChaosSeed selects the chaos universe (independent of the workload
+	// seed, so the same traffic can be collected under different fault
+	// schedules).
+	ChaosSeed int64
 }
 
 // Outcome bundles everything a study produces.
@@ -99,6 +117,15 @@ type Outcome struct {
 	// block scanner flags (set by Config.RunBlockScan); compare with
 	// Results.Sandwiches to see what bundle visibility buys.
 	BlockScanFlags int
+
+	// PendingDetails counts transaction ids whose details were never
+	// recovered — the visible shortfall of a degraded collection (0 on
+	// a fault-free run).
+	PendingDetails int
+	// Chaos is the fault injector when Config.FaultRate > 0 (nil
+	// otherwise); Chaos.Stats() breaks down what was injected, while
+	// Collector.Faults breaks down what the consumers saw.
+	Chaos *faults.Injector
 }
 
 // truthAdapter exposes workload ground truth through report.Truther.
@@ -129,16 +156,33 @@ func Run(cfg Config) (*Outcome, error) {
 		store.RetainDetailsFor(3, 4, 5)
 		ccfg.DetailLengths = []int{4, 5}
 	}
+	var chaos *faults.Injector
+	if cfg.FaultRate > 0 {
+		chaos = faults.NewInjector(cfg.ChaosSeed, cfg.FaultRate)
+	}
+
 	var transport collector.Transport = collector.Direct{Store: store}
 	var shutdown func()
 	if cfg.UseHTTP {
-		srv, addr, err := serveLoopback(store)
+		var handler http.Handler = explorer.NewServer(store, 0)
+		if chaos != nil {
+			// The server's chaos mode injects wire-level faults (429 +
+			// Retry-After, 5xx, slow/truncated/corrupt responses) on the
+			// same deterministic schedule, in front of a real client.
+			handler = faults.ChaosHandler(handler, chaos, faults.ChaosConfig{})
+		}
+		srv, addr, err := serveLoopback(handler)
 		if err != nil {
 			return nil, err
 		}
 		transport = collector.NewHTTP("http://" + addr)
 		shutdown = func() { _ = srv.Shutdown(context.Background()) }
 		defer shutdown()
+	} else if chaos != nil {
+		// In-process chaos: wrap the transport itself, adding the
+		// content-level faults HTTP middleware cannot express (partial
+		// details, duplicated and reordered page entries).
+		transport = faults.WrapTransport(transport, chaos, faults.TransportOptions{})
 	}
 
 	coll := collector.New(ccfg, p.Clock(), transport)
@@ -160,7 +204,13 @@ func Run(cfg Config) (*Outcome, error) {
 	}
 
 	if _, err := coll.FetchDetails(); err != nil {
-		return nil, fmt.Errorf("jitomev: fetching details: %w", err)
+		// A detail shortfall is graceful degradation, not failure: the
+		// skipped ids stay pending (Outcome.PendingDetails) and every
+		// fetched detail is intact — exactly how the paper's scraper
+		// carried on through bad nights. Anything else is fatal.
+		if !errors.Is(err, collector.ErrDetailShortfall) {
+			return nil, fmt.Errorf("jitomev: fetching details: %w", err)
+		}
 	}
 
 	det := core.NewDefaultDetector()
@@ -175,6 +225,8 @@ func Run(cfg Config) (*Outcome, error) {
 		Collector:      coll,
 		Store:          store,
 		BlockScanFlags: blockScanFlags,
+		PendingDetails: coll.PendingDetails(),
+		Chaos:          chaos,
 	}
 	if store.Len() > 0 {
 		out.CoverageRate = float64(coll.Data.Collected) / float64(store.Len())
@@ -185,15 +237,16 @@ func Run(cfg Config) (*Outcome, error) {
 	return out, nil
 }
 
-// serveLoopback starts an explorer API server on an ephemeral loopback
-// port and returns the server and its address.
-func serveLoopback(store *explorer.Store) (*http.Server, string, error) {
+// serveLoopback starts an explorer API server (or its chaos-wrapped
+// variant) on an ephemeral loopback port and returns the server and its
+// address.
+func serveLoopback(handler http.Handler) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, "", fmt.Errorf("jitomev: loopback listener: %w", err)
 	}
 	srv := &http.Server{
-		Handler:           explorer.NewServer(store, 0),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() { _ = srv.Serve(ln) }()
