@@ -3,11 +3,13 @@ GO ?= go
 # Concurrency-bearing packages exercised under the race detector: the
 # worker pool, the sharded analysis fan-in, the pipelined
 # generation→ingest sink, the parallel snapshot encode/decode, the
-# fault injector (atomic call counters shared across goroutines), and
-# the explorer store/server (writer vs. scraper interleavings).
-RACE_PKGS = ./internal/parallel ./internal/report ./internal/collector ./internal/workload ./internal/snapshot ./internal/faults ./internal/explorer
+# fault injector (atomic call counters shared across goroutines), the
+# explorer store/server (writer vs. scraper interleavings), and the
+# metrics registry (atomic counters incremented from every pipeline
+# stage while /metrics snapshots them).
+RACE_PKGS = ./internal/parallel ./internal/report ./internal/collector ./internal/workload ./internal/snapshot ./internal/faults ./internal/explorer ./internal/obs
 
-.PHONY: verify build test vet race bench bench-json chaos
+.PHONY: verify build test vet race bench bench-json chaos metrics-smoke
 
 # verify is the extended tier-1 gate (see ROADMAP.md): build + tests,
 # static checks, and the race suite over the concurrent packages.
@@ -41,6 +43,15 @@ bench:
 
 # bench-json runs the benchmark suite once and writes BENCH_persist.json
 # (benchmark name → ns/op, B/op, allocs/op, MB/s) so future PRs can diff
-# the performance trajectory mechanically.
+# the performance trajectory mechanically. The observability-overhead
+# benchmarks (registry hot path plus instrumented-vs-plain analysis) run
+# long enough for stable ns/op and land in BENCH_obs.json.
 bench-json:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_persist.json
+	$(GO) test -run=NONE -bench='Obs|InstrumentedAnalyze|AnalyzeParallel$$' -benchmem . ./internal/obs | $(GO) run ./cmd/benchjson > BENCH_obs.json
+
+# metrics-smoke starts explorerd, validates its /metrics exposition, then
+# runs a short collect with -metrics-addr and validates the collector's
+# live and end-of-run metrics (see scripts/metrics_smoke.sh).
+metrics-smoke:
+	sh scripts/metrics_smoke.sh

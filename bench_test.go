@@ -16,6 +16,7 @@ import (
 	"jitomev/internal/collector"
 	"jitomev/internal/core"
 	"jitomev/internal/explorer"
+	"jitomev/internal/obs"
 	"jitomev/internal/report"
 	"jitomev/internal/workload"
 )
@@ -168,6 +169,24 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := report.AnalyzeN(out.Collector.Data, det, 0, 0)
+		if r.Sandwiches == 0 {
+			b.Fatal("analysis found nothing")
+		}
+	}
+}
+
+// BenchmarkInstrumentedAnalyze is BenchmarkAnalyzeParallel with a live
+// metrics registry attached: the delta against the uninstrumented run is
+// the whole-pipeline cost of the observability layer (per-metric cost is
+// BenchmarkObsCounter in internal/obs).
+func BenchmarkInstrumentedAnalyze(b *testing.B) {
+	out := benchPipeline(b)
+	det := core.NewDefaultDetector()
+	reg := obs.NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := report.AnalyzeObs(out.Collector.Data, det, 0, 0, reg)
 		if r.Sandwiches == 0 {
 			b.Fatal("analysis found nothing")
 		}

@@ -57,17 +57,17 @@ func TestChaosDeterministicAcrossWorkers(t *testing.T) {
 			b.TotalBundles, b.Sandwiches, b.VictimLossSOL, b.OverlapRate)
 	}
 	if one.PendingDetails != eight.PendingDetails ||
-		one.Collector.Faults != eight.Collector.Faults {
+		one.Collector.Faults() != eight.Collector.Faults() {
 		t.Errorf("degradation accounting diverges: pending %d vs %d, faults %v vs %v",
 			one.PendingDetails, eight.PendingDetails,
-			one.Collector.Faults, eight.Collector.Faults)
+			one.Collector.Faults(), eight.Collector.Faults())
 	}
 	// The chaos actually happened — a vacuously fault-free run would
 	// make this test meaningless.
 	if one.Chaos == nil || one.Chaos.Stats().Total() == 0 {
 		t.Fatal("no faults were injected at rate 0.1")
 	}
-	if one.Collector.Faults.Total() == 0 {
+	if one.Collector.Faults().Total() == 0 {
 		t.Error("injected faults never surfaced to the collector")
 	}
 }
@@ -86,12 +86,12 @@ func TestChaosSeedSelectsUniverse(t *testing.T) {
 		return out
 	}
 	a, b := run(7), run(7)
-	if a.Collector.Faults != b.Collector.Faults ||
+	if a.Collector.Faults() != b.Collector.Faults() ||
 		a.Results.Sandwiches != b.Results.Sandwiches {
 		t.Error("same chaos seed produced different runs")
 	}
 	c := run(8)
-	if a.Collector.Faults == c.Collector.Faults && a.Chaos.Stats() == c.Chaos.Stats() {
+	if a.Collector.Faults() == c.Collector.Faults() && a.Chaos.Stats() == c.Chaos.Stats() {
 		t.Error("different chaos seeds produced identical fault sequences")
 	}
 }
@@ -138,7 +138,7 @@ func TestChaosIntegrityAtTenPercent(t *testing.T) {
 	}
 	// Coverage loss is visible, not silent: every injected fault either
 	// was healed by retries or is accounted for in a counter.
-	if out.Collector.Faults.Total() == 0 && out.Chaos.Stats().Total() > 0 {
+	if out.Collector.Faults().Total() == 0 && out.Chaos.Stats().Total() > 0 {
 		t.Error("faults injected but none accounted for")
 	}
 	if out.PendingDetails != out.Collector.PendingDetails() {
@@ -183,7 +183,7 @@ func TestChaosZeroRateMatchesBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if plain.Chaos != nil || plain.Collector.Faults.Total() != 0 {
+	if plain.Chaos != nil || plain.Collector.Faults().Total() != 0 {
 		t.Error("zero fault rate still built an injector")
 	}
 	var a, b bytes.Buffer

@@ -21,18 +21,29 @@
 // -fault-rate injects the deterministic fault taxonomy client-side
 // (between the collector and the wire), for chaos-testing a collection
 // run without touching the server.
+//
+// -metrics-addr serves GET /metrics (Prometheus text) and GET /statusz
+// (JSON) while the collection runs, so a long scrape can be watched live;
+// -pprof additionally mounts net/http/pprof on the same listener.
+// -cpuprofile / -memprofile write runtime profiles of the run itself. At
+// exit the full metrics registry is printed as an aligned summary table.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"jitomev/internal/collector"
 	"jitomev/internal/core"
 	"jitomev/internal/faults"
+	"jitomev/internal/obs"
 	"jitomev/internal/report"
 	"jitomev/internal/snapshot"
 	"jitomev/internal/solana"
@@ -51,22 +62,54 @@ func main() {
 		resume    = flag.Bool("resume", false, "load the -save snapshot before polling, if it exists")
 		faultRate = flag.Float64("fault-rate", 0, "per-call fault probability injected client-side (0 = off)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "seed for the deterministic fault schedule")
+		metrics   = flag.String("metrics-addr", "", "serve /metrics and /statusz on this address while collecting")
+		withPprof = flag.Bool("pprof", false, "with -metrics-addr, also mount net/http/pprof under /debug/pprof/")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this path (taken after the run)")
 	)
 	flag.Parse()
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "collect:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "collect:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	reg := obs.NewRegistry()
+	if *metrics != "" {
+		srv := &http.Server{
+			Addr:              *metrics,
+			Handler:           obs.NewOpsMux(reg, *withPprof),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "collect: metrics:", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics (statusz: /statusz)\n", *metrics)
+	}
+
 	clock := solana.Clock{Genesis: time.Date(2025, 2, 9, 0, 0, 0, 0, time.UTC)}
-	var transport collector.Transport = collector.NewHTTP(*url)
+	var transport collector.Transport = collector.NewHTTP(*url).WithObs(reg)
 	var chaos *faults.Injector
 	if *faultRate > 0 {
-		chaos = faults.NewInjector(*chaosSeed, *faultRate)
+		chaos = faults.NewInjectorObs(*chaosSeed, *faultRate, reg)
 		transport = faults.WrapTransport(transport, chaos, faults.TransportOptions{})
 	}
-	c := collector.New(collector.Config{PageLimit: *page, DetailBatch: *batch, BackfillPages: *backfill},
-		clock, transport)
+	c := collector.NewObs(collector.Config{PageLimit: *page, DetailBatch: *batch, BackfillPages: *backfill},
+		clock, transport, reg)
 
 	if *resume && *save != "" {
 		if f, err := os.Open(*save); err == nil {
-			data, lerr := collector.LoadDataset(f, 4**page)
+			data, lerr := collector.LoadDatasetObs(f, 4**page, 0, reg)
 			f.Close()
 			if lerr != nil {
 				fmt.Fprintln(os.Stderr, "collect: resume:", lerr)
@@ -76,8 +119,12 @@ func main() {
 			// The checkpoint carries no overlap chain; the first poll of
 			// the resumed run must not count as a (gap) pair.
 			c.ResetOverlapChain()
-			fmt.Printf("resumed from %s: %d bundles, %d details, %d detail ids pending\n",
-				*save, data.Collected, len(data.Details), c.PendingDetails())
+			// The decode metrics are already on the registry; the resume
+			// line is just their terminal rendering.
+			fmt.Printf("resumed from %s: %d bundles, %d details, %d detail ids pending (%.0f shards, %.1f MB decoded)\n",
+				*save, data.Collected, len(data.Details), c.PendingDetails(),
+				reg.Value("snapshot_shards_total", "op", "decode"),
+				reg.Value("snapshot_raw_bytes_total", "op", "decode")/(1<<20))
 		} else if !errors.Is(err, os.ErrNotExist) {
 			fmt.Fprintln(os.Stderr, "collect: resume:", err)
 			os.Exit(1)
@@ -89,7 +136,9 @@ func main() {
 	// and synced, so a crash mid-save never truncates an existing
 	// checkpoint — the property a months-long collection depends on.
 	saveTo := func(path string) {
-		n, err := snapshot.WriteFileAtomic(path, c.Data.Save)
+		n, err := snapshot.WriteFileAtomic(path, func(w io.Writer) error {
+			return c.Data.SaveWorkersObs(w, 0, reg)
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "collect:", err)
 			os.Exit(1)
@@ -123,17 +172,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "collect: warning:", err)
 	}
 	fmt.Printf("fetched %d transaction details in %d requests (%d retried batches, %d pending)\n",
-		n, c.DetailRequests, c.DetailRetries, c.PendingDetails())
-	if c.Faults.Total() > 0 {
-		fmt.Printf("faults survived: %s\n", c.Faults)
-	}
-	if chaos != nil {
-		fmt.Printf("faults injected: %s over %d calls\n", chaos.Stats(), chaos.Calls())
-	}
+		n, c.DetailRequests(), c.DetailRetries(), c.PendingDetails())
 
-	res := report.Analyze(c.Data, core.NewDefaultDetector(), 0)
+	res := report.AnalyzeObs(c.Data, core.NewDefaultDetector(), 0, 0, reg)
 	res.OverlapRate = c.OverlapRate()
-	res.PollCount = c.Polls
+	res.PollCount = c.Polls()
 	fmt.Println()
 	report.RenderHeadline(os.Stdout, res, 1)
 	fmt.Println()
@@ -141,5 +184,28 @@ func main() {
 
 	if *save != "" {
 		saveTo(*save)
+	}
+
+	// The end-of-run report: every counter the run recorded — transport
+	// retries, breaker transitions, injected and survived faults,
+	// detection rejections, snapshot shards — in one aligned table.
+	fmt.Println("\n== Run metrics ==")
+	reg.WriteSummary(os.Stdout)
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "collect:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "collect:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "collect:", err)
+			os.Exit(1)
+		}
 	}
 }

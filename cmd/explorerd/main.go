@@ -16,6 +16,11 @@
 // 5xx, slow responses, or truncated/corrupt JSON — the same failure
 // taxonomy the paper's scraper survived for four months — so a collector
 // pointed at it can be soak-tested against a misbehaving explorer.
+//
+// The same listener also serves the ops surface: GET /metrics (Prometheus
+// text) and GET /statusz (JSON) expose the server's request counters
+// live; -pprof additionally mounts net/http/pprof under /debug/pprof/.
+// Chaos faults never touch the ops endpoints — only the API is wrapped.
 package main
 
 import (
@@ -28,37 +33,45 @@ import (
 	"jitomev/internal/explorer"
 	"jitomev/internal/faults"
 	"jitomev/internal/jito"
+	"jitomev/internal/obs"
 	"jitomev/internal/workload"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8899", "listen address")
-		days    = flag.Int("days", 7, "study length in days")
-		scale   = flag.Int("scale", 10_000, "volume divisor vs paper scale")
-		seed    = flag.Int64("seed", 1, "deterministic seed")
-		rate    = flag.Int("rate", 0, "per-client requests/minute (0 = unlimited)")
+		addr      = flag.String("addr", "127.0.0.1:8899", "listen address")
+		days      = flag.Int("days", 7, "study length in days")
+		scale     = flag.Int("scale", 10_000, "volume divisor vs paper scale")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		rate      = flag.Int("rate", 0, "per-client requests/minute (0 = unlimited)")
 		live      = flag.Bool("live", false, "stream the study in compressed real time")
 		daySecs   = flag.Int("daysecs", 10, "wall seconds per simulated day with -live")
 		faultRate = flag.Float64("fault-rate", 0, "chaos mode: per-request fault probability (0 = off)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "seed for the deterministic fault schedule")
 		slow      = flag.Duration("slow", 100*time.Millisecond, "chaos mode: stall injected on slow responses")
+		withPprof = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
 	store := explorer.NewStore()
 	st := workload.New(workload.Params{Seed: *seed, Days: *days, Scale: *scale})
 
-	var handler http.Handler = explorer.NewServer(store, *rate)
+	reg := obs.NewRegistry()
+	var handler http.Handler = explorer.NewServerObs(store, *rate, reg)
 	if *faultRate > 0 {
-		handler = faults.ChaosHandler(handler, faults.NewInjector(*chaosSeed, *faultRate),
+		handler = faults.ChaosHandler(handler, faults.NewInjectorObs(*chaosSeed, *faultRate, reg),
 			faults.ChaosConfig{SlowDelay: *slow})
 		fmt.Printf("chaos mode: fault rate %.0f%%, seed %d\n", 100**faultRate, *chaosSeed)
 	}
 
+	// Ops endpoints share the API listener but sit outside the chaos
+	// wrapper: a misbehaving explorer must still be observable.
+	mux := obs.NewOpsMux(reg, *withPprof)
+	mux.Handle("/", handler)
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           handler,
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -1,0 +1,109 @@
+// Command metricscheck validates a Prometheus text exposition: every
+// line must be a well-formed # HELP/# TYPE comment or a `name{labels}
+// value` sample (the same gate the exposition golden test applies). It
+// reads from stdin or fetches -url, and -require asserts that named
+// metric families are present — the teeth behind `make metrics-smoke`.
+//
+// Usage:
+//
+//	curl -s host:port/metrics | metricscheck
+//	metricscheck -url http://host:port/metrics -wait 5s -require collector_polls_total
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"jitomev/internal/obs"
+)
+
+// families is a repeatable -require flag.
+type families []string
+
+func (f *families) String() string     { return strings.Join(*f, ",") }
+func (f *families) Set(s string) error { *f = append(*f, s); return nil }
+
+func main() {
+	var (
+		url     = flag.String("url", "", "fetch the exposition from this URL instead of stdin")
+		wait    = flag.Duration("wait", 0, "with -url, keep retrying for up to this long before failing")
+		require families
+	)
+	flag.Var(&require, "require", "fail unless this metric family is present (repeatable)")
+	flag.Parse()
+
+	body, err := read(*url, *wait)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricscheck:", err)
+		os.Exit(1)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		fmt.Fprintln(os.Stderr, "metricscheck: malformed exposition:", err)
+		os.Exit(1)
+	}
+	for _, fam := range require {
+		if !hasFamily(body, fam) {
+			fmt.Fprintf(os.Stderr, "metricscheck: required family %q not exposed\n", fam)
+			os.Exit(1)
+		}
+	}
+	samples := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			samples++
+		}
+	}
+	fmt.Printf("metricscheck: ok — %d samples, %d bytes\n", samples, len(body))
+}
+
+// read fetches url (retrying until the deadline when wait > 0) or, with
+// no url, drains stdin.
+func read(url string, wait time.Duration) ([]byte, error) {
+	if url == "" {
+		return io.ReadAll(os.Stdin)
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		body, err := fetch(url)
+		if err == nil {
+			return body, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func fetch(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// hasFamily reports whether any sample line belongs to family — the
+// name followed by a label block, a space, or nothing else.
+func hasFamily(body []byte, family string) bool {
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, family) {
+			continue
+		}
+		rest := line[len(family):]
+		if strings.HasPrefix(rest, "{") || strings.HasPrefix(rest, " ") {
+			return true
+		}
+	}
+	return false
+}

@@ -7,12 +7,15 @@
 //
 //	report -fig 3 [-days 60] [-scale 5000] [-seed 1] [-points 25]
 //	report -fig table1
+//	report -fig headline -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"jitomev"
 	"jitomev/internal/collector"
@@ -30,9 +33,43 @@ func main() {
 		points  = flag.Int("points", 25, "CDF points for figure 3")
 		load    = flag.String("load", "", "analyze a saved dataset instead of regenerating")
 		workers = flag.Int("workers", 0, "analysis workers: 0 = all cores, 1 = serial reference path")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf = flag.String("memprofile", "", "write a heap profile to this path (taken after the run)")
 	)
 	flag.Parse()
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	run(fig, days, scale, seed, points, load, workers)
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(fig *string, days, scale *int, seed *int64, points *int, load *string, workers *int) {
 	if *fig == "table1" {
 		report.RenderTable1(os.Stdout)
 		return

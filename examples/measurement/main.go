@@ -45,21 +45,21 @@ func main() {
 	start := time.Now()
 	st.Run(sink)
 	fmt.Printf("generated %d bundles in %v; collector polled %d times\n",
-		store.Len(), time.Since(start).Round(time.Millisecond), coll.Polls)
+		store.Len(), time.Since(start).Round(time.Millisecond), coll.Polls())
 
 	fmt.Printf("collected %d bundles (%d duplicates deduped)\n",
 		coll.Data.Collected, coll.Data.Duplicates)
 	fmt.Printf("coverage: %.2f%% of all accepted bundles\n",
 		100*float64(coll.Data.Collected)/float64(store.Len()))
 	fmt.Printf("successive-page overlap: %.1f%% of %d pairs (paper: ~95%%)\n",
-		100*coll.OverlapRate(), coll.Pairs)
+		100*coll.OverlapRate(), coll.Pairs())
 
 	n, err := coll.FetchDetails()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("fetched %d transaction details for %d length-3 bundles in %d bulk requests\n",
-		n, len(coll.Data.Len3), coll.DetailRequests)
+		n, len(coll.Data.Len3), coll.DetailRequests())
 
 	// Run the detector over what was collected.
 	det := core.NewDefaultDetector()

@@ -7,6 +7,7 @@ import (
 	"jitomev/internal/explorer"
 	"jitomev/internal/faults"
 	"jitomev/internal/jito"
+	"jitomev/internal/obs"
 	"jitomev/internal/solana"
 )
 
@@ -65,6 +66,14 @@ func (c Config) Defaults() Config {
 
 // Collector drives polling and detail fetching against a Transport,
 // accumulating into a Dataset.
+//
+// Every tally the collector keeps — polls, overlap pairs, per-class
+// faults survived, detail batch outcomes, backfill activity — lives on
+// an obs.Registry rather than on bespoke struct fields, so the same
+// numbers appear on /metrics, in end-of-run summaries, and in test
+// assertions via Registry.Snapshot. The accessor methods below read the
+// registry back; collection is sequential (one transport call at a
+// time), so the counts are deterministic at any Workers setting.
 type Collector struct {
 	Cfg  Config
 	Data *Dataset
@@ -77,52 +86,126 @@ type Collector struct {
 	// bundles appear in both, we know we have not missed any."
 	prevPage map[jito.BundleID]struct{}
 
-	// Polls counts successful polls; Pairs and OverlapPairs drive the
-	// overlap rate (the paper measured ~95%).
-	Polls        uint64
-	Pairs        uint64
-	OverlapPairs uint64
-	// Errors counts failed polls (transport-level).
-	Errors uint64
-	// Faults breaks every transport failure seen by Poll, backfill and
-	// FetchDetails down by fault class (throttle, 5xx, timeout,
-	// truncation, …) — the structured view of what the collection
-	// survived, and the denominator for arguing coverage under faults.
-	Faults faults.Stats
-	// DetailRequests counts bulk detail calls made by FetchDetails.
-	DetailRequests uint64
-	// DetailRetries counts retried detail batches; DetailBatchesFailed
-	// counts batches skipped after exhausting retries (their ids remain
-	// pending and are re-queued by the next FetchDetails call).
-	DetailRetries       uint64
-	DetailBatchesFailed uint64
-	// BackfillPolls and BackfilledBundles count spike-recovery activity
-	// (zero unless Cfg.BackfillPages is set); BackfillErrors counts
-	// backfill pages abandoned on transport failure.
-	BackfillPolls     uint64
-	BackfilledBundles uint64
-	BackfillErrors    uint64
+	reg *obs.Registry
+
+	// Registry handles, bound once in NewObs so the hot loops never take
+	// the registry lock.
+	polls, pairs, overlapPairs, pollErrors          *obs.Counter
+	faultc                                          [faults.NumClasses]*obs.Counter
+	detailRequests, detailRetries                   *obs.Counter
+	batchOK, batchRetried, batchSkipped             *obs.Counter
+	idsRequeued                                     *obs.Counter
+	backfillPolls, backfilledBundles, backfillFails *obs.Counter
+	pendingGauge                                    *obs.Gauge
+	overlapRatio                                    *obs.FloatGauge
 }
 
-// New builds a collector over the given transport.
+// New builds a collector over the given transport with a private
+// registry.
 func New(cfg Config, clock solana.Clock, transport Transport) *Collector {
+	return NewObs(cfg, clock, transport, nil)
+}
+
+// NewObs builds a collector tallying onto reg (nil selects a private
+// registry, so every collector has one to publish and snapshot).
+func NewObs(cfg Config, clock solana.Clock, transport Transport, reg *obs.Registry) *Collector {
 	cfg = cfg.Defaults()
 	data := NewDataset(clock, 4*cfg.PageLimit)
 	data.RetainLengths(cfg.DetailLengths...)
-	return &Collector{
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c := &Collector{
 		Cfg:       cfg,
 		Data:      data,
 		transport: transport,
+		reg:       reg,
+	}
+	reg.Help("collector_polls_total", "Successful recent-bundles polls.")
+	reg.Help("collector_overlap_pairs_total", "Successive poll pairs sharing at least one bundle (paper §3.1).")
+	reg.Help("collector_faults_total", "Transport failures survived by the collection loop, by fault class.")
+	reg.Help("collector_detail_batches_total", "Bulk detail batches by final outcome.")
+	c.polls = reg.Counter("collector_polls_total")
+	c.pairs = reg.Counter("collector_poll_pairs_total")
+	c.overlapPairs = reg.Counter("collector_overlap_pairs_total")
+	c.pollErrors = reg.Counter("collector_poll_errors_total")
+	for class := faults.ClassTransport; class < faults.NumClasses; class++ {
+		c.faultc[class] = reg.Counter("collector_faults_total", "class", class.String())
+	}
+	c.detailRequests = reg.Counter("collector_detail_requests_total")
+	c.detailRetries = reg.Counter("collector_detail_retries_total")
+	c.batchOK = reg.Counter("collector_detail_batches_total", "outcome", "ok")
+	c.batchRetried = reg.Counter("collector_detail_batches_total", "outcome", "retried")
+	c.batchSkipped = reg.Counter("collector_detail_batches_total", "outcome", "skipped")
+	c.idsRequeued = reg.Counter("collector_detail_ids_requeued_total")
+	c.backfillPolls = reg.Counter("collector_backfill_polls_total")
+	c.backfilledBundles = reg.Counter("collector_backfill_bundles_total")
+	c.backfillFails = reg.Counter("collector_backfill_errors_total")
+	c.pendingGauge = reg.Gauge("collector_detail_pending")
+	c.overlapRatio = reg.FloatGauge("collector_overlap_ratio")
+	return c
+}
+
+// Obs returns the registry the collector tallies onto.
+func (c *Collector) Obs() *obs.Registry { return c.reg }
+
+// recordFault counts one classified transport failure (nil is ignored).
+func (c *Collector) recordFault(err error) {
+	if class := faults.Classify(err); class != faults.ClassNone {
+		c.faultc[class].Inc()
 	}
 }
+
+// Polls reports successful polls.
+func (c *Collector) Polls() uint64 { return c.polls.Value() }
+
+// Pairs reports successive-poll pairs observed (the overlap denominator).
+func (c *Collector) Pairs() uint64 { return c.pairs.Value() }
+
+// OverlapPairs reports pairs whose pages shared at least one bundle.
+func (c *Collector) OverlapPairs() uint64 { return c.overlapPairs.Value() }
+
+// Errors reports failed polls (transport-level), backfill included.
+func (c *Collector) Errors() uint64 { return c.pollErrors.Value() }
+
+// Faults snapshots the per-class tally of every transport failure seen
+// by Poll, backfill and FetchDetails — the structured view of what the
+// collection survived, and the denominator for arguing coverage under
+// faults.
+func (c *Collector) Faults() faults.Stats {
+	var s faults.Stats
+	for class := faults.ClassTransport; class < faults.NumClasses; class++ {
+		s[class] = c.faultc[class].Value()
+	}
+	return s
+}
+
+// DetailRequests reports bulk detail calls made by FetchDetails.
+func (c *Collector) DetailRequests() uint64 { return c.detailRequests.Value() }
+
+// DetailRetries reports retried detail batches.
+func (c *Collector) DetailRetries() uint64 { return c.detailRetries.Value() }
+
+// DetailBatchesFailed reports batches skipped after exhausting retries
+// (their ids remain pending and are re-queued by the next FetchDetails).
+func (c *Collector) DetailBatchesFailed() uint64 { return c.batchSkipped.Value() }
+
+// BackfillPolls reports spike-recovery pages fetched.
+func (c *Collector) BackfillPolls() uint64 { return c.backfillPolls.Value() }
+
+// BackfilledBundles reports bundles recovered by backfill.
+func (c *Collector) BackfilledBundles() uint64 { return c.backfilledBundles.Value() }
+
+// BackfillErrors reports backfill pages abandoned on transport failure.
+func (c *Collector) BackfillErrors() uint64 { return c.backfillFails.Value() }
 
 // OverlapRate returns the fraction of successive poll pairs whose pages
 // shared at least one bundle.
 func (c *Collector) OverlapRate() float64 {
-	if c.Pairs == 0 {
+	if c.Pairs() == 0 {
 		return 0
 	}
-	return float64(c.OverlapPairs) / float64(c.Pairs)
+	return float64(c.OverlapPairs()) / float64(c.Pairs())
 }
 
 // Poll performs one recent-bundles request, updates the overlap statistic,
@@ -131,11 +214,11 @@ func (c *Collector) OverlapRate() float64 {
 func (c *Collector) Poll() error {
 	page, err := c.transport.RecentBundles(c.Cfg.PageLimit)
 	if err != nil {
-		c.Errors++
-		c.Faults.Record(err)
+		c.pollErrors.Inc()
+		c.recordFault(err)
 		return err
 	}
-	c.Polls++
+	c.polls.Inc()
 
 	cur := make(map[jito.BundleID]struct{}, len(page))
 	overlap := false
@@ -149,10 +232,11 @@ func (c *Collector) Poll() error {
 	}
 	hadPrev := c.prevPage != nil
 	if hadPrev {
-		c.Pairs++
+		c.pairs.Inc()
 		if overlap {
-			c.OverlapPairs++
+			c.overlapPairs.Inc()
 		}
+		c.overlapRatio.Set(c.OverlapRate())
 	}
 	c.prevPage = cur
 
@@ -176,19 +260,19 @@ func (c *Collector) backfill(cursor uint64) {
 	for page := 0; page < c.Cfg.BackfillPages && cursor > 0; page++ {
 		older, err := c.transport.RecentBundlesBefore(cursor, c.Cfg.PageLimit)
 		if err != nil {
-			c.Errors++
-			c.BackfillErrors++
-			c.Faults.Record(err)
+			c.pollErrors.Inc()
+			c.backfillFails.Inc()
+			c.recordFault(err)
 			return
 		}
 		if len(older) == 0 {
 			return
 		}
-		c.BackfillPolls++
+		c.backfillPolls.Inc()
 		closed := false
 		for i := len(older) - 1; i >= 0; i-- {
 			if c.Data.Ingest(older[i]) {
-				c.BackfilledBundles++
+				c.backfilledBundles.Inc()
 			} else {
 				closed = true
 			}
@@ -248,6 +332,7 @@ func (c *Collector) PendingDetails() int { return len(c.pendingDetailIDs()) }
 // partial fetched count and an error wrapping ErrDetailShortfall.
 func (c *Collector) FetchDetails() (int, error) {
 	pending := c.pendingDetailIDs()
+	c.pendingGauge.Set(int64(len(pending)))
 	retries := c.Cfg.detailRetries()
 	fetched, batches, failed := 0, 0, 0
 	var lastErr error
@@ -261,17 +346,23 @@ func (c *Collector) FetchDetails() (int, error) {
 		var err error
 		for attempt := 0; attempt <= retries; attempt++ {
 			if attempt > 0 {
-				c.DetailRetries++
+				c.detailRetries.Inc()
 			}
-			c.DetailRequests++
+			c.detailRequests.Inc()
 			details, err = c.transport.TxDetails(pending[start:end])
 			if err == nil {
+				if attempt > 0 {
+					c.batchRetried.Inc()
+				} else {
+					c.batchOK.Inc()
+				}
 				break
 			}
-			c.Faults.Record(err)
+			c.recordFault(err)
 		}
 		if err != nil {
-			c.DetailBatchesFailed++
+			c.batchSkipped.Inc()
+			c.idsRequeued.Add(uint64(end - start))
 			failed++
 			lastErr = err
 			continue
@@ -281,6 +372,7 @@ func (c *Collector) FetchDetails() (int, error) {
 		}
 		fetched += len(details)
 	}
+	c.pendingGauge.Set(int64(c.PendingDetails()))
 	if failed > 0 {
 		return fetched, fmt.Errorf("%w: %d of %d batches failed (last: %v), %d ids pending",
 			ErrDetailShortfall, failed, batches, lastErr, c.PendingDetails())

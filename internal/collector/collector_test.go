@@ -119,8 +119,8 @@ func TestPollOverlapAndDedup(t *testing.T) {
 	if c.Data.Collected != 10 {
 		t.Errorf("Collected = %d, want 10", c.Data.Collected)
 	}
-	if c.Pairs != 1 || c.OverlapPairs != 1 {
-		t.Errorf("pairs=%d overlap=%d", c.Pairs, c.OverlapPairs)
+	if c.Pairs() != 1 || c.OverlapPairs() != 1 {
+		t.Errorf("pairs=%d overlap=%d", c.Pairs(), c.OverlapPairs())
 	}
 	if c.OverlapRate() != 1 {
 		t.Errorf("OverlapRate = %v", c.OverlapRate())
@@ -141,8 +141,8 @@ func TestPollDetectsMissedSpike(t *testing.T) {
 		store.Accept(0, fakeAccepted(i, 1, solana.Slot(i), 1_000))
 	}
 	c.Poll()
-	if c.OverlapPairs != 0 || c.Pairs != 1 {
-		t.Errorf("spike should break overlap: pairs=%d overlap=%d", c.Pairs, c.OverlapPairs)
+	if c.OverlapPairs() != 0 || c.Pairs() != 1 {
+		t.Errorf("spike should break overlap: pairs=%d overlap=%d", c.Pairs(), c.OverlapPairs())
 	}
 	// The collector only got the most recent 5 of the spike.
 	if c.Data.Collected != 10 {
@@ -158,8 +158,8 @@ func TestResetOverlapChain(t *testing.T) {
 	c.ResetOverlapChain()
 	store.Accept(0, fakeAccepted(2, 1, 2, 1_000))
 	c.Poll()
-	if c.Pairs != 0 {
-		t.Errorf("pair counted across reset: %d", c.Pairs)
+	if c.Pairs() != 0 {
+		t.Errorf("pair counted across reset: %d", c.Pairs())
 	}
 }
 
@@ -181,8 +181,8 @@ func TestFetchDetails(t *testing.T) {
 		t.Errorf("fetched %d details, want 9", n)
 	}
 	// 9 ids at batch size 2 → 5 requests.
-	if c.DetailRequests != 5 {
-		t.Errorf("DetailRequests = %d, want 5", c.DetailRequests)
+	if c.DetailRequests() != 5 {
+		t.Errorf("DetailRequests = %d, want 5", c.DetailRequests())
 	}
 	for i := range c.Data.Len3 {
 		if det, ok := c.Data.DetailsFor(&c.Data.Len3[i]); !ok || len(det) != 3 {
@@ -347,8 +347,8 @@ func TestPollingSinkCadence(t *testing.T) {
 		}
 	}
 	// First qualifying bundle of each window triggers one poll.
-	if c.Polls != 10 {
-		t.Errorf("polls = %d, want 10", c.Polls)
+	if c.Polls() != 10 {
+		t.Errorf("polls = %d, want 10", c.Polls())
 	}
 	// The last window's 9 post-poll bundles are never seen — collection
 	// always trails the live feed by up to one cadence, exactly like the
@@ -366,8 +366,8 @@ func TestCollectorErrorsCounted(t *testing.T) {
 	if err := c.Poll(); err == nil {
 		t.Fatal("poll against failing transport succeeded")
 	}
-	if c.Errors != 1 || c.Polls != 0 {
-		t.Errorf("errors=%d polls=%d", c.Errors, c.Polls)
+	if c.Errors() != 1 || c.Polls() != 0 {
+		t.Errorf("errors=%d polls=%d", c.Errors(), c.Polls())
 	}
 	if _, err := c.FetchDetails(); err != nil {
 		t.Fatalf("FetchDetails with nothing pending should be a no-op: %v", err)

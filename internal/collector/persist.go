@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"jitomev/internal/jito"
+	"jitomev/internal/obs"
 	"jitomev/internal/snapshot"
 	"jitomev/internal/solana"
 	"jitomev/internal/stats"
@@ -74,7 +75,13 @@ func (d *Dataset) Save(w io.Writer) error {
 // SaveWorkers is Save with an explicit worker count (0 = all cores,
 // 1 = serial). The bytes written are identical for every worker count.
 func (d *Dataset) SaveWorkers(w io.Writer, workers int) error {
-	if err := snapshot.Write(w, d.snapshotView(), workers); err != nil {
+	return d.SaveWorkersObs(w, workers, nil)
+}
+
+// SaveWorkersObs is SaveWorkers recording shard counts, byte totals and
+// save duration onto reg (nil = uninstrumented).
+func (d *Dataset) SaveWorkersObs(w io.Writer, workers int, reg *obs.Registry) error {
+	if err := snapshot.WriteObs(w, d.snapshotView(), workers, reg); err != nil {
 		return fmt.Errorf("collector: encoding dataset: %w", err)
 	}
 	return nil
@@ -117,6 +124,12 @@ func LoadDataset(r io.Reader, windowSize int) (*Dataset, error) {
 // LoadDatasetWorkers is LoadDataset with an explicit worker count for
 // the v2 parallel decode path (0 = all cores, 1 = serial).
 func LoadDatasetWorkers(r io.Reader, windowSize, workers int) (*Dataset, error) {
+	return LoadDatasetObs(r, windowSize, workers, nil)
+}
+
+// LoadDatasetObs is LoadDatasetWorkers recording shard counts, byte
+// totals and load duration onto reg (nil = uninstrumented).
+func LoadDatasetObs(r io.Reader, windowSize, workers int, reg *obs.Registry) (*Dataset, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	head, err := br.Peek(2)
 	if err != nil {
@@ -126,7 +139,7 @@ func LoadDatasetWorkers(r io.Reader, windowSize, workers int) (*Dataset, error) 
 	if head[0] == 0x1f && head[1] == 0x8b { // gzip magic: the v1 stream
 		snap, err = loadV1(br)
 	} else {
-		snap, err = snapshot.Read(br, workers)
+		snap, err = snapshot.ReadObs(br, workers, reg)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("collector: decoding dataset: %w", err)

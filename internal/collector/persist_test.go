@@ -175,7 +175,7 @@ func TestBackfillRecoversSpike(t *testing.T) {
 	if paper.Data.Collected != 10 {
 		t.Fatalf("paper behaviour collected %d, want 10", paper.Data.Collected)
 	}
-	if paper.BackfilledBundles != 0 {
+	if paper.BackfilledBundles() != 0 {
 		t.Error("backfill ran while disabled")
 	}
 
@@ -183,12 +183,12 @@ func TestBackfillRecoversSpike(t *testing.T) {
 	if fixed.Data.Collected != 35 {
 		t.Fatalf("backfill collected %d, want all 35", fixed.Data.Collected)
 	}
-	if fixed.BackfilledBundles != 25 || fixed.BackfillPolls == 0 {
-		t.Errorf("backfilled=%d polls=%d", fixed.BackfilledBundles, fixed.BackfillPolls)
+	if fixed.BackfilledBundles() != 25 || fixed.BackfillPolls() == 0 {
+		t.Errorf("backfilled=%d polls=%d", fixed.BackfilledBundles(), fixed.BackfillPolls())
 	}
 	// Overlap statistic still records the broken pair — backfill repairs
 	// data, not the diagnostic.
-	if fixed.OverlapPairs != 0 || fixed.Pairs != 1 {
+	if fixed.OverlapPairs() != 0 || fixed.Pairs() != 1 {
 		t.Error("backfill should not fake the overlap statistic")
 	}
 }

@@ -46,8 +46,8 @@ func TestPipelinedSinkMatchesSynchronous(t *testing.T) {
 		t.Errorf("pipelined dataset diverges: collected %d vs %d, len3 %d vs %d",
 			syncData.Collected, pipeData.Collected, len(syncData.Len3), len(pipeData.Len3))
 	}
-	if syncColl.Polls != pipeColl.Polls || syncColl.OverlapRate() != pipeColl.OverlapRate() {
+	if syncColl.Polls() != pipeColl.Polls() || syncColl.OverlapRate() != pipeColl.OverlapRate() {
 		t.Errorf("polling stats diverge: %d/%f vs %d/%f",
-			syncColl.Polls, syncColl.OverlapRate(), pipeColl.Polls, pipeColl.OverlapRate())
+			syncColl.Polls(), syncColl.OverlapRate(), pipeColl.Polls(), pipeColl.OverlapRate())
 	}
 }

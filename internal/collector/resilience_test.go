@@ -100,7 +100,7 @@ func TestHTTPHonorsRetryAfter(t *testing.T) {
 func TestRetryDelayCapAndJitter(t *testing.T) {
 	h := &HTTP{Backoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond}
 	for attempt := 1; attempt <= 12; attempt++ {
-		d := h.retryDelay(attempt, nil)
+		d, _ := h.retryDelay(attempt, nil)
 		if d > 120*time.Millisecond { // 1.5 × cap
 			t.Fatalf("attempt %d: delay %v exceeds jittered cap", attempt, d)
 		}
@@ -109,17 +109,17 @@ func TestRetryDelayCapAndJitter(t *testing.T) {
 		}
 	}
 	// Deep attempts saturate at the cap (within jitter bounds).
-	if d := h.retryDelay(10, nil); d < 40*time.Millisecond {
+	if d, _ := h.retryDelay(10, nil); d < 40*time.Millisecond {
 		t.Errorf("attempt 10 delay %v below 0.5×cap", d)
 	}
 	// Server-suggested delay dominates a smaller backoff…
 	ra := &faults.Error{Class: faults.ClassThrottle, RetryAfter: 60 * time.Millisecond}
-	if d := h.retryDelay(1, ra); d < 60*time.Millisecond {
+	if d, _ := h.retryDelay(1, ra); d < 60*time.Millisecond {
 		t.Errorf("Retry-After not honored: %v", d)
 	}
 	// …but a hostile header is capped at MaxBackoff.
 	hostile := &faults.Error{Class: faults.ClassThrottle, RetryAfter: time.Hour}
-	if d := h.retryDelay(1, hostile); d > 120*time.Millisecond {
+	if d, _ := h.retryDelay(1, hostile); d > 120*time.Millisecond {
 		t.Errorf("hostile Retry-After not capped: %v", d)
 	}
 }
@@ -194,8 +194,8 @@ func TestCircuitBreaker(t *testing.T) {
 			t.Fatal("unhealthy server succeeded")
 		}
 	}
-	if tr.BreakerOpens != 1 {
-		t.Fatalf("BreakerOpens = %d", tr.BreakerOpens)
+	if tr.BreakerOpens() != 1 {
+		t.Fatalf("BreakerOpens = %d", tr.BreakerOpens())
 	}
 
 	// While open, calls are shorted without touching the server.
@@ -204,8 +204,8 @@ func TestCircuitBreaker(t *testing.T) {
 	if !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("open breaker returned %v", err)
 	}
-	if hits.Load() != before || tr.BreakerShorted != 1 {
-		t.Errorf("open breaker hit server (%d → %d), shorted=%d", before, hits.Load(), tr.BreakerShorted)
+	if hits.Load() != before || tr.BreakerShorted() != 1 {
+		t.Errorf("open breaker hit server (%d → %d), shorted=%d", before, hits.Load(), tr.BreakerShorted())
 	}
 
 	// After the cooldown, a half-open probe against a still-down server
@@ -274,11 +274,11 @@ func TestFetchDetailsDegradesPerBatch(t *testing.T) {
 	if c.PendingDetails() != 3 {
 		t.Errorf("PendingDetails = %d, want 3", c.PendingDetails())
 	}
-	if c.DetailBatchesFailed != 1 || c.DetailRetries != 1 {
-		t.Errorf("failed=%d retries=%d", c.DetailBatchesFailed, c.DetailRetries)
+	if c.DetailBatchesFailed() != 1 || c.DetailRetries() != 1 {
+		t.Errorf("failed=%d retries=%d", c.DetailBatchesFailed(), c.DetailRetries())
 	}
-	if c.Faults[faults.ClassServer] != 2 {
-		t.Errorf("server faults = %d, want 2 (initial + retry)", c.Faults[faults.ClassServer])
+	if c.Faults()[faults.ClassServer] != 2 {
+		t.Errorf("server faults = %d, want 2 (initial + retry)", c.Faults()[faults.ClassServer])
 	}
 
 	// The transport heals; the next call re-queues exactly the shortfall.
@@ -355,11 +355,11 @@ func TestBackfillErrorPath(t *testing.T) {
 	if err := c.Poll(); err != nil {
 		t.Fatalf("poll itself should survive a backfill failure: %v", err)
 	}
-	if c.BackfillErrors != 1 || c.Errors != 1 {
-		t.Errorf("backfillErrors=%d errors=%d", c.BackfillErrors, c.Errors)
+	if c.BackfillErrors() != 1 || c.Errors() != 1 {
+		t.Errorf("backfillErrors=%d errors=%d", c.BackfillErrors(), c.Errors())
 	}
-	if c.Faults[faults.ClassTimeout] != 1 {
-		t.Errorf("faults = %v", c.Faults)
+	if c.Faults()[faults.ClassTimeout] != 1 {
+		t.Errorf("faults = %v", c.Faults())
 	}
 	// The page itself was still ingested: 5 + newest 5 of the spike.
 	if c.Data.Collected != 10 {
@@ -382,16 +382,16 @@ func TestBackfillClosesGap(t *testing.T) {
 	if c.Data.Collected != 25 {
 		t.Errorf("Collected = %d, want 25 (gap fully closed)", c.Data.Collected)
 	}
-	if c.BackfilledBundles != 15 {
-		t.Errorf("BackfilledBundles = %d, want 15", c.BackfilledBundles)
+	if c.BackfilledBundles() != 15 {
+		t.Errorf("BackfilledBundles = %d, want 15", c.BackfilledBundles())
 	}
-	if c.BackfillPolls == 0 || c.BackfillErrors != 0 {
-		t.Errorf("polls=%d errors=%d", c.BackfillPolls, c.BackfillErrors)
+	if c.BackfillPolls() == 0 || c.BackfillErrors() != 0 {
+		t.Errorf("polls=%d errors=%d", c.BackfillPolls(), c.BackfillErrors())
 	}
 	// The overlap diagnostic still records the broken pair — backfill
 	// repairs coverage, not the statistic.
-	if c.OverlapPairs != 0 || c.Pairs != 1 {
-		t.Errorf("overlap stats polluted: %d/%d", c.OverlapPairs, c.Pairs)
+	if c.OverlapPairs() != 0 || c.Pairs() != 1 {
+		t.Errorf("overlap stats polluted: %d/%d", c.OverlapPairs(), c.Pairs())
 	}
 }
 
@@ -421,13 +421,13 @@ func TestResetOverlapChainAfterOutage(t *testing.T) {
 	}
 
 	with := run(true)
-	if with.Pairs != 1 || with.OverlapPairs != 1 || with.OverlapRate() != 1 {
+	if with.Pairs() != 1 || with.OverlapPairs() != 1 || with.OverlapRate() != 1 {
 		t.Errorf("reset run: pairs=%d overlap=%d rate=%v — gap pair polluted the statistic",
-			with.Pairs, with.OverlapPairs, with.OverlapRate())
+			with.Pairs(), with.OverlapPairs(), with.OverlapRate())
 	}
 	without := run(false)
-	if without.Pairs != 2 || without.OverlapPairs != 1 {
+	if without.Pairs() != 2 || without.OverlapPairs() != 1 {
 		t.Errorf("control run: pairs=%d overlap=%d — gap pair should count as a miss",
-			without.Pairs, without.OverlapPairs)
+			without.Pairs(), without.OverlapPairs())
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"jitomev/internal/explorer"
 	"jitomev/internal/faults"
 	"jitomev/internal/jito"
+	"jitomev/internal/obs"
 	"jitomev/internal/solana"
 )
 
@@ -104,12 +105,6 @@ type HTTP struct {
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
 
-	// BreakerOpens and BreakerShorted count breaker transitions to open
-	// and calls rejected while open. Read them between calls (the
-	// collector drives one request at a time).
-	BreakerOpens   uint64
-	BreakerShorted uint64
-
 	// now and sleep are injectable for tests; nil selects the real clock.
 	now   func() time.Time
 	sleep func(context.Context, time.Duration) error
@@ -117,16 +112,39 @@ type HTTP struct {
 	mu       sync.Mutex
 	breakers map[string]*breaker
 	jitterN  uint64
+
+	// Every tally the transport keeps — request attempts, retries,
+	// backoff sleeps, Retry-After honors, bytes read, breaker
+	// transitions — lives on an obs.Registry under the
+	// collector_http_* families. WithObs rebinds the registry; by
+	// default each transport gets a private one.
+	reg       *obs.Registry
+	endpoints map[string]*endpointObs
+	breakerTo [3]*obs.Counter // transitions, indexed by target state
+	shorted   *obs.Counter
 }
 
-// NewHTTP returns an HTTP transport with sane defaults.
+// endpointObs carries the per-endpoint registry handles.
+type endpointObs struct {
+	attempts   *obs.Counter
+	retries    *obs.Counter
+	sleeps     *obs.Counter
+	sleepSecs  *obs.FloatGauge
+	retryAfter *obs.Counter
+	bytes      *obs.Counter
+}
+
+// NewHTTP returns an HTTP transport with sane defaults and a private
+// registry.
 func NewHTTP(baseURL string) *HTTP {
-	return &HTTP{
+	h := &HTTP{
 		BaseURL:    baseURL,
 		Client:     &http.Client{Timeout: 30 * time.Second},
 		MaxRetries: 3,
 		Backoff:    50 * time.Millisecond,
 	}
+	h.bindObs(obs.NewRegistry())
+	return h
 }
 
 // WithContext binds ctx to all subsequent requests and backoff waits.
@@ -134,6 +152,63 @@ func NewHTTP(baseURL string) *HTTP {
 func (h *HTTP) WithContext(ctx context.Context) *HTTP {
 	h.Context = ctx
 	return h
+}
+
+// WithObs rebinds the transport's tallies onto reg (call before the
+// first request). It returns h for chaining.
+func (h *HTTP) WithObs(reg *obs.Registry) *HTTP {
+	if reg != nil {
+		h.bindObs(reg)
+	}
+	return h
+}
+
+// bindObs (re)creates the registry handles on reg.
+func (h *HTTP) bindObs(reg *obs.Registry) {
+	h.reg = reg
+	h.endpoints = make(map[string]*endpointObs)
+	reg.Help("collector_http_requests_total", "HTTP request attempts (retries included), by endpoint.")
+	reg.Help("collector_http_breaker_transitions_total", "Circuit-breaker state transitions.")
+	// Backoff wall time depends on the clock; exclude it from
+	// determinism comparisons.
+	reg.Volatile("collector_http_backoff_seconds_total")
+	for state, name := range [...]string{"closed", "open", "half_open"} {
+		h.breakerTo[state] = reg.Counter("collector_http_breaker_transitions_total", "state", name)
+	}
+	h.shorted = reg.Counter("collector_http_breaker_shorted_total")
+}
+
+// Obs returns the registry the transport tallies onto.
+func (h *HTTP) Obs() *obs.Registry { return h.reg }
+
+// BreakerOpens reports breaker transitions to the open state.
+func (h *HTTP) BreakerOpens() uint64 { return h.breakerTo[breakerOpen].Value() }
+
+// BreakerShorted reports calls rejected while a breaker was open.
+func (h *HTTP) BreakerShorted() uint64 { return h.shorted.Value() }
+
+// obsFor returns the endpoint's handle bundle, creating it lazily. A
+// transport built as a struct literal (no NewHTTP, no WithObs) has a nil
+// registry; its handles are nil and every record is a no-op.
+func (h *HTTP) obsFor(endpoint string) *endpointObs {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.endpoints == nil {
+		h.endpoints = make(map[string]*endpointObs)
+	}
+	eo, ok := h.endpoints[endpoint]
+	if !ok {
+		eo = &endpointObs{
+			attempts:   h.reg.Counter("collector_http_requests_total", "endpoint", endpoint),
+			retries:    h.reg.Counter("collector_http_retries_total", "endpoint", endpoint),
+			sleeps:     h.reg.Counter("collector_http_backoff_sleeps_total", "endpoint", endpoint),
+			sleepSecs:  h.reg.FloatGauge("collector_http_backoff_seconds_total", "endpoint", endpoint),
+			retryAfter: h.reg.Counter("collector_http_retry_after_honored_total", "endpoint", endpoint),
+			bytes:      h.reg.Counter("collector_http_response_bytes_total", "endpoint", endpoint),
+		}
+		h.endpoints[endpoint] = eo
+	}
+	return eo
 }
 
 func (h *HTTP) ctx() context.Context {
@@ -185,8 +260,9 @@ func (h *HTTP) wait(ctx context.Context, d time.Duration) error {
 // retryDelay computes the attempt'th backoff: exponential from Backoff,
 // jittered in [0.5, 1.5), capped at MaxBackoff — then raised to any
 // server-suggested Retry-After (itself capped at MaxBackoff, so a hostile
-// header cannot park the scraper).
-func (h *HTTP) retryDelay(attempt int, lastErr error) time.Duration {
+// header cannot park the scraper). honored reports whether a Retry-After
+// suggestion won over the computed backoff.
+func (h *HTTP) retryDelay(attempt int, lastErr error) (_ time.Duration, honored bool) {
 	d := h.Backoff
 	for i := 1; i < attempt && d < h.maxBackoff(); i++ {
 		d *= 2
@@ -213,9 +289,10 @@ func (h *HTTP) retryDelay(attempt int, lastErr error) time.Duration {
 		}
 		if ra > d {
 			d = ra
+			honored = true
 		}
 	}
-	return d
+	return d, honored
 }
 
 // breakerFor returns the endpoint's circuit breaker, creating it lazily.
@@ -247,17 +324,27 @@ func (h *HTTP) breakerFor(endpoint string) *breaker {
 // resp.Body.
 func (h *HTTP) do(endpoint string, send func(context.Context) (*http.Response, error)) (*http.Response, error) {
 	ctx := h.ctx()
+	eo := h.obsFor(endpoint)
 	br := h.breakerFor(endpoint)
-	if !br.allow(h.clock()) {
-		h.mu.Lock()
-		h.BreakerShorted++
-		h.mu.Unlock()
+	allowed, probe := br.allow(h.clock())
+	if probe {
+		h.breakerTo[breakerHalfOpen].Inc()
+	}
+	if !allowed {
+		h.shorted.Inc()
 		return nil, fmt.Errorf("collector: %s: %w", endpoint, ErrCircuitOpen)
 	}
 	var lastErr error
 	for attempt := 0; attempt <= h.MaxRetries; attempt++ {
 		if attempt > 0 {
-			if err := h.wait(ctx, h.retryDelay(attempt, lastErr)); err != nil {
+			eo.retries.Inc()
+			delay, honored := h.retryDelay(attempt, lastErr)
+			if honored {
+				eo.retryAfter.Inc()
+			}
+			eo.sleeps.Inc()
+			eo.sleepSecs.Add(delay.Seconds())
+			if err := h.wait(ctx, delay); err != nil {
 				lastErr = err
 				break
 			}
@@ -266,6 +353,7 @@ func (h *HTTP) do(endpoint string, send func(context.Context) (*http.Response, e
 			lastErr = err
 			break
 		}
+		eo.attempts.Inc()
 		resp, err := send(ctx)
 		if err != nil {
 			lastErr = err
@@ -273,7 +361,9 @@ func (h *HTTP) do(endpoint string, send func(context.Context) (*http.Response, e
 		}
 		switch {
 		case resp.StatusCode == http.StatusOK:
-			br.success()
+			if br.success() {
+				h.breakerTo[breakerClosed].Inc()
+			}
 			return resp, nil
 		case resp.StatusCode == http.StatusTooManyRequests:
 			ra := parseRetryAfter(resp.Header, h.clock)
@@ -291,9 +381,7 @@ func (h *HTTP) do(endpoint string, send func(context.Context) (*http.Response, e
 		}
 	}
 	if br.failure(h.clock()) {
-		h.mu.Lock()
-		h.BreakerOpens++
-		h.mu.Unlock()
+		h.breakerTo[breakerOpen].Inc()
 	}
 	return nil, fmt.Errorf("collector: %s: retries exhausted: %w", endpoint, lastErr)
 }
@@ -346,7 +434,7 @@ func (h *HTTP) recent(url string) ([]jito.BundleRecord, error) {
 	}
 	defer resp.Body.Close()
 	var body explorer.RecentResponse
-	if err := h.decodeBounded(resp.Body, &body); err != nil {
+	if err := h.decodeBounded("recent", resp.Body, &body); err != nil {
 		return nil, fmt.Errorf("collector: decoding recent bundles: %w", err)
 	}
 	return body.Bundles, nil
@@ -372,7 +460,7 @@ func (h *HTTP) TxDetails(ids []solana.Signature) ([]jito.TxDetail, error) {
 	}
 	defer resp.Body.Close()
 	var body explorer.DetailResponse
-	if err := h.decodeBounded(resp.Body, &body); err != nil {
+	if err := h.decodeBounded("details", resp.Body, &body); err != nil {
 		return nil, fmt.Errorf("collector: decoding tx details: %w", err)
 	}
 	return body.Transactions, nil
@@ -381,10 +469,12 @@ func (h *HTTP) TxDetails(ids []solana.Signature) ([]jito.TxDetail, error) {
 // decodeBounded decodes a JSON body read through an io.LimitReader, so a
 // hostile or damaged payload is capped at MaxBody bytes. A body cut by
 // the cap (or by the wire) classifies as truncation; syntactically
-// invalid bytes classify as corruption.
-func (h *HTTP) decodeBounded(body io.Reader, v any) error {
-	limited := io.LimitReader(body, h.maxBody())
-	if err := json.NewDecoder(limited).Decode(v); err != nil {
+// invalid bytes classify as corruption. Bytes actually read land on the
+// endpoint's collector_http_response_bytes_total counter.
+func (h *HTTP) decodeBounded(endpoint string, body io.Reader, v any) error {
+	cr := &countingReader{r: io.LimitReader(body, h.maxBody())}
+	defer func() { h.obsFor(endpoint).bytes.Add(cr.n) }()
+	if err := json.NewDecoder(cr).Decode(v); err != nil {
 		class := faults.ClassCorrupt
 		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
 			class = faults.ClassTruncate
@@ -392,6 +482,18 @@ func (h *HTTP) decodeBounded(body io.Reader, v any) error {
 		return &faults.Error{Class: class, Err: err}
 	}
 	return nil
+}
+
+// countingReader counts bytes delivered by the wrapped reader.
+type countingReader struct {
+	r io.Reader
+	n uint64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += uint64(n)
+	return n, err
 }
 
 // breaker is a per-endpoint circuit breaker: closed → open after
@@ -416,21 +518,22 @@ const (
 )
 
 // allow reports whether a call may proceed now. In the open state it
-// admits a single half-open probe once the cooldown has elapsed.
-func (b *breaker) allow(now time.Time) bool {
+// admits a single half-open probe once the cooldown has elapsed; probe
+// reports that transition, so the caller can count it.
+func (b *breaker) allow(now time.Time) (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
-		return true
+		return true, false
 	case breakerOpen:
 		if now.Sub(b.openedAt) >= b.cooldown {
 			b.state = breakerHalfOpen
-			return true
+			return true, true
 		}
-		return false
+		return false, false
 	default: // half-open: one probe already in flight
-		return false
+		return false, false
 	}
 }
 

@@ -220,8 +220,15 @@ func TestServerRateLimiting(t *testing.T) {
 	if throttled == 0 {
 		t.Error("no requests throttled at 5/min")
 	}
-	if server.Throttled == 0 || server.RequestCount != 10 {
-		t.Errorf("metrics: throttled=%d requests=%d", server.Throttled, server.RequestCount)
+	if server.Throttled() == 0 || server.RequestCount() != 10 {
+		t.Errorf("metrics: throttled=%d requests=%d", server.Throttled(), server.RequestCount())
+	}
+	// The same tallies must be readable off the registry snapshot.
+	if got := server.Obs().Value("explorer_requests_total"); got != 10 {
+		t.Errorf("registry explorer_requests_total = %v, want 10", got)
+	}
+	if got := server.Obs().Value("explorer_throttled_total"); got == 0 {
+		t.Error("registry explorer_throttled_total = 0, want > 0")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"jitomev/internal/jito"
+	"jitomev/internal/obs"
 	"jitomev/internal/solana"
 )
 
@@ -68,40 +69,72 @@ func (r *rateLimiter) allow(client string) bool {
 	return true
 }
 
-// Server serves the two explorer endpoints over HTTP.
+// Server serves the two explorer endpoints over HTTP. Its request and
+// throttle tallies live on an obs.Registry (explorer_requests_total,
+// explorer_throttled_total, plus a per-endpoint breakdown) so the same
+// numbers appear on /metrics, in end-of-run summaries and in tests via
+// Snapshot — the server carries no bespoke counter fields.
 type Server struct {
 	store   *Store
 	limiter *rateLimiter
 	mux     *http.ServeMux
 
-	// Metrics observable by tests and the cmd wrapper.
-	mu           sync.Mutex
-	RequestCount uint64
-	Throttled    uint64
+	reg       *obs.Registry
+	requests  *obs.Counter
+	throttled *obs.Counter
 }
 
-// NewServer wraps a store. ratePerMin caps requests per client per minute
-// (0 disables limiting — the in-process test default).
+// NewServer wraps a store with a private registry. ratePerMin caps
+// requests per client per minute (0 disables limiting — the in-process
+// test default).
 func NewServer(store *Store, ratePerMin int) *Server {
-	s := &Server{store: store, limiter: newRateLimiter(ratePerMin), mux: http.NewServeMux()}
-	s.mux.HandleFunc("/api/v1/bundles/recent", s.handleRecent)
-	s.mux.HandleFunc("/api/v1/transactions", s.handleTransactions)
+	return NewServerObs(store, ratePerMin, nil)
+}
+
+// NewServerObs is NewServer tallying onto reg (nil selects a private
+// registry, so the server always has one to publish).
+func NewServerObs(store *Store, ratePerMin int, reg *obs.Registry) *Server {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{store: store, limiter: newRateLimiter(ratePerMin), mux: http.NewServeMux(), reg: reg}
+	s.requests = reg.Counter("explorer_requests_total")
+	s.throttled = reg.Counter("explorer_throttled_total")
+	reg.Help("explorer_requests_total", "HTTP requests received by the explorer server.")
+	reg.Help("explorer_throttled_total", "Requests rejected with 429 by the per-client rate limiter.")
+	s.mux.Handle("/api/v1/bundles/recent", s.countEndpoint("recent", s.handleRecent))
+	s.mux.Handle("/api/v1/transactions", s.countEndpoint("transactions", s.handleTransactions))
 	return s
+}
+
+// Obs returns the registry the server tallies onto, for mounting
+// /metrics next to the API and for test assertions.
+func (s *Server) Obs() *obs.Registry { return s.reg }
+
+// RequestCount reports total requests received (pre-throttle).
+func (s *Server) RequestCount() uint64 { return s.requests.Value() }
+
+// Throttled reports requests rejected by the rate limiter.
+func (s *Server) Throttled() uint64 { return s.throttled.Value() }
+
+// countEndpoint wraps a handler with a per-endpoint request counter.
+func (s *Server) countEndpoint(name string, h http.HandlerFunc) http.Handler {
+	c := s.reg.Counter("explorer_endpoint_requests_total", "endpoint", name)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+		h(w, r)
+	})
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	s.RequestCount++
-	s.mu.Unlock()
+	s.requests.Inc()
 	client := r.RemoteAddr
 	if host, _, err := net.SplitHostPort(client); err == nil {
 		client = host // rate-limit per IP, not per ephemeral port
 	}
 	if !s.limiter.allow(client) {
-		s.mu.Lock()
-		s.Throttled++
-		s.mu.Unlock()
+		s.throttled.Inc()
 		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
 		return
 	}

@@ -152,12 +152,12 @@ func TestCollectorSurvivesChaoticServer(t *testing.T) {
 	if c.Data.Collected == 0 {
 		t.Fatal("chaotic server prevented all collection")
 	}
-	if c.Data.Collected+c.Data.Duplicates == 0 || c.Polls == 0 {
-		t.Fatalf("polls=%d collected=%d", c.Polls, c.Data.Collected)
+	if c.Data.Collected+c.Data.Duplicates == 0 || c.Polls() == 0 {
+		t.Fatalf("polls=%d collected=%d", c.Polls(), c.Data.Collected)
 	}
 	// The retry loop hides some faults; the rest must be classified.
-	if c.Errors > 0 && c.Faults.Total() == 0 {
-		t.Errorf("%d poll errors but no classified faults", c.Errors)
+	if c.Errors() > 0 && c.Faults().Total() == 0 {
+		t.Errorf("%d poll errors but no classified faults", c.Errors())
 	}
 	// Dedup integrity: collected bundles are unique by construction of
 	// the window; verify via per-day aggregate consistency.

@@ -26,8 +26,9 @@ import (
 	"fmt"
 	"io"
 	"strings"
-	"sync/atomic"
 	"time"
+
+	"jitomev/internal/obs"
 )
 
 // Class identifies one failure mode of the explorer API, as the paper's
@@ -281,24 +282,48 @@ func (s Schedule) At(index uint64, mask Mask) Class {
 // Safe for concurrent use; when calls arrive in a deterministic order (as
 // the collector's do — polling and detail fetching are sequential at any
 // Workers setting), the injected sequence is deterministic too.
+//
+// The tallies live on an obs.Registry — `faults_injected_total{class=…}`
+// and `faults_injector_calls_total` — so a chaos run's injection schedule
+// is visible on /metrics next to what the consumers survived. Stats reads
+// the same counters back, so the registry is the single source of truth.
 type Injector struct {
 	sched    Schedule
-	calls    atomic.Uint64
-	injected [NumClasses]atomic.Uint64
+	reg      *obs.Registry
+	calls    *obs.Counter
+	injected [NumClasses]*obs.Counter
 }
 
-// NewInjector builds an injector over Schedule{seed, rate}.
+// NewInjector builds an injector over Schedule{seed, rate} with a
+// private registry.
 func NewInjector(seed int64, rate float64) *Injector {
-	return &Injector{sched: Schedule{Seed: seed, Rate: rate}}
+	return NewInjectorObs(seed, rate, nil)
 }
+
+// NewInjectorObs builds an injector whose tallies land on reg (nil
+// selects a private registry, so the injector always has one).
+func NewInjectorObs(seed int64, rate float64, reg *obs.Registry) *Injector {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	in := &Injector{sched: Schedule{Seed: seed, Rate: rate}, reg: reg}
+	in.calls = reg.Counter("faults_injector_calls_total")
+	for c := ClassTransport; c < NumClasses; c++ {
+		in.injected[c] = reg.Counter("faults_injected_total", "class", c.String())
+	}
+	return in
+}
+
+// Obs returns the registry the injector tallies onto.
+func (in *Injector) Obs() *obs.Registry { return in.reg }
 
 // Next consumes one call index and returns its fault class (restricted to
 // mask) plus the index, for deriving payload mutations.
 func (in *Injector) Next(mask Mask) (Class, uint64) {
-	idx := in.calls.Add(1) - 1
+	idx := in.calls.Inc() - 1
 	c := in.sched.At(idx, mask)
 	if c != ClassNone {
-		in.injected[c].Add(1)
+		in.injected[c].Inc()
 	}
 	return c, idx
 }
@@ -310,13 +335,13 @@ func (in *Injector) Seed() int64 { return in.sched.Seed }
 func (in *Injector) Rate() float64 { return in.sched.Rate }
 
 // Calls returns how many call indices have been consumed.
-func (in *Injector) Calls() uint64 { return in.calls.Load() }
+func (in *Injector) Calls() uint64 { return in.calls.Value() }
 
-// Stats snapshots the injected-fault tally.
+// Stats snapshots the injected-fault tally from the registry.
 func (in *Injector) Stats() Stats {
 	var s Stats
 	for c := ClassTransport; c < NumClasses; c++ {
-		s[c] = in.injected[c].Load()
+		s[c] = in.injected[c].Value()
 	}
 	return s
 }

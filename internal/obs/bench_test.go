@@ -1,0 +1,70 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsCounter measures the canonical hot-path increment: a Local
+// adder owned by one goroutine (how detection shards and the sequential
+// collector loop count), flushed once. This is the path the ≤2 ns/op,
+// 0 allocs acceptance criterion covers.
+func BenchmarkObsCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total")
+	l := c.Local()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Inc()
+	}
+	b.StopTimer()
+	l.Flush()
+	if c.Value() != uint64(b.N) {
+		b.Fatalf("lost increments: %d != %d", c.Value(), b.N)
+	}
+}
+
+// BenchmarkObsCounterAtomic measures the shared (multi-writer) increment
+// path — one atomic add.
+func BenchmarkObsCounterAtomic(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkObsCounterNop measures the compiled-out path: a nil handle
+// (nil registry), which every instrumented call site degrades to when
+// observability is off.
+func BenchmarkObsCounterNop(b *testing.B) {
+	var r *Registry
+	c := r.Counter("bench_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkObsHistogramObserve measures one histogram observation with
+// the default duration buckets.
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", DurationBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+}
+
+// BenchmarkObsGaugeSetMax measures the high-water-mark update (CAS; the
+// common case is "not a new max", a single load).
+func BenchmarkObsGaugeSetMax(b *testing.B) {
+	g := NewRegistry().Gauge("bench_hw")
+	g.Set(1 << 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SetMax(int64(i))
+	}
+}

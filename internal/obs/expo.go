@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// fmtValue renders a sample value the way the Prometheus text format
+// expects: integral values without a decimal point, everything else in
+// shortest-round-trip form.
+func fmtValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, a # TYPE
+// line per family, histograms expanded into cumulative _bucket/_sum/
+// _count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Snapshot()
+	// Group by family, keeping the global name sort within each.
+	byFamily := make(map[string][]Sample)
+	families := make([]string, 0)
+	for _, s := range samples {
+		if _, ok := byFamily[s.Family]; !ok {
+			families = append(families, s.Family)
+		}
+		byFamily[s.Family] = append(byFamily[s.Family], s)
+	}
+	sort.Strings(families)
+
+	bw := bufio.NewWriter(w)
+	help := r.helps()
+	for _, fam := range families {
+		group := byFamily[fam]
+		if h := help[fam]; h != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", fam, strings.ReplaceAll(h, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam, group[0].Kind)
+		for _, s := range group {
+			switch s.Kind {
+			case KindHistogram:
+				cum := uint64(0)
+				for i, n := range s.Buckets {
+					cum += n
+					le := "+Inf"
+					if i < len(s.Bounds) {
+						le = fmtValue(s.Bounds[i])
+					}
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", fam, withLabel(s.Name, fam, "le", le), cum)
+				}
+				fmt.Fprintf(bw, "%s_sum%s %s\n", fam, labelsOf(s.Name, fam), fmtValue(s.Value))
+				fmt.Fprintf(bw, "%s_count%s %d\n", fam, labelsOf(s.Name, fam), s.Count)
+			default:
+				fmt.Fprintf(bw, "%s %s\n", s.Name, fmtValue(s.Value))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// helps snapshots the family → help map.
+func (r *Registry) helps() map[string]string {
+	out := make(map[string]string)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.metrics {
+		if m.help != "" {
+			out[m.family] = m.help
+		}
+	}
+	return out
+}
+
+// labelsOf extracts the rendered label block from a full metric name.
+func labelsOf(name, family string) string { return name[len(family):] }
+
+// withLabel appends one more label pair to a (possibly empty) rendered
+// label block — used to add the `le` bound to histogram bucket series.
+func withLabel(name, family, k, v string) string {
+	ls := labelsOf(name, family)
+	pair := fmt.Sprintf(`%s="%s"`, k, v)
+	if ls == "" {
+		return "{" + pair + "}"
+	}
+	return ls[:len(ls)-1] + "," + pair + "}"
+}
+
+// statusHistogram is the JSON shape of one histogram in /statusz.
+type statusHistogram struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// WriteStatusJSON renders the registry as the /statusz JSON document: a
+// flat metrics object (full name → value, histograms as
+// {count, sum, buckets}), with volatile families listed so consumers
+// know which values are excluded from determinism comparisons.
+func (r *Registry) WriteStatusJSON(w io.Writer) error {
+	type doc struct {
+		Metrics  map[string]any `json:"metrics"`
+		Volatile []string       `json:"volatile_families,omitempty"`
+	}
+	d := doc{Metrics: make(map[string]any)}
+	seenVol := make(map[string]bool)
+	for _, s := range r.Snapshot() {
+		if s.Volatile && !seenVol[s.Family] {
+			seenVol[s.Family] = true
+			d.Volatile = append(d.Volatile, s.Family)
+		}
+		if s.Kind == KindHistogram {
+			h := statusHistogram{Count: s.Count, Sum: s.Value}
+			if s.Count > 0 {
+				h.Buckets = make(map[string]uint64, len(s.Buckets))
+				cum := uint64(0)
+				for i, n := range s.Buckets {
+					cum += n
+					le := "+Inf"
+					if i < len(s.Bounds) {
+						le = fmtValue(s.Bounds[i])
+					}
+					h.Buckets[le] = cum
+				}
+			}
+			d.Metrics[s.Name] = h
+			continue
+		}
+		d.Metrics[s.Name] = s.Value
+	}
+	sort.Strings(d.Volatile)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// MetricsHandler serves WritePrometheus — the /metrics endpoint.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// StatusHandler serves WriteStatusJSON — the /statusz endpoint.
+func (r *Registry) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteStatusJSON(w)
+	})
+}
+
+// NewOpsMux builds the operational endpoint mux every binary mounts:
+// /metrics (Prometheus text), /statusz (JSON), and — only when withPprof
+// is set — the net/http/pprof handlers under /debug/pprof/.
+func NewOpsMux(r *Registry, withPprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/statusz", r.StatusHandler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// ValidateExposition checks a Prometheus text-format stream line by
+// line: comments must be well-formed # HELP/# TYPE lines, every sample
+// line must be `name[{labels}] value` with a legal metric name, balanced
+// quoted labels, and a parseable float value. The first malformed line
+// fails the whole stream — this is the gate behind `make metrics-smoke`
+// and the exposition golden test.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line); err != nil {
+				return fmt.Errorf("obs: exposition line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := validateSample(line); err != nil {
+			return fmt.Errorf("obs: exposition line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("obs: exposition: %w", err)
+	}
+	return nil
+}
+
+// validateComment accepts `# HELP name text`, `# TYPE name kind`, and
+// free-form `# ...` comments.
+func validateComment(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "#" {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	case "TYPE":
+		if len(fields) != 4 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return nil
+}
+
+// validateSample accepts `name value` and `name{k="v",...} value`.
+func validateSample(line string) error {
+	rest := line
+	// Metric name.
+	i := 0
+	for i < len(rest) && isNameChar(rest[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return fmt.Errorf("no metric name in %q", line)
+	}
+	name, rest := rest[:i], rest[i:]
+	_ = name
+	// Optional label block.
+	if strings.HasPrefix(rest, "{") {
+		end, err := scanLabels(rest)
+		if err != nil {
+			return fmt.Errorf("%v in %q", err, line)
+		}
+		rest = rest[end:]
+	}
+	// Value (and optional timestamp).
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("expected value after metric in %q", line)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return fmt.Errorf("bad value %q in %q", fields[0], line)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q in %q", fields[1], line)
+		}
+	}
+	return nil
+}
+
+// scanLabels walks a `{k="v",...}` block, returning the index just past
+// the closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		// Label name.
+		start := i
+		for i < len(s) && isNameChar(s[i], i == start) {
+			i++
+		}
+		if i == start || i >= len(s) || s[i] != '=' {
+			return 0, fmt.Errorf("malformed label name")
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label value not quoted")
+		}
+		i++ // opening quote
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value")
+		}
+		i++ // closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// validMetricName reports whether s is a legal metric name.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// isNameChar reports whether c may appear in a metric or label name
+// (leading digits are reserved).
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

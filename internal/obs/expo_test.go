@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a registry exercising every metric kind, label
+// rendering (including escapes), help text and histogram expansion.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("requests_total").Add(42)
+	r.Counter("faults_total", "class", "throttle").Add(3)
+	r.Counter("faults_total", "class", "server").Add(1)
+	r.Counter("escaped_total", "path", `a"b\c`).Inc()
+	r.Gauge("pending").Set(-7)
+	r.FloatGauge("overlap_ratio").Set(0.9375)
+	h := r.Histogram("fetch_seconds", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+	r.Help("requests_total", "requests served")
+	return r
+}
+
+// TestPrometheusGolden pins the exposition byte-for-byte: families
+// sorted, TYPE lines once per family, cumulative histogram buckets with
+// +Inf, sum and count.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE escaped_total counter
+escaped_total{path="a\"b\\c"} 1
+# TYPE faults_total counter
+faults_total{class="server"} 1
+faults_total{class="throttle"} 3
+# TYPE fetch_seconds histogram
+fetch_seconds_bucket{le="0.01"} 1
+fetch_seconds_bucket{le="0.1"} 3
+fetch_seconds_bucket{le="1"} 3
+fetch_seconds_bucket{le="+Inf"} 4
+fetch_seconds_sum 5.105
+fetch_seconds_count 4
+# TYPE overlap_ratio gauge
+overlap_ratio 0.9375
+# TYPE pending gauge
+pending -7
+# HELP requests_total requests served
+# TYPE requests_total counter
+requests_total 42
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// The golden output must satisfy our own validator.
+	if err := ValidateExposition(strings.NewReader(buf.String())); err != nil {
+		t.Errorf("golden output fails validation: %v", err)
+	}
+}
+
+func TestStatusJSON(t *testing.T) {
+	r := goldenRegistry()
+	r.Volatile("fetch_seconds")
+	var buf bytes.Buffer
+	if err := r.WriteStatusJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics  map[string]json.RawMessage `json:"metrics"`
+		Volatile []string                   `json:"volatile_families"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("statusz is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if string(doc.Metrics["requests_total"]) != "42" {
+		t.Errorf("requests_total = %s", doc.Metrics["requests_total"])
+	}
+	var hist struct {
+		Count   uint64            `json:"count"`
+		Sum     float64           `json:"sum"`
+		Buckets map[string]uint64 `json:"buckets"`
+	}
+	if err := json.Unmarshal(doc.Metrics["fetch_seconds"], &hist); err != nil {
+		t.Fatalf("histogram shape: %v", err)
+	}
+	if hist.Count != 4 || hist.Buckets["+Inf"] != 4 || hist.Buckets["0.1"] != 3 {
+		t.Errorf("histogram JSON wrong: %+v", hist)
+	}
+	if len(doc.Volatile) != 1 || doc.Volatile[0] != "fetch_seconds" {
+		t.Errorf("volatile families = %v", doc.Volatile)
+	}
+}
+
+func TestHandlers(t *testing.T) {
+	mux := NewOpsMux(goldenRegistry(), false)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "requests_total 42") {
+		t.Errorf("/metrics: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/statusz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"requests_total": 42`) {
+		t.Errorf("/statusz: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+
+	// pprof is off by default: the mux must not serve /debug/pprof/.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 404 {
+		t.Errorf("pprof served without opt-in: %d", rec.Code)
+	}
+	withPprof := NewOpsMux(goldenRegistry(), true)
+	rec = httptest.NewRecorder()
+	withPprof.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Errorf("pprof opt-in not served: %d", rec.Code)
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"1leading_digit 3",
+		"no_value",
+		"bad_value x",
+		`unterminated{label="v 3`,
+		`missing_quote{label=v} 3`,
+		"# TYPE foo flavor",
+		"# TYPE foo counter extra",
+		"# HELP 9name text",
+	}
+	for _, line := range bad {
+		if err := ValidateExposition(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("accepted malformed line %q", line)
+		}
+	}
+	good := "# arbitrary comment\nok_total 1\nok_labeled{a=\"b\",c=\"d\"} 2.5\nwith_ts 3 1700000000\n"
+	if err := ValidateExposition(strings.NewReader(good)); err != nil {
+		t.Errorf("rejected well-formed stream: %v", err)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	r := goldenRegistry()
+	r.Counter("zero_total") // zero-valued: must not render
+	var buf bytes.Buffer
+	r.WriteSummary(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "requests_total") || !strings.Contains(out, "42") {
+		t.Errorf("summary missing counter: %s", out)
+	}
+	if strings.Contains(out, "zero_total") {
+		t.Errorf("summary rendered zero metric: %s", out)
+	}
+	if !strings.Contains(out, "n=4") {
+		t.Errorf("summary missing histogram fold: %s", out)
+	}
+	var empty bytes.Buffer
+	NewRegistry().WriteSummary(&empty)
+	if !strings.Contains(empty.String(), "no metrics") {
+		t.Errorf("empty summary = %q", empty.String())
+	}
+}

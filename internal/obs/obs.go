@@ -1,0 +1,508 @@
+// Package obs is the pipeline's unified metrics and tracing layer: a
+// dependency-free registry of counters, gauges and fixed-bucket
+// histograms shared by every stage of the collection→analysis pipeline,
+// exposed three ways — Prometheus text format and JSON over HTTP (the
+// live ops endpoints), a human-readable end-of-run summary table, and a
+// Snapshot that tests assert against.
+//
+// The design is governed by the repo's two standing constraints:
+//
+//   - Hot paths must stay hot. Handles are resolved once (a mutex-guarded
+//     map lookup at registration) and increments are a single atomic add
+//     with zero allocations. For single-owner loops — a detection shard,
+//     the sequential collector loop — Counter.Local returns an
+//     unsynchronized adder that costs a plain register increment and is
+//     folded into the shared counter once, at Flush.
+//
+//   - Determinism survives instrumentation. Every count-valued metric is
+//     a pure function of (seed, days, scale): bit-identical at any worker
+//     count. Metrics that cannot promise this — wall-clock durations,
+//     queue depths, per-worker busy time, shard counts that depend on the
+//     worker count — are marked Volatile and excluded from
+//     DeterministicSnapshot, which the worker-count determinism tests
+//     compare.
+//
+// Every handle and the registry itself are nil-safe: methods on a nil
+// *Registry return nil handles, and operations on nil handles are no-ops.
+// Instrumented code therefore never branches on "is observability on";
+// passing a nil registry compiles the layer down to predicted-not-taken
+// nil checks (see BenchmarkObsCounterNop).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates the metric types in a Snapshot.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindFloatGauge
+	KindHistogram
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge, KindFloatGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing uint64. The zero value is ready
+// to use; a nil *Counter is a no-op.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one and returns the new value (0 on a nil counter).
+func (c *Counter) Inc() uint64 { return c.Add(1) }
+
+// Add adds n and returns the new value (0 on a nil counter).
+func (c *Counter) Add(n uint64) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Add(n)
+}
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Local returns an unsynchronized adder bound to c, for loops owned by a
+// single goroutine (a detection shard, the sequential collector loop).
+// Increments cost a plain register add; Flush folds the local tally into
+// the shared counter with one atomic. A Local bound to a nil counter
+// still counts locally and flushes nowhere.
+func (c *Counter) Local() Local { return Local{c: c} }
+
+// Local is Counter's single-owner fast path. Not safe for concurrent
+// use; each goroutine takes its own via Counter.Local.
+type Local struct {
+	n uint64
+	c *Counter
+}
+
+// Inc adds one to the local tally.
+func (l *Local) Inc() { l.n++ }
+
+// Add adds n to the local tally.
+func (l *Local) Add(n uint64) { l.n += n }
+
+// N reads the unflushed local tally.
+func (l *Local) N() uint64 { return l.n }
+
+// Flush folds the local tally into the bound counter and zeroes it.
+func (l *Local) Flush() {
+	if l.n == 0 {
+		return
+	}
+	l.c.Add(l.n)
+	l.n = 0
+}
+
+// Gauge is an int64 that can move both ways. A nil *Gauge is a no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by d.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// SetMax raises the gauge to v if v is greater — a high-water mark.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// FloatGauge is a float64 gauge (ratios, seconds). A nil *FloatGauge is
+// a no-op.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (f *FloatGauge) Set(v float64) {
+	if f != nil {
+		f.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add moves the gauge by d (CAS loop).
+func (f *FloatGauge) Add(d float64) {
+	if f == nil {
+		return
+	}
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (f *FloatGauge) Value() float64 {
+	if f == nil {
+		return 0
+	}
+	return math.Float64frombits(f.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets (Prometheus `le`
+// semantics: bucket i counts v ≤ bounds[i]; the last bucket is +Inf).
+// Bounds are fixed at registration, so concurrent observation is a
+// single atomic add with no allocation. A nil *Histogram is a no-op.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; non-cumulative
+	count   atomic.Uint64
+	sum     FloatGauge
+}
+
+// DurationBuckets are the default bounds for wall-time histograms, in
+// seconds: 1µs to 10s by decades, with a 100µs–1s midpoint refinement.
+var DurationBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1, 10}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket counts are small and fixed; the common case
+	// (small v in a duration histogram) exits early.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count reads the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reads the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// metric is one registered instrument plus its identity.
+type metric struct {
+	family string // metric name without labels
+	labels string // rendered `{k="v",...}`, or ""
+	name   string // family + labels
+	kind   Kind
+	help   string
+
+	c *Counter
+	g *Gauge
+	f *FloatGauge
+	h *Histogram
+}
+
+// Registry holds every registered metric. Registration is mutex-guarded;
+// the returned handles are lock-free. A nil *Registry returns nil
+// handles everywhere, so instrumentation reads the same with
+// observability on or off.
+type Registry struct {
+	mu       sync.Mutex
+	metrics  map[string]*metric
+	volatile map[string]bool // families excluded from DeterministicSnapshot
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics:  make(map[string]*metric),
+		volatile: make(map[string]bool),
+	}
+}
+
+// renderLabels turns variadic k,v pairs into a canonical `{k="v",...}`
+// suffix. Pairs keep their given order; values are escaped per the
+// Prometheus text format. Odd-length label lists are a programming
+// error.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		v := labels[i+1]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// register resolves (family, labels) to its metric, creating it on first
+// use. Re-registration with a different kind panics — two packages
+// claiming one name as different types is a bug worth failing loudly on.
+func (r *Registry) register(kind Kind, family string, labels []string) *metric {
+	ls := renderLabels(labels)
+	name := family + ls
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: %s re-registered as %s (was %s)", name, kind, m.kind))
+		}
+		return m
+	}
+	m := &metric{family: family, labels: ls, name: name, kind: kind}
+	switch kind {
+	case KindCounter:
+		m.c = &Counter{}
+	case KindGauge:
+		m.g = &Gauge{}
+	case KindFloatGauge:
+		m.f = &FloatGauge{}
+	}
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the counter for (family, labels), registering it on
+// first use. labels are k,v pairs: Counter("faults_total", "class", "throttle").
+func (r *Registry) Counter(family string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(KindCounter, family, labels).c
+}
+
+// Gauge returns the int64 gauge for (family, labels).
+func (r *Registry) Gauge(family string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(KindGauge, family, labels).g
+}
+
+// FloatGauge returns the float64 gauge for (family, labels).
+func (r *Registry) FloatGauge(family string, labels ...string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(KindFloatGauge, family, labels).f
+}
+
+// Histogram returns the histogram for (family, labels), registering it
+// with the given bucket bounds on first use. Bounds must be sorted
+// ascending; later registrations reuse the first bounds.
+func (r *Registry) Histogram(family string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	ls := renderLabels(labels)
+	name := family + ls
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != KindHistogram {
+			panic(fmt.Sprintf("obs: %s re-registered as histogram (was %s)", name, m.kind))
+		}
+		return m.h
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: %s: bucket bounds not ascending: %v", name, bounds))
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.buckets = make([]atomic.Uint64, len(bounds)+1)
+	r.metrics[name] = &metric{family: family, labels: ls, name: name, kind: KindHistogram, h: h}
+	return h
+}
+
+// Help attaches a help string to a family (rendered as # HELP).
+func (r *Registry) Help(family, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.metrics {
+		if m.family == family {
+			m.help = text
+		}
+	}
+}
+
+// Volatile marks a family as excluded from DeterministicSnapshot: its
+// values depend on wall time, scheduling or the worker count rather than
+// on (seed, days, scale). Applies to metrics of the family registered
+// before or after the call.
+func (r *Registry) Volatile(families ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range families {
+		r.volatile[f] = true
+	}
+}
+
+// IsVolatile reports whether family carries the Volatile marker.
+func (r *Registry) IsVolatile(family string) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.volatile[family]
+}
+
+// Sample is one metric's state in a Snapshot.
+type Sample struct {
+	Name     string // family + labels
+	Family   string
+	Kind     Kind
+	Volatile bool
+
+	// Value is the counter count, gauge value, or histogram sum.
+	Value float64
+	// Histogram-only: observation count, bucket bounds, and
+	// non-cumulative per-bucket counts (len(Bounds)+1, last is +Inf).
+	Count   uint64
+	Bounds  []float64
+	Buckets []uint64
+}
+
+// Snapshot captures every registered metric, sorted by name. The result
+// is detached: mutating it does not touch the registry.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	vol := make(map[string]bool, len(r.volatile))
+	for f := range r.volatile {
+		vol[f] = true
+	}
+	r.mu.Unlock()
+
+	out := make([]Sample, 0, len(ms))
+	for _, m := range ms {
+		s := Sample{Name: m.name, Family: m.family, Kind: m.kind, Volatile: vol[m.family]}
+		switch m.kind {
+		case KindCounter:
+			s.Value = float64(m.c.Value())
+		case KindGauge:
+			s.Value = float64(m.g.Value())
+		case KindFloatGauge:
+			s.Value = m.f.Value()
+		case KindHistogram:
+			s.Value = m.h.Sum()
+			s.Count = m.h.Count()
+			s.Bounds = append([]float64(nil), m.h.bounds...)
+			s.Buckets = make([]uint64, len(m.h.buckets))
+			for i := range m.h.buckets {
+				s.Buckets[i] = m.h.buckets[i].Load()
+			}
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DeterministicSnapshot is Snapshot without the Volatile families — the
+// view that must be bit-identical at any worker count for the same
+// (seed, days, scale), which the determinism tests enforce.
+func (r *Registry) DeterministicSnapshot() []Sample {
+	all := r.Snapshot()
+	out := all[:0]
+	for _, s := range all {
+		if !s.Volatile {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Value reads one metric by full name (family plus rendered labels):
+// counter count, gauge value, or histogram sum. Absent names read 0.
+func (r *Registry) Value(family string, labels ...string) float64 {
+	if r == nil {
+		return 0
+	}
+	name := family + renderLabels(labels)
+	r.mu.Lock()
+	m, ok := r.metrics[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	switch m.kind {
+	case KindCounter:
+		return float64(m.c.Value())
+	case KindGauge:
+		return float64(m.g.Value())
+	case KindFloatGauge:
+		return m.f.Value()
+	case KindHistogram:
+		return m.h.Sum()
+	}
+	return 0
+}

@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total")
+	if got := c.Inc(); got != 1 {
+		t.Fatalf("Inc = %d, want 1", got)
+	}
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+	// Re-registration returns the same instrument.
+	if r.Counter("requests_total") != c {
+		t.Error("re-registration returned a different counter")
+	}
+	if r.Value("requests_total") != 5 {
+		t.Errorf("registry Value = %v, want 5", r.Value("requests_total"))
+	}
+}
+
+func TestLabeledCounters(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("faults_total", "class", "throttle")
+	b := r.Counter("faults_total", "class", "server")
+	if a == b {
+		t.Fatal("different label sets resolved to the same counter")
+	}
+	a.Add(2)
+	b.Inc()
+	if r.Value("faults_total", "class", "throttle") != 2 ||
+		r.Value("faults_total", "class", "server") != 1 {
+		t.Errorf("labeled values wrong: %v / %v",
+			r.Value("faults_total", "class", "throttle"),
+			r.Value("faults_total", "class", "server"))
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("queue_depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Error("SetMax lowered a high-water mark")
+	}
+	g.SetMax(11)
+	if g.Value() != 11 {
+		t.Errorf("SetMax = %d, want 11", g.Value())
+	}
+}
+
+func TestFloatGauge(t *testing.T) {
+	r := NewRegistry()
+	f := r.FloatGauge("overlap_ratio")
+	f.Set(0.5)
+	f.Add(0.25)
+	if f.Value() != 0.75 {
+		t.Fatalf("float gauge = %v, want 0.75", f.Value())
+	}
+}
+
+func TestLocalAdder(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("scanned_total")
+	l := c.Local()
+	for i := 0; i < 100; i++ {
+		l.Inc()
+	}
+	l.Add(11)
+	if c.Value() != 0 {
+		t.Fatal("local tally leaked before Flush")
+	}
+	if l.N() != 111 {
+		t.Fatalf("local N = %d, want 111", l.N())
+	}
+	l.Flush()
+	if c.Value() != 111 {
+		t.Fatalf("after flush counter = %d, want 111", c.Value())
+	}
+	l.Flush() // idempotent on empty tally
+	if c.Value() != 111 {
+		t.Error("empty flush moved the counter")
+	}
+}
+
+// TestNilSafety pins the no-op contract: every operation on a nil
+// registry or nil handle must be safe, so instrumented code never
+// branches on whether observability is enabled.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter holds a value")
+	}
+	l := c.Local()
+	l.Inc()
+	l.Flush()
+	r.Gauge("g").Set(5)
+	r.FloatGauge("f").Add(1)
+	r.Histogram("h", DurationBuckets).Observe(0.5)
+	r.Volatile("x")
+	r.Help("x", "help")
+	if r.Snapshot() != nil || r.DeterministicSnapshot() != nil {
+		t.Error("nil registry produced samples")
+	}
+	sp := r.StartSpan("stage")
+	sp.AddItems(3)
+	sp.AddErrors(1)
+	sp.End()
+	if r.Value("pipeline_stage_items_total", "stage", "stage") != 0 {
+		t.Error("nil span recorded")
+	}
+}
+
+func TestSnapshotAndVolatile(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Gauge("b_depth").Set(4)
+	r.FloatGauge("c_ratio").Set(0.5)
+	r.Histogram("d_seconds", []float64{1, 2}).Observe(1.5)
+	r.Volatile("d_seconds", "b_depth")
+
+	snap := r.Snapshot()
+	names := make([]string, len(snap))
+	for i, s := range snap {
+		names[i] = s.Name
+	}
+	want := []string{"a_total", "b_depth", "c_ratio", "d_seconds"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("snapshot names = %v, want %v", names, want)
+	}
+
+	det := r.DeterministicSnapshot()
+	if len(det) != 2 || det[0].Name != "a_total" || det[1].Name != "c_ratio" {
+		t.Fatalf("deterministic snapshot kept wrong samples: %+v", det)
+	}
+	if !r.IsVolatile("d_seconds") || r.IsVolatile("a_total") {
+		t.Error("volatile marker misapplied")
+	}
+
+	// Snapshot is detached: mutating it must not touch the registry.
+	for i := range snap {
+		if snap[i].Kind == KindHistogram {
+			snap[i].Buckets[0] = 999
+		}
+	}
+	again := r.Snapshot()
+	for _, s := range again {
+		if s.Kind == KindHistogram && s.Buckets[0] == 999 {
+			t.Error("snapshot aliases registry storage")
+		}
+	}
+}
+
+func TestSpanRecordsStageMetrics(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("analyze")
+	sp.AddItems(10)
+	sp.AddItems(5)
+	sp.AddErrors(2)
+	sp.End()
+	if got := r.Value("pipeline_stage_items_total", "stage", "analyze"); got != 15 {
+		t.Errorf("items = %v, want 15", got)
+	}
+	if got := r.Value("pipeline_stage_errors_total", "stage", "analyze"); got != 2 {
+		t.Errorf("errors = %v, want 2", got)
+	}
+	if got := r.Value("pipeline_stage_runs_total", "stage", "analyze"); got != 1 {
+		t.Errorf("runs = %v, want 1", got)
+	}
+	if !r.IsVolatile("pipeline_stage_seconds") {
+		t.Error("stage duration histogram not marked volatile")
+	}
+	h := r.Histogram("pipeline_stage_seconds", DurationBuckets, "stage", "analyze")
+	if h.Count() != 1 {
+		t.Errorf("duration observations = %d, want 1", h.Count())
+	}
+}
+
+// TestConcurrentIncrements is the obs race test (run under -race in the
+// make verify matrix): hammer one counter, one gauge, one float gauge
+// and one histogram from many goroutines and check totals.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 16, 10_000
+	c := r.Counter("hammer_total")
+	g := r.Gauge("hammer_hw")
+	f := r.FloatGauge("hammer_sum")
+	h := r.Histogram("hammer_seconds", []float64{0.25, 0.5, 0.75})
+
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			l := c.Local()
+			for i := 0; i < perG; i++ {
+				if i%2 == 0 {
+					c.Inc()
+				} else {
+					l.Inc()
+				}
+				g.SetMax(int64(w*perG + i))
+				f.Add(1)
+				h.Observe(float64(i%4) * 0.25)
+			}
+			l.Flush()
+		}(w)
+	}
+	wg.Wait()
+
+	if c.Value() != goroutines*perG {
+		t.Errorf("counter = %d, want %d", c.Value(), goroutines*perG)
+	}
+	if g.Value() != goroutines*perG-1 {
+		t.Errorf("high water = %d, want %d", g.Value(), goroutines*perG-1)
+	}
+	if f.Value() != goroutines*perG {
+		t.Errorf("float gauge = %v, want %d", f.Value(), goroutines*perG)
+	}
+	if h.Count() != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count(), goroutines*perG)
+	}
+	// Concurrent registration of the same and different names must be
+	// safe too.
+	wg = sync.WaitGroup{}
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.Counter("reg_race_total").Inc()
+			r.Counter("reg_race_total", "worker", string(rune('a'+w))).Inc()
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Value("reg_race_total"); got != goroutines {
+		t.Errorf("registration race lost increments: %v", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the `le` edge semantics: a value
+// exactly on a bound lands in that bound's bucket, just above it in the
+// next, and anything beyond the last bound in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edges", []float64{1, 2, 4})
+
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0}, {0.999, 0}, {1, 0}, // v <= 1
+		{1.0000001, 1}, {2, 1}, // 1 < v <= 2
+		{3, 2}, {4, 2}, // 2 < v <= 4
+		{4.5, 3}, {1e9, 3}, // +Inf
+	}
+	for _, tc := range cases {
+		before := snapshotBuckets(r, "edges")
+		h.Observe(tc.v)
+		after := snapshotBuckets(r, "edges")
+		for i := range after {
+			want := before[i]
+			if i == tc.bucket {
+				want++
+			}
+			if after[i] != want {
+				t.Errorf("Observe(%v): bucket %d = %d, want %d", tc.v, i, after[i], want)
+			}
+		}
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Errorf("count = %d, want %d", h.Count(), len(cases))
+	}
+	var sum float64
+	for _, tc := range cases {
+		sum += tc.v
+	}
+	if h.Sum() != sum {
+		t.Errorf("sum = %v, want %v", h.Sum(), sum)
+	}
+
+	// Negative and zero-width configurations must fail loudly.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("non-ascending bounds did not panic")
+			}
+		}()
+		r.Histogram("bad", []float64{2, 2})
+	}()
+}
+
+func snapshotBuckets(r *Registry, family string) []uint64 {
+	for _, s := range r.Snapshot() {
+		if s.Family == family {
+			return s.Buckets
+		}
+	}
+	return nil
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total")
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total")
+}

@@ -1,0 +1,70 @@
+package obs
+
+import "time"
+
+// Span metric families. Durations are inherently wall-clock and so
+// volatile; item and error counts are part of the deterministic surface.
+const (
+	spanSecondsFamily = "pipeline_stage_seconds"
+	spanItemsFamily   = "pipeline_stage_items_total"
+	spanErrorsFamily  = "pipeline_stage_errors_total"
+	spanRunsFamily    = "pipeline_stage_runs_total"
+)
+
+// Span is a lightweight pipeline trace: one timed pass of a named stage
+// (generate, fetch_details, analyze, snapshot_save, …). Item and error
+// tallies accumulate unsynchronized — a span belongs to the goroutine
+// that started it — and land on the registry once, at End, together with
+// the stage's wall time. A nil span (from a nil registry) is a no-op.
+type Span struct {
+	start time.Time
+	items uint64
+	errs  uint64
+
+	itemsC *Counter
+	errsC  *Counter
+	runsC  *Counter
+	dur    *Histogram
+}
+
+// StartSpan opens a span for one pass of the named stage. The caller
+// must End it on the same goroutine.
+func (r *Registry) StartSpan(stage string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.Volatile(spanSecondsFamily)
+	return &Span{
+		start:  time.Now(),
+		itemsC: r.Counter(spanItemsFamily, "stage", stage),
+		errsC:  r.Counter(spanErrorsFamily, "stage", stage),
+		runsC:  r.Counter(spanRunsFamily, "stage", stage),
+		dur:    r.Histogram(spanSecondsFamily, DurationBuckets, "stage", stage),
+	}
+}
+
+// AddItems credits n processed items to the stage.
+func (s *Span) AddItems(n int) {
+	if s != nil && n > 0 {
+		s.items += uint64(n)
+	}
+}
+
+// AddErrors credits n stage errors.
+func (s *Span) AddErrors(n int) {
+	if s != nil && n > 0 {
+		s.errs += uint64(n)
+	}
+}
+
+// End closes the span: wall time goes to the (volatile) stage duration
+// histogram, item/error tallies to their deterministic counters.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.runsC.Inc()
+	s.itemsC.Add(s.items)
+	s.errsC.Add(s.errs)
+	s.dur.Observe(time.Since(s.start).Seconds())
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteSummary renders the registry as an aligned, human-readable
+// end-of-run table: one row per non-zero metric, histograms folded into
+// `count / sum`. This is the terminal face of the layer — the chaos and
+// fault summaries the binaries used to hand-build now fall out of the
+// registry for free.
+func (r *Registry) WriteSummary(w io.Writer) {
+	samples := r.Snapshot()
+	type row struct{ name, value string }
+	rows := make([]row, 0, len(samples))
+	width := 0
+	for _, s := range samples {
+		var v string
+		switch s.Kind {
+		case KindHistogram:
+			if s.Count == 0 {
+				continue
+			}
+			v = fmt.Sprintf("n=%d sum=%s", s.Count, fmtValue(s.Value))
+		default:
+			if s.Value == 0 {
+				continue
+			}
+			v = fmtValue(s.Value)
+		}
+		rows = append(rows, row{s.Name, v})
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "(no metrics recorded)")
+		return
+	}
+	for _, rw := range rows {
+		fmt.Fprintf(w, "%s%s  %s\n", rw.name, strings.Repeat(" ", width-len(rw.name)), rw.value)
+	}
+}

@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"time"
+
+	"jitomev/internal/obs"
+)
+
+// Observability for the concurrency primitives. Everything recorded here
+// is scheduling-dependent — shard counts change with the worker count,
+// busy time and queue depth with the interleaving — so every family is
+// registered Volatile: visible on /metrics and in summaries, excluded
+// from the deterministic snapshot the worker-count tests compare.
+const (
+	famShardSeconds = "parallel_shard_seconds"
+	famShards       = "parallel_shards_total"
+	famWorkerBusy   = "parallel_worker_busy_seconds"
+	famQueueHW      = "parallel_queue_depth_high_water"
+	famQueuePushes  = "parallel_queue_pushes_total"
+)
+
+// instrument is the per-call handle bundle for an instrumented stage.
+type instrument struct {
+	shardDur *obs.Histogram
+	shards   *obs.Counter
+	busy     *obs.FloatGauge
+}
+
+func newInstrument(reg *obs.Registry, stage string) instrument {
+	if reg == nil {
+		return instrument{}
+	}
+	reg.Volatile(famShardSeconds, famShards, famWorkerBusy, famQueueHW, famQueuePushes)
+	return instrument{
+		shardDur: reg.Histogram(famShardSeconds, obs.DurationBuckets, "stage", stage),
+		shards:   reg.Counter(famShards, "stage", stage),
+		busy:     reg.FloatGauge(famWorkerBusy, "stage", stage),
+	}
+}
+
+// MapReduceObs is MapReduce with per-shard observability: every shard's
+// wall time lands in a (volatile) duration histogram, the shard count in
+// a counter, and the summed per-worker busy time in a float gauge — the
+// before/after surface for judging how well a stage parallelizes. A nil
+// registry selects the uninstrumented path with zero overhead.
+func MapReduceObs[T any](reg *obs.Registry, stage string, workers, n int, mapRange func(lo, hi int) T, reduce func(T)) {
+	if reg == nil {
+		MapReduce(workers, n, mapRange, reduce)
+		return
+	}
+	in := newInstrument(reg, stage)
+	MapReduce(workers, n, func(lo, hi int) T {
+		start := time.Now()
+		out := mapRange(lo, hi)
+		d := time.Since(start).Seconds()
+		in.shardDur.Observe(d)
+		in.busy.Add(d)
+		in.shards.Inc()
+		return out
+	}, reduce)
+}
+
+// OrderedStreamObs is OrderedStream with the same per-shard
+// observability as MapReduceObs.
+func OrderedStreamObs[T any](reg *obs.Registry, stage string, workers, n int, produce func(int) T, consume func(T)) {
+	if reg == nil {
+		OrderedStream(workers, n, produce, consume)
+		return
+	}
+	in := newInstrument(reg, stage)
+	OrderedStream(workers, n, func(i int) T {
+		start := time.Now()
+		out := produce(i)
+		d := time.Since(start).Seconds()
+		in.shardDur.Observe(d)
+		in.busy.Add(d)
+		in.shards.Inc()
+		return out
+	}, consume)
+}
+
+// queueObs carries a Queue's registry handles.
+type queueObs struct {
+	highWater *obs.Gauge
+	pushes    *obs.Counter
+}
+
+// NewQueueObs is NewQueue with observability: the queue's depth
+// high-water mark (its worst backlog) and total pushes are published
+// under the given queue name. A nil registry degrades to NewQueue.
+func NewQueueObs[T any](reg *obs.Registry, name string, buffer int, consume func(T)) *Queue[T] {
+	q := NewQueue(buffer, consume)
+	if reg != nil {
+		reg.Volatile(famQueueHW, famQueuePushes)
+		q.obs = queueObs{
+			highWater: reg.Gauge(famQueueHW, "queue", name),
+			pushes:    reg.Counter(famQueuePushes, "queue", name),
+		}
+	}
+	return q
+}
+
+// HighWater reports the deepest backlog the queue has seen, whether or
+// not the queue is bound to a registry.
+func (q *Queue[T]) HighWater() int64 { return q.highWater.Load() }
+
+// observePush updates depth tracking around one Push.
+func (q *Queue[T]) observePush() {
+	depth := int64(len(q.ch))
+	for {
+		cur := q.highWater.Load()
+		if depth <= cur || q.highWater.CompareAndSwap(cur, depth) {
+			break
+		}
+	}
+	q.obs.highWater.SetMax(depth)
+	q.obs.pushes.Inc()
+}

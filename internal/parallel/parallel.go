@@ -162,6 +162,12 @@ func OrderedStream[T any](workers, n int, produce func(int) T, consume func(T)) 
 type Queue[T any] struct {
 	ch   chan T
 	done chan struct{}
+
+	// highWater tracks the deepest backlog observed at push time; obs
+	// optionally mirrors it (and a push counter) onto a registry — see
+	// NewQueueObs.
+	highWater atomic.Int64
+	obs       queueObs
 }
 
 // NewQueue starts a consumer goroutine draining the queue into consume.
@@ -181,7 +187,10 @@ func NewQueue[T any](buffer int, consume func(T)) *Queue[T] {
 }
 
 // Push enqueues one item, blocking while the buffer is full.
-func (q *Queue[T]) Push(v T) { q.ch <- v }
+func (q *Queue[T]) Push(v T) {
+	q.ch <- v
+	q.observePush()
+}
 
 // Close signals end of input and blocks until the consumer has drained
 // every pushed item. The queue must not be pushed to after Close.

@@ -8,6 +8,7 @@ import (
 	"jitomev/internal/collector"
 	"jitomev/internal/core"
 	"jitomev/internal/jito"
+	"jitomev/internal/obs"
 	"jitomev/internal/parallel"
 	"jitomev/internal/stats"
 )
@@ -109,6 +110,17 @@ type longShard struct {
 // samples) is replayed on the calling goroutine in shard order, so the
 // Results are identical at every worker count, bit for bit.
 func AnalyzeN(data *collector.Dataset, det *core.Detector, solPriceUSD float64, workers int) *Results {
+	return AnalyzeObs(data, det, solPriceUSD, workers, nil)
+}
+
+// AnalyzeObs is AnalyzeN publishing the detection pass onto reg (nil =
+// uninstrumented): per-criterion rejection counters
+// (detect_rejections_total{criterion=…}), sandwich/disguised tallies,
+// and pipeline spans timing the length-3 and extended stages. All
+// counter values are deterministic at any worker count — the shard
+// fan-in replays the serial order — so they sit in the deterministic
+// snapshot; only the stage durations are volatile.
+func AnalyzeObs(data *collector.Dataset, det *core.Detector, solPriceUSD float64, workers int, reg *obs.Registry) *Results {
 	workers = parallel.Workers(workers)
 	if solPriceUSD <= 0 {
 		solPriceUSD = stats.SOLPriceUSD
@@ -170,6 +182,8 @@ func AnalyzeN(data *collector.Dataset, det *core.Detector, solPriceUSD float64, 
 		lossUSD = append(lossUSD, lossSOL*solPriceUSD)
 	}
 
+	span := reg.StartSpan("analyze_len3")
+	span.AddItems(len(data.Len3))
 	if workers == 1 {
 		// Serial reference pass.
 		var scratch []jito.TxDetail
@@ -191,7 +205,7 @@ func AnalyzeN(data *collector.Dataset, det *core.Detector, solPriceUSD float64, 
 	} else {
 		// Sharded pass: workers run the pure per-bundle detection over
 		// contiguous index ranges; the fan-in replays hits in shard order.
-		parallel.MapReduce(workers, len(data.Len3),
+		parallel.MapReduceObs(reg, "analyze_len3", workers, len(data.Len3),
 			func(lo, hi int) len3Shard {
 				var sh len3Shard
 				var scratch []jito.TxDetail
@@ -223,8 +237,12 @@ func AnalyzeN(data *collector.Dataset, det *core.Detector, solPriceUSD float64, 
 			})
 	}
 
+	span.End()
+
 	// Extended pass over retained longer bundles: recover disguised
 	// sandwiches the length-3 methodology misses by construction.
+	span = reg.StartSpan("analyze_extended")
+	span.AddItems(len(data.Long))
 	if workers == 1 {
 		var scratch []jito.TxDetail
 		for i := range data.Long {
@@ -242,7 +260,7 @@ func AnalyzeN(data *collector.Dataset, det *core.Detector, solPriceUSD float64, 
 			}
 		}
 	} else {
-		parallel.MapReduce(workers, len(data.Long),
+		parallel.MapReduceObs(reg, "analyze_extended", workers, len(data.Long),
 			func(lo, hi int) longShard {
 				var sh longShard
 				var scratch []jito.TxDetail
@@ -268,6 +286,8 @@ func AnalyzeN(data *collector.Dataset, det *core.Detector, solPriceUSD float64, 
 			})
 	}
 
+	span.End()
+
 	// Export the fixed-size rejection tally as the map the boundary (and
 	// renderers) expect; the serial map never held zero-count entries, so
 	// only observed criteria cross over.
@@ -276,6 +296,17 @@ func AnalyzeN(data *collector.Dataset, det *core.Detector, solPriceUSD float64, 
 		if n > 0 {
 			r.Rejections[core.Criterion(c)] = n
 		}
+	}
+	if reg != nil {
+		reg.Help("detect_rejections_total", "Length-3 bundles rejected by the detector, by first failed criterion.")
+		for c := core.Criterion(1); c < core.Criterion(core.NumCriteria); c++ {
+			reg.Counter("detect_rejections_total", "criterion", c.String()).Add(rejections[c])
+		}
+		reg.Counter("detect_len3_with_details_total").Add(r.Len3WithDetails)
+		reg.Counter("detect_sandwiches_total").Add(r.Sandwiches)
+		reg.Counter("detect_sandwiches_no_sol_total").Add(r.SandwichesNoSOL)
+		reg.Counter("detect_disguised_sandwiches_total").Add(r.DisguisedSandwiches)
+		reg.Counter("detect_long_bundles_scanned_total").Add(r.LongBundlesScanned)
 	}
 
 	if r.TotalBundles > 0 {

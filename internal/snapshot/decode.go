@@ -78,7 +78,7 @@ func readFrame(br *bufio.Reader, itemsLeft int) (frameHeader, []byte, error) {
 // handle(base, items, raw) is invoked once per shard with base = the sum
 // of preceding shards' items; it must be safe for concurrent calls on
 // distinct shards.
-func forEachShard(br *bufio.Reader, shardCount, totalItems, workers int, handle func(base, items int, raw []byte) error) error {
+func forEachShard(br *bufio.Reader, shardCount, totalItems, workers int, m *snapObs, handle func(base, items int, raw []byte) error) error {
 	workers = parallel.Workers(workers)
 	if workers == 1 || shardCount <= 1 {
 		base := 0
@@ -87,6 +87,7 @@ func forEachShard(br *bufio.Reader, shardCount, totalItems, workers int, handle 
 			if err != nil {
 				return err
 			}
+			m.frame(h.rawLen, h.compLen)
 			raw, err := decompressShard(blob, h.rawLen)
 			if err != nil {
 				return err
@@ -152,6 +153,7 @@ func forEachShard(br *bufio.Reader, shardCount, totalItems, workers int, handle 
 			fail(err)
 			break
 		}
+		m.frame(h.rawLen, h.compLen)
 		jobs <- job{base: base, h: h, blob: blob}
 		base += h.items
 	}
@@ -169,6 +171,10 @@ func forEachShard(br *bufio.Reader, shardCount, totalItems, workers int, handle 
 // Read decodes a v2 snapshot from r. workers bounds the shard
 // decompress/decode pool (0 = all cores, 1 = serial).
 func Read(r io.Reader, workers int) (*Snapshot, error) {
+	return read(r, workers, &snapObs{})
+}
+
+func read(r io.Reader, workers int, m *snapObs) (*Snapshot, error) {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
 		br = bufio.NewReaderSize(r, 1<<16)
@@ -212,7 +218,7 @@ func Read(r io.Reader, workers int) (*Snapshot, error) {
 
 		switch id {
 		case secMeta:
-			err = forEachShard(br, shards, total, 1, func(_, _ int, raw []byte) error {
+			err = forEachShard(br, shards, total, 1, m, func(_, _ int, raw []byte) error {
 				if len(raw) != 24 {
 					return corrupt("meta payload %d bytes, want 24", len(raw))
 				}
@@ -225,18 +231,18 @@ func Read(r io.Reader, workers int) (*Snapshot, error) {
 			if total > 0 {
 				s.Days = make(map[int]*DayAgg, total)
 			}
-			err = forEachShard(br, shards, total, 1, func(_, items int, raw []byte) error {
+			err = forEachShard(br, shards, total, 1, m, func(_, items int, raw []byte) error {
 				return decodeDays(s.Days, items, raw)
 			})
 		case secTipsLen1:
-			s.TipsLen1, err = readHistogram(br, shards, total)
+			s.TipsLen1, err = readHistogram(br, shards, total, m)
 		case secTipsLen3:
-			s.TipsLen3, err = readHistogram(br, shards, total)
+			s.TipsLen3, err = readHistogram(br, shards, total, m)
 		case secInterns:
 			if total > 0 {
 				interned = make([]solana.Pubkey, total)
 			}
-			err = forEachShard(br, shards, total, workers, func(base, items int, raw []byte) error {
+			err = forEachShard(br, shards, total, workers, m, func(base, items int, raw []byte) error {
 				if len(raw) != 32*items {
 					return corrupt("intern shard %d bytes for %d keys", len(raw), items)
 				}
@@ -250,7 +256,7 @@ func Read(r io.Reader, workers int) (*Snapshot, error) {
 			if total > 0 {
 				recs = make([]jito.BundleRecord, total)
 			}
-			err = forEachShard(br, shards, total, workers, func(base, items int, raw []byte) error {
+			err = forEachShard(br, shards, total, workers, m, func(base, items int, raw []byte) error {
 				return decodeRecordShard(recs[base:base+items], raw)
 			})
 			if id == secLen3 {
@@ -261,7 +267,7 @@ func Read(r io.Reader, workers int) (*Snapshot, error) {
 		case secDetails:
 			s.Details = make(map[solana.Signature]jito.TxDetail, total)
 			var mu sync.Mutex
-			err = forEachShard(br, shards, total, workers, func(_, items int, raw []byte) error {
+			err = forEachShard(br, shards, total, workers, m, func(_, items int, raw []byte) error {
 				return decodeDetailShard(s.Details, &mu, items, raw, interned)
 			})
 		default:
@@ -278,12 +284,12 @@ func Read(r io.Reader, workers int) (*Snapshot, error) {
 }
 
 // readHistogram decodes a histogram section: 0 shards means nil.
-func readHistogram(br *bufio.Reader, shards, total int) (*stats.LogHistogram, error) {
+func readHistogram(br *bufio.Reader, shards, total int, m *snapObs) (*stats.LogHistogram, error) {
 	if shards == 0 {
 		return nil, nil
 	}
 	h := new(stats.LogHistogram)
-	err := forEachShard(br, shards, total, 1, func(_, _ int, raw []byte) error {
+	err := forEachShard(br, shards, total, 1, m, func(_, _ int, raw []byte) error {
 		return h.UnmarshalBinary(raw)
 	})
 	if err != nil {

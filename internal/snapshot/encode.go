@@ -73,6 +73,7 @@ type shardFrame struct {
 // writer wraps the destination with buffering and sticky error state.
 type writer struct {
 	w   *bufio.Writer
+	m   *snapObs
 	err error
 	scr [binary.MaxVarintLen64]byte
 }
@@ -105,7 +106,7 @@ func (w *writer) section(id byte, totalItems, shardSize, workers int, encode fun
 	w.byte1(id)
 	w.uvarint(uint64(shards))
 	w.uvarint(uint64(totalItems))
-	parallel.OrderedStream(workers, shards, func(i int) shardFrame {
+	parallel.OrderedStreamObs(w.m.reg, "snapshot_encode", workers, shards, func(i int) shardFrame {
 		lo := i * shardSize
 		hi := lo + shardSize
 		if hi > totalItems {
@@ -123,6 +124,7 @@ func (w *writer) section(id byte, totalItems, shardSize, workers int, encode fun
 		if w.err != nil {
 			return
 		}
+		w.m.frame(f.raw, len(f.blob))
 		w.uvarint(uint64(f.items))
 		w.uvarint(uint64(f.raw))
 		w.uvarint(uint64(len(f.blob)))
@@ -134,7 +136,11 @@ func (w *writer) section(id byte, totalItems, shardSize, workers int, encode fun
 // shard encode/compress pool (0 = all cores, 1 = serial); the bytes
 // written are identical for every worker count.
 func Write(w io.Writer, s *Snapshot, workers int) error {
-	bw := &writer{w: bufio.NewWriterSize(w, 1<<16)}
+	return write(w, s, workers, &snapObs{})
+}
+
+func write(w io.Writer, s *Snapshot, workers int, m *snapObs) error {
+	bw := &writer{w: bufio.NewWriterSize(w, 1<<16), m: m}
 	bw.bytes([]byte(Magic))
 
 	// meta: three fixed uint64s.

@@ -1,0 +1,73 @@
+package snapshot
+
+import (
+	"io"
+	"time"
+
+	"jitomev/internal/obs"
+)
+
+// Observability for the snapshot container. Shard counts and byte
+// totals are pure functions of the snapshot contents (shard boundaries
+// are fixed-size, never worker-dependent — the format's byte-identity
+// guarantee), so they stay in the deterministic snapshot; only the
+// wall-time histogram is volatile.
+const (
+	famShards    = "snapshot_shards_total"
+	famRawBytes  = "snapshot_raw_bytes_total"
+	famCompBytes = "snapshot_compressed_bytes_total"
+	famSeconds   = "snapshot_seconds"
+)
+
+// snapObs carries the registry handles for one direction (encode or
+// decode). The zero value (all nil handles) is a valid no-op recorder.
+type snapObs struct {
+	reg       *obs.Registry
+	shards    *obs.Counter
+	rawBytes  *obs.Counter
+	compBytes *obs.Counter
+	dur       *obs.Histogram
+}
+
+func newSnapObs(reg *obs.Registry, op string) *snapObs {
+	if reg == nil {
+		return &snapObs{}
+	}
+	reg.Help(famShards, "Snapshot shards processed, by operation.")
+	reg.Volatile(famSeconds)
+	return &snapObs{
+		reg:       reg,
+		shards:    reg.Counter(famShards, "op", op),
+		rawBytes:  reg.Counter(famRawBytes, "op", op),
+		compBytes: reg.Counter(famCompBytes, "op", op),
+		dur:       reg.Histogram(famSeconds, obs.DurationBuckets, "op", op),
+	}
+}
+
+// frame records one shard passing through (raw = uncompressed payload
+// bytes, comp = on-the-wire bytes).
+func (m *snapObs) frame(raw, comp int) {
+	m.shards.Inc()
+	m.rawBytes.Add(uint64(raw))
+	m.compBytes.Add(uint64(comp))
+}
+
+// WriteObs is Write recording shard counts, raw/compressed byte totals
+// and save duration onto reg (nil reg selects the uninstrumented path).
+func WriteObs(w io.Writer, s *Snapshot, workers int, reg *obs.Registry) error {
+	m := newSnapObs(reg, "encode")
+	start := time.Now()
+	err := write(w, s, workers, m)
+	m.dur.Observe(time.Since(start).Seconds())
+	return err
+}
+
+// ReadObs is Read recording shard counts, raw/compressed byte totals
+// and load duration onto reg (nil reg selects the uninstrumented path).
+func ReadObs(r io.Reader, workers int, reg *obs.Registry) (*Snapshot, error) {
+	m := newSnapObs(reg, "decode")
+	start := time.Now()
+	s, err := read(r, workers, m)
+	m.dur.Observe(time.Since(start).Seconds())
+	return s, err
+}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"jitomev/internal/jito"
+	"jitomev/internal/obs"
 	"jitomev/internal/parallel"
 )
 
@@ -34,11 +35,17 @@ type PipelinedSink struct {
 // NewPipelinedSink starts the ingest goroutine draining into dst.
 // buffer ≤ 0 selects DefaultPipelineDepth.
 func NewPipelinedSink(dst Sink, buffer int) *PipelinedSink {
+	return NewPipelinedSinkObs(dst, buffer, nil)
+}
+
+// NewPipelinedSinkObs is NewPipelinedSink publishing the ingest queue's
+// depth high-water mark and push count onto reg (nil = uninstrumented).
+func NewPipelinedSinkObs(dst Sink, buffer int, reg *obs.Registry) *PipelinedSink {
 	if buffer <= 0 {
 		buffer = DefaultPipelineDepth
 	}
 	return &PipelinedSink{
-		q: parallel.NewQueue(buffer, func(ev accepted) { dst.Accept(ev.day, ev.acc) }),
+		q: parallel.NewQueueObs(reg, "ingest", buffer, func(ev accepted) { dst.Accept(ev.day, ev.acc) }),
 	}
 }
 
@@ -56,7 +63,13 @@ func (p *PipelinedSink) Close() { p.q.Close() }
 // every accepted bundle. The sink sees the exact event sequence Run
 // would deliver.
 func (s *Study) RunPipelined(sink Sink, buffer int) {
-	ps := NewPipelinedSink(sink, buffer)
+	s.RunPipelinedObs(sink, buffer, nil)
+}
+
+// RunPipelinedObs is RunPipelined with the ingest queue instrumented on
+// reg (nil = uninstrumented).
+func (s *Study) RunPipelinedObs(sink Sink, buffer int, reg *obs.Registry) {
+	ps := NewPipelinedSinkObs(sink, buffer, reg)
 	s.Run(ps)
 	ps.Close()
 }

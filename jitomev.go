@@ -30,6 +30,7 @@ import (
 	"jitomev/internal/explorer"
 	"jitomev/internal/faults"
 	"jitomev/internal/jito"
+	"jitomev/internal/obs"
 	"jitomev/internal/parallel"
 	"jitomev/internal/report"
 	"jitomev/internal/validator"
@@ -99,6 +100,15 @@ type Config struct {
 	// seed, so the same traffic can be collected under different fault
 	// schedules).
 	ChaosSeed int64
+
+	// Obs receives every metric the pipeline records — collector tallies,
+	// fault injections, detection rejections, shard timings, pipeline
+	// spans. nil makes Run create a fresh registry; either way the
+	// registry used is returned on Outcome.Obs. Count-valued metrics are
+	// bit-identical at any Workers setting (duration- and scheduling-
+	// dependent families are marked volatile and excluded from
+	// Registry.DeterministicSnapshot).
+	Obs *obs.Registry
 }
 
 // Outcome bundles everything a study produces.
@@ -126,6 +136,11 @@ type Outcome struct {
 	// otherwise); Chaos.Stats() breaks down what was injected, while
 	// Collector.Faults breaks down what the consumers saw.
 	Chaos *faults.Injector
+
+	// Obs is the registry every pipeline stage recorded onto — Config.Obs
+	// when set, a fresh registry otherwise. Snapshot it for assertions,
+	// WriteSummary it for a run report, or mount it on /metrics.
+	Obs *obs.Registry
 }
 
 // truthAdapter exposes workload ground truth through report.Truther.
@@ -138,6 +153,10 @@ func (t truthAdapter) IsSandwich(id jito.BundleID) bool {
 // Run executes the full pipeline: generate, collect, fetch details,
 // detect, analyze.
 func Run(cfg Config) (*Outcome, error) {
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	st := workload.New(cfg.Workload)
 	p := st.P
 
@@ -158,13 +177,13 @@ func Run(cfg Config) (*Outcome, error) {
 	}
 	var chaos *faults.Injector
 	if cfg.FaultRate > 0 {
-		chaos = faults.NewInjector(cfg.ChaosSeed, cfg.FaultRate)
+		chaos = faults.NewInjectorObs(cfg.ChaosSeed, cfg.FaultRate, reg)
 	}
 
 	var transport collector.Transport = collector.Direct{Store: store}
 	var shutdown func()
 	if cfg.UseHTTP {
-		var handler http.Handler = explorer.NewServer(store, 0)
+		var handler http.Handler = explorer.NewServerObs(store, 0, reg)
 		if chaos != nil {
 			// The server's chaos mode injects wire-level faults (429 +
 			// Retry-After, 5xx, slow/truncated/corrupt responses) on the
@@ -175,7 +194,7 @@ func Run(cfg Config) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		transport = collector.NewHTTP("http://" + addr)
+		transport = collector.NewHTTP("http://" + addr).WithObs(reg)
 		shutdown = func() { _ = srv.Shutdown(context.Background()) }
 		defer shutdown()
 	} else if chaos != nil {
@@ -185,7 +204,7 @@ func Run(cfg Config) (*Outcome, error) {
 		transport = faults.WrapTransport(transport, chaos, faults.TransportOptions{})
 	}
 
-	coll := collector.New(ccfg, p.Clock(), transport)
+	coll := collector.NewObs(ccfg, p.Clock(), transport, reg)
 	sink := &collector.PollingSink{Store: store, Collector: coll, InOutage: p.InOutage}
 
 	var blockScanFlags int
@@ -195,29 +214,38 @@ func Run(cfg Config) (*Outcome, error) {
 			blockScanFlags += len(scanDet.DetectBlockScan(blk.TxDetails(), core.BlockScanWindow))
 		}
 	}
+	span := reg.StartSpan("generate")
 	if parallel.Workers(cfg.Workers) > 1 {
 		// Ingest (store writes + polling) never touches the bank, so it
 		// overlaps block production; order and output stay identical.
-		st.RunPipelined(sink, 0)
+		st.RunPipelinedObs(sink, 0, reg)
 	} else {
 		st.Run(sink)
 	}
+	span.AddItems(store.Len())
+	span.End()
 
-	if _, err := coll.FetchDetails(); err != nil {
+	span = reg.StartSpan("fetch_details")
+	fetched, err := coll.FetchDetails()
+	span.AddItems(fetched)
+	if err != nil {
 		// A detail shortfall is graceful degradation, not failure: the
 		// skipped ids stay pending (Outcome.PendingDetails) and every
 		// fetched detail is intact — exactly how the paper's scraper
 		// carried on through bad nights. Anything else is fatal.
+		span.AddErrors(1)
 		if !errors.Is(err, collector.ErrDetailShortfall) {
+			span.End()
 			return nil, fmt.Errorf("jitomev: fetching details: %w", err)
 		}
 	}
+	span.End()
 
 	det := core.NewDefaultDetector()
-	res := report.AnalyzeN(coll.Data, det, cfg.SOLPriceUSD, cfg.Workers)
+	res := report.AnalyzeObs(coll.Data, det, cfg.SOLPriceUSD, cfg.Workers, reg)
 	res.OverlapRate = coll.OverlapRate()
-	res.PollCount = coll.Polls
-	res.DetailRequests = coll.DetailRequests
+	res.PollCount = coll.Polls()
+	res.DetailRequests = coll.DetailRequests()
 
 	out := &Outcome{
 		Results:        res,
@@ -227,6 +255,7 @@ func Run(cfg Config) (*Outcome, error) {
 		BlockScanFlags: blockScanFlags,
 		PendingDetails: coll.PendingDetails(),
 		Chaos:          chaos,
+		Obs:            reg,
 	}
 	if store.Len() > 0 {
 		out.CoverageRate = float64(coll.Data.Collected) / float64(store.Len())

@@ -148,7 +148,7 @@ func TestBackfillImprovesCoverage(t *testing.T) {
 		t.Errorf("backfill coverage %.4f did not improve on %.4f",
 			filled.CoverageRate, plain.CoverageRate)
 	}
-	if filled.Collector.BackfilledBundles == 0 {
+	if filled.Collector.BackfilledBundles() == 0 {
 		t.Error("backfill recovered nothing despite imperfect coverage")
 	}
 	// The overlap diagnostic itself is unchanged by backfill (same polls).

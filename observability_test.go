@@ -1,0 +1,159 @@
+package jitomev
+
+// Observability acceptance tests: the metrics a run records are part of
+// its deterministic output. Every count-valued metric — collector
+// tallies, injected faults, detection rejections, pipeline item counts —
+// must be bit-identical at any Workers setting; only duration- and
+// scheduling-dependent families (marked Volatile) may vary.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"jitomev/internal/obs"
+	"jitomev/internal/workload"
+)
+
+// obsConfig is a small chaos study: faults on, so the fault taxonomy and
+// retry counters are exercised, not just the happy path.
+func obsConfig(workers int) Config {
+	return Config{
+		Workload:  workload.Params{Seed: 11, Days: 4, Scale: 20_000},
+		Workers:   workers,
+		FaultRate: 0.1,
+		ChaosSeed: 7,
+	}
+}
+
+// diffSnapshots renders the first few divergences between two
+// deterministic snapshots, or "" when they match exactly.
+func diffSnapshots(a, b []obs.Sample) string {
+	var d []string
+	byName := func(ss []obs.Sample) map[string]obs.Sample {
+		m := make(map[string]obs.Sample, len(ss))
+		for _, s := range ss {
+			m[s.Name] = s
+		}
+		return m
+	}
+	am, bm := byName(a), byName(b)
+	for name, sa := range am {
+		sb, ok := bm[name]
+		if !ok {
+			d = append(d, fmt.Sprintf("%s: only in first", name))
+			continue
+		}
+		if sa.Value != sb.Value || sa.Count != sb.Count {
+			d = append(d, fmt.Sprintf("%s: %v/%d vs %v/%d",
+				name, sa.Value, sa.Count, sb.Value, sb.Count))
+		}
+	}
+	for name := range bm {
+		if _, ok := am[name]; !ok {
+			d = append(d, fmt.Sprintf("%s: only in second", name))
+		}
+	}
+	if len(d) > 8 {
+		d = append(d[:8], fmt.Sprintf("... and %d more", len(d)-8))
+	}
+	return strings.Join(d, "\n")
+}
+
+// TestObsDeterministicAcrossWorkers is the acceptance criterion for the
+// metrics layer: the deterministic snapshot (all non-volatile families)
+// of a chaos run is identical at Workers = 1, 4 and 8.
+func TestObsDeterministicAcrossWorkers(t *testing.T) {
+	snap := func(workers int) []obs.Sample {
+		out, err := Run(obsConfig(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		s := out.Obs.DeterministicSnapshot()
+		if len(s) == 0 {
+			t.Fatalf("workers=%d: deterministic snapshot is empty", workers)
+		}
+		return s
+	}
+	one := snap(1)
+	for _, workers := range []int{4, 8} {
+		if diff := diffSnapshots(one, snap(workers)); diff != "" {
+			t.Errorf("metrics diverge between workers=1 and workers=%d:\n%s", workers, diff)
+		}
+	}
+}
+
+// TestRunPopulatesRegistry pins the instrumentation contract of Run: a
+// caller-supplied registry is the one returned, and after a chaos run it
+// holds the load-bearing families from every pipeline layer.
+func TestRunPopulatesRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := obsConfig(0)
+	cfg.Obs = reg
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Obs != reg {
+		t.Fatal("Outcome.Obs is not the caller-supplied registry")
+	}
+
+	// Cross-check the registry against the collector's own accessors —
+	// the registry is the storage, the accessors are views of it.
+	if got := uint64(reg.Value("collector_polls_total")); got != out.Collector.Polls() {
+		t.Errorf("collector_polls_total = %d, Polls() = %d", got, out.Collector.Polls())
+	}
+	if got := reg.Value("faults_injector_calls_total"); got != float64(out.Chaos.Calls()) {
+		t.Errorf("faults_injector_calls_total = %v, Chaos.Calls() = %d", got, out.Chaos.Calls())
+	}
+
+	// Every layer reported in: workload span, collector, faults,
+	// detection. (Transport families need UseHTTP; see TestChaosOverHTTP.)
+	for _, family := range []string{
+		"pipeline_stage_items_total{stage=\"generate\"}",
+		"collector_poll_pairs_total",
+		"faults_injected_total{class=\"throttle\"}",
+		"detect_len3_with_details_total",
+		"detect_sandwiches_total",
+	} {
+		if reg.Value(family) == 0 {
+			t.Errorf("family %s never recorded", family)
+		}
+	}
+
+	// Rejection counters must cover every criterion, including ones that
+	// rejected nothing — an absent zero is indistinguishable from a
+	// missing instrument.
+	found := 0
+	for _, s := range reg.Snapshot() {
+		if s.Family == "detect_rejections_total" {
+			found++
+		}
+	}
+	if found < 5 {
+		t.Errorf("detect_rejections_total has %d series, want one per criterion (>=5)", found)
+	}
+}
+
+// TestHTTPRunRecordsTransport covers the remaining layer: a UseHTTP run
+// must leave per-endpoint attempt counts and body bytes on the registry.
+func TestHTTPRunRecordsTransport(t *testing.T) {
+	cfg := obsConfig(0)
+	cfg.FaultRate = 0 // fault-free: the transport families alone are under test
+	cfg.UseHTTP = true
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := out.Obs
+	for _, family := range []string{
+		"collector_http_requests_total{endpoint=\"recent\"}",
+		"collector_http_requests_total{endpoint=\"details\"}",
+		"collector_http_response_bytes_total{endpoint=\"recent\"}",
+		"explorer_requests_total",
+	} {
+		if reg.Value(family) == 0 {
+			t.Errorf("family %s never recorded on an HTTP run", family)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+#!/bin/sh
+# metrics_smoke: end-to-end check of the live ops endpoints.
+#
+# Starts explorerd, validates its /metrics exposition, then runs a short
+# collect against it with -metrics-addr and validates the collector's
+# live exposition mid-run. Finally the collector's end-of-run summary
+# table (the same registry, rendered to stdout) is checked for the
+# snapshot and detection families that only materialize at exit.
+# Malformed exposition lines or missing families fail the target.
+set -eu
+
+EXP_ADDR=${EXP_ADDR:-127.0.0.1:9180}
+COL_ADDR=${COL_ADDR:-127.0.0.1:9181}
+GO=${GO:-go}
+
+tmp=$(mktemp -d)
+expd_pid=""
+cleanup() {
+    [ -n "$expd_pid" ] && kill "$expd_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "metrics-smoke: building binaries"
+$GO build -o "$tmp/explorerd" ./cmd/explorerd
+$GO build -o "$tmp/collect" ./cmd/collect
+$GO build -o "$tmp/metricscheck" ./cmd/metricscheck
+
+echo "metrics-smoke: starting explorerd on $EXP_ADDR"
+"$tmp/explorerd" -addr "$EXP_ADDR" -days 1 -scale 50000 >"$tmp/explorerd.log" 2>&1 &
+expd_pid=$!
+
+"$tmp/metricscheck" -url "http://$EXP_ADDR/metrics" -wait 10s \
+    -require explorer_requests_total -require explorer_throttled_total
+"$tmp/metricscheck" -url "http://$EXP_ADDR/metrics" >/dev/null # stable on re-scrape
+
+echo "metrics-smoke: running collect with -metrics-addr $COL_ADDR"
+"$tmp/collect" -url "http://$EXP_ADDR" -polls 12 -every 250ms -page 200 \
+    -metrics-addr "$COL_ADDR" -save "$tmp/data.snap" >"$tmp/collect.log" 2>&1 &
+col_pid=$!
+
+# Scrape the collector mid-run: the poll counters must be live.
+"$tmp/metricscheck" -url "http://$COL_ADDR/metrics" -wait 10s \
+    -require collector_polls_total -require collector_http_requests_total
+
+if ! wait "$col_pid"; then
+    echo "metrics-smoke: collect failed:" >&2
+    cat "$tmp/collect.log" >&2
+    exit 1
+fi
+
+# The end-of-run table renders the same registry; the families that only
+# materialize after polling (analysis, snapshot save) must be in it.
+for fam in detect_len3_with_details_total snapshot_shards_total pipeline_stage_items_total; do
+    if ! grep -q "$fam" "$tmp/collect.log"; then
+        echo "metrics-smoke: family $fam missing from collect's summary table" >&2
+        cat "$tmp/collect.log" >&2
+        exit 1
+    fi
+done
+
+echo "metrics-smoke: ok"
