@@ -6,8 +6,10 @@ GO ?= go
 # fault injector (atomic call counters shared across goroutines), the
 # explorer store/server (writer vs. scraper interleavings), and the
 # metrics registry (atomic counters incremented from every pipeline
-# stage while /metrics snapshots them).
-RACE_PKGS = ./internal/parallel ./internal/report ./internal/collector ./internal/workload ./internal/snapshot ./internal/faults ./internal/explorer ./internal/obs
+# stage while /metrics snapshots them), and the quality sentinel (one
+# mutex guarding ledger + drift state fed from poll and analysis paths
+# while /qualityz evaluates concurrently).
+RACE_PKGS = ./internal/parallel ./internal/report ./internal/collector ./internal/workload ./internal/snapshot ./internal/faults ./internal/explorer ./internal/obs ./internal/quality
 
 .PHONY: verify build test vet race bench bench-json chaos metrics-smoke
 
@@ -49,9 +51,11 @@ bench:
 bench-json:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_persist.json
 	$(GO) test -run=NONE -bench='Obs|InstrumentedAnalyze|AnalyzeParallel$$' -benchmem . ./internal/obs | $(GO) run ./cmd/benchjson > BENCH_obs.json
+	$(GO) test -run=NONE -bench=Quality -benchmem ./internal/quality | $(GO) run ./cmd/benchjson > BENCH_quality.json
 
 # metrics-smoke starts explorerd, validates its /metrics exposition, then
 # runs a short collect with -metrics-addr and validates the collector's
-# live and end-of-run metrics (see scripts/metrics_smoke.sh).
+# live and end-of-run metrics, plus both processes' /qualityz verdict
+# documents and /healthz probes (see scripts/metrics_smoke.sh).
 metrics-smoke:
 	sh scripts/metrics_smoke.sh

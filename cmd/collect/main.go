@@ -22,11 +22,13 @@
 // (between the collector and the wire), for chaos-testing a collection
 // run without touching the server.
 //
-// -metrics-addr serves GET /metrics (Prometheus text) and GET /statusz
-// (JSON) while the collection runs, so a long scrape can be watched live;
-// -pprof additionally mounts net/http/pprof on the same listener.
-// -cpuprofile / -memprofile write runtime profiles of the run itself. At
-// exit the full metrics registry is printed as an aligned summary table.
+// -metrics-addr serves GET /metrics (Prometheus text), GET /statusz
+// (JSON), GET /qualityz (the data-quality verdict document) and GET
+// /healthz (503 on a critical verdict) while the collection runs, so a
+// long scrape can be watched and alerted on live; -pprof additionally
+// mounts net/http/pprof on the same listener. -cpuprofile / -memprofile
+// write runtime profiles of the run itself. At exit the full metrics
+// registry and the data-quality table are printed as aligned summaries.
 package main
 
 import (
@@ -44,6 +46,7 @@ import (
 	"jitomev/internal/core"
 	"jitomev/internal/faults"
 	"jitomev/internal/obs"
+	"jitomev/internal/quality"
 	"jitomev/internal/report"
 	"jitomev/internal/snapshot"
 	"jitomev/internal/solana"
@@ -83,10 +86,11 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	q := quality.New(quality.Config{}, reg)
 	if *metrics != "" {
 		srv := &http.Server{
 			Addr:              *metrics,
-			Handler:           obs.NewOpsMux(reg, *withPprof),
+			Handler:           obs.NewOpsMux(reg, *withPprof, q.OpsEndpoints()...),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {
@@ -94,7 +98,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "collect: metrics:", err)
 			}
 		}()
-		fmt.Printf("metrics on http://%s/metrics (statusz: /statusz)\n", *metrics)
+		fmt.Printf("metrics on http://%s/metrics (statusz: /statusz, qualityz: /qualityz, healthz: /healthz)\n", *metrics)
 	}
 
 	clock := solana.Clock{Genesis: time.Date(2025, 2, 9, 0, 0, 0, 0, time.UTC)}
@@ -106,6 +110,7 @@ func main() {
 	}
 	c := collector.NewObs(collector.Config{PageLimit: *page, DetailBatch: *batch, BackfillPages: *backfill},
 		clock, transport, reg)
+	c.AttachQuality(q)
 
 	if *resume && *save != "" {
 		if f, err := os.Open(*save); err == nil {
@@ -174,7 +179,7 @@ func main() {
 	fmt.Printf("fetched %d transaction details in %d requests (%d retried batches, %d pending)\n",
 		n, c.DetailRequests(), c.DetailRetries(), c.PendingDetails())
 
-	res := report.AnalyzeObs(c.Data, core.NewDefaultDetector(), 0, 0, reg)
+	res := report.AnalyzeQuality(c.Data, core.NewDefaultDetector(), 0, 0, reg, q)
 	res.OverlapRate = c.OverlapRate()
 	res.PollCount = c.Polls()
 	fmt.Println()
@@ -191,6 +196,10 @@ func main() {
 	// detection rejections, snapshot shards — in one aligned table.
 	fmt.Println("\n== Run metrics ==")
 	reg.WriteSummary(os.Stdout)
+
+	// The quality verdict beside it: the same checks /qualityz serves.
+	fmt.Println("\n== Data quality ==")
+	q.WriteReport(os.Stdout)
 
 	if *memProf != "" {
 		f, err := os.Create(*memProf)

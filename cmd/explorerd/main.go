@@ -19,8 +19,11 @@
 //
 // The same listener also serves the ops surface: GET /metrics (Prometheus
 // text) and GET /statusz (JSON) expose the server's request counters
-// live; -pprof additionally mounts net/http/pprof under /debug/pprof/.
-// Chaos faults never touch the ops endpoints — only the API is wrapped.
+// live, GET /qualityz reports the data-quality sentinel's verdict over
+// the generated chain, and GET /healthz answers 200 unless that verdict
+// is critical; -pprof additionally mounts net/http/pprof under
+// /debug/pprof/. Chaos faults never touch the ops endpoints — only the
+// API is wrapped.
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"jitomev/internal/faults"
 	"jitomev/internal/jito"
 	"jitomev/internal/obs"
+	"jitomev/internal/quality"
 	"jitomev/internal/workload"
 )
 
@@ -65,8 +69,14 @@ func main() {
 	}
 
 	// Ops endpoints share the API listener but sit outside the chaos
-	// wrapper: a misbehaving explorer must still be observable.
-	mux := obs.NewOpsMux(reg, *withPprof)
+	// wrapper: a misbehaving explorer must still be observable. The
+	// quality sentinel here has no collector feed — it watches the
+	// generation side (per-day landed counts), so /qualityz reports the
+	// ground-truth denominator a scraping collector measures against and
+	// /healthz stays a liveness probe.
+	q := quality.New(quality.Config{}, reg)
+	st.DayObserver = func(ds workload.DayStats) { q.ObserveGenerated(ds.Day, ds.BundlesLanded) }
+	mux := obs.NewOpsMux(reg, *withPprof, q.OpsEndpoints()...)
 	mux.Handle("/", handler)
 
 	srv := &http.Server{

@@ -7,10 +7,11 @@
 //	jitosim [-days 120] [-scale 2000] [-seed 1] [-workers 0] [-http] [-csv out.csv] [-fig all]
 //	        [-fault-rate 0.1 -chaos-seed 7] [-metrics-addr 127.0.0.1:9100] [-summary]
 //
-// -metrics-addr serves GET /metrics and GET /statusz while the pipeline
-// runs (-pprof adds net/http/pprof on the same listener). -summary prints
-// the full metrics registry as a table at exit; a chaos run (-fault-rate)
-// prints it unconditionally — the table replaces the hand-built chaos
+// -metrics-addr serves GET /metrics, GET /statusz, GET /qualityz and
+// GET /healthz while the pipeline runs (-pprof adds net/http/pprof on
+// the same listener). -summary prints the full metrics registry and the
+// data-quality verdict table at exit; a chaos run (-fault-rate) prints
+// them unconditionally — the table replaces the hand-built chaos
 // summary line, which now falls out of the registry for free.
 package main
 
@@ -26,6 +27,7 @@ import (
 
 	"jitomev"
 	"jitomev/internal/obs"
+	"jitomev/internal/quality"
 	"jitomev/internal/report"
 	"jitomev/internal/snapshot"
 	"jitomev/internal/workload"
@@ -69,10 +71,11 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	q := quality.New(quality.Config{}, reg)
 	if *metrics != "" {
 		srv := &http.Server{
 			Addr:              *metrics,
-			Handler:           obs.NewOpsMux(reg, *withPprof),
+			Handler:           obs.NewOpsMux(reg, *withPprof, q.OpsEndpoints()...),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {
@@ -80,7 +83,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "jitosim: metrics:", err)
 			}
 		}()
-		fmt.Printf("metrics on http://%s/metrics (statusz: /statusz)\n", *metrics)
+		fmt.Printf("metrics on http://%s/metrics (statusz: /statusz, qualityz: /qualityz, healthz: /healthz)\n", *metrics)
 	}
 
 	start := time.Now()
@@ -96,6 +99,7 @@ func main() {
 		FaultRate:         *faultRate,
 		ChaosSeed:         *chaosSeed,
 		Obs:               reg,
+		Quality:           q,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jitosim:", err)
@@ -199,5 +203,7 @@ func main() {
 	if *summary || out.Chaos != nil {
 		fmt.Println("== Run metrics ==")
 		out.Obs.WriteSummary(os.Stdout)
+		fmt.Println("\n== Data quality ==")
+		out.Quality.WriteReport(os.Stdout)
 	}
 }

@@ -4,14 +4,23 @@
 // reads from stdin or fetches -url, and -require asserts that named
 // metric families are present — the teeth behind `make metrics-smoke`.
 //
+// -quality-url additionally fetches a /qualityz document and validates
+// it the same way: the JSON must parse into the quality.Report shape
+// (aggregate status, named checks with reasons, coverage ledger, drift
+// state), and the aggregate verdict must not exceed -max-status — so the
+// smoke run fails on an unexpected CRIT, not just on a malformed
+// exposition.
+//
 // Usage:
 //
 //	curl -s host:port/metrics | metricscheck
 //	metricscheck -url http://host:port/metrics -wait 5s -require collector_polls_total
+//	metricscheck -url http://host:port/metrics -quality-url http://host:port/qualityz -max-status warn
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +30,7 @@ import (
 	"time"
 
 	"jitomev/internal/obs"
+	"jitomev/internal/quality"
 )
 
 // families is a repeatable -require flag.
@@ -31,9 +41,11 @@ func (f *families) Set(s string) error { *f = append(*f, s); return nil }
 
 func main() {
 	var (
-		url     = flag.String("url", "", "fetch the exposition from this URL instead of stdin")
-		wait    = flag.Duration("wait", 0, "with -url, keep retrying for up to this long before failing")
-		require families
+		url        = flag.String("url", "", "fetch the exposition from this URL instead of stdin")
+		wait       = flag.Duration("wait", 0, "with -url, keep retrying for up to this long before failing")
+		qualityURL = flag.String("quality-url", "", "also fetch and validate a /qualityz JSON document from this URL")
+		maxStatus  = flag.String("max-status", "warn", "with -quality-url, fail when the aggregate verdict exceeds this (ok|warn|crit)")
+		require    families
 	)
 	flag.Var(&require, "require", "fail unless this metric family is present (repeatable)")
 	flag.Parse()
@@ -60,6 +72,59 @@ func main() {
 		}
 	}
 	fmt.Printf("metricscheck: ok — %d samples, %d bytes\n", samples, len(body))
+
+	if *qualityURL != "" {
+		if err := checkQuality(*qualityURL, *wait, *maxStatus); err != nil {
+			fmt.Fprintln(os.Stderr, "metricscheck:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkQuality fetches and validates a /qualityz document: it must be
+// the quality.Report shape, every check must carry a name, every
+// non-OK check a reason, and the aggregate must not exceed maxStatus.
+func checkQuality(url string, wait time.Duration, maxStatus string) error {
+	var ceiling quality.Status
+	if err := ceiling.UnmarshalJSON([]byte(`"` + maxStatus + `"`)); err != nil {
+		return fmt.Errorf("bad -max-status %q (want ok|warn|crit)", maxStatus)
+	}
+	body, err := read(url, wait)
+	if err != nil {
+		return err
+	}
+	var rep quality.Report
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("malformed /qualityz document: %w", err)
+	}
+	worst := quality.OK
+	for _, c := range rep.Checks {
+		if c.Name == "" {
+			return fmt.Errorf("/qualityz check with empty name: %+v", c)
+		}
+		if c.Status != quality.OK && c.Reason == "" {
+			return fmt.Errorf("/qualityz check %q degraded (%s) without a reason", c.Name, c.Status)
+		}
+		if c.Status > worst {
+			worst = c.Status
+		}
+	}
+	if worst != rep.Status {
+		return fmt.Errorf("/qualityz aggregate %s does not match worst check %s", rep.Status, worst)
+	}
+	for _, d := range rep.Drift {
+		if d.Name == "" || (d.Kind != "ewma" && d.Kind != "cusum") {
+			return fmt.Errorf("/qualityz drift entry malformed: %+v", d)
+		}
+	}
+	if rep.Status > ceiling {
+		return fmt.Errorf("/qualityz verdict %s exceeds -max-status %s", rep.Status, ceiling)
+	}
+	fmt.Printf("metricscheck: qualityz ok — verdict %s, %d checks, %d drift detectors\n",
+		rep.Status, len(rep.Checks), len(rep.Drift))
+	return nil
 }
 
 // read fetches url (retrying until the deadline when wait > 0) or, with

@@ -8,6 +8,7 @@ import (
 	"jitomev/internal/faults"
 	"jitomev/internal/jito"
 	"jitomev/internal/obs"
+	"jitomev/internal/quality"
 	"jitomev/internal/solana"
 )
 
@@ -88,6 +89,16 @@ type Collector struct {
 
 	reg *obs.Registry
 
+	// quality, when attached, receives the coverage-ledger feed: every
+	// poll (successful or failed), backfill page, and detail-fetch
+	// outcome. Nil is fine — all sentinel methods are nil-safe no-ops.
+	quality *quality.Sentinel
+
+	// lastDay is the study day of the newest bundle the collector has
+	// seen — the day failed polls are attributed to (a failed poll
+	// carries no page to date it by).
+	lastDay int
+
 	// Registry handles, bound once in NewObs so the hot loops never take
 	// the registry lock.
 	polls, pairs, overlapPairs, pollErrors          *obs.Counter
@@ -148,6 +159,11 @@ func NewObs(cfg Config, clock solana.Clock, transport Transport, reg *obs.Regist
 
 // Obs returns the registry the collector tallies onto.
 func (c *Collector) Obs() *obs.Registry { return c.reg }
+
+// AttachQuality connects a data-quality sentinel: from here on every
+// poll, backfill page and detail fetch feeds its coverage ledger.
+// Attaching nil detaches.
+func (c *Collector) AttachQuality(s *quality.Sentinel) { c.quality = s }
 
 // recordFault counts one classified transport failure (nil is ignored).
 func (c *Collector) recordFault(err error) {
@@ -216,6 +232,11 @@ func (c *Collector) Poll() error {
 	if err != nil {
 		c.pollErrors.Inc()
 		c.recordFault(err)
+		// Refresh the gauge even on failure: through a fault storm the
+		// denominator is not growing, but /statusz must keep showing the
+		// live ratio rather than whatever the last success published.
+		c.overlapRatio.Set(c.OverlapRate())
+		c.quality.ObservePollError()
 		return err
 	}
 	c.polls.Inc()
@@ -236,8 +257,8 @@ func (c *Collector) Poll() error {
 		if overlap {
 			c.overlapPairs.Inc()
 		}
-		c.overlapRatio.Set(c.OverlapRate())
 	}
+	c.overlapRatio.Set(c.OverlapRate())
 	c.prevPage = cur
 
 	// A broken pair means bundles scrolled past between polls; with
@@ -247,9 +268,19 @@ func (c *Collector) Poll() error {
 		c.backfill(page[len(page)-1].Seq)
 	}
 
+	newN, dupN := 0, 0
 	for i := len(page) - 1; i >= 0; i-- {
-		c.Data.Ingest(page[i])
+		if c.Data.Ingest(page[i]) {
+			newN++
+		} else {
+			dupN++
+		}
 	}
+	if len(page) > 0 {
+		// page[0] is the newest entry; its day dates the whole poll.
+		c.lastDay = c.Data.Clock.DayOf(page[0].Slot)
+	}
+	c.quality.ObservePoll(c.lastDay, c.Cfg.PageLimit, newN, dupN, hadPrev, overlap)
 	return nil
 }
 
@@ -257,12 +288,20 @@ func (c *Collector) Poll() error {
 // already-collected territory or exhausts the page budget. Recovered
 // bundles are counted in BackfilledBundles.
 func (c *Collector) backfill(cursor uint64) {
+	recovered := 0
+	defer func() {
+		if recovered > 0 {
+			c.quality.ObserveBackfill(recovered)
+		}
+	}()
 	for page := 0; page < c.Cfg.BackfillPages && cursor > 0; page++ {
 		older, err := c.transport.RecentBundlesBefore(cursor, c.Cfg.PageLimit)
 		if err != nil {
 			c.pollErrors.Inc()
 			c.backfillFails.Inc()
 			c.recordFault(err)
+			c.overlapRatio.Set(c.OverlapRate())
+			c.quality.ObserveBackfillError()
 			return
 		}
 		if len(older) == 0 {
@@ -273,6 +312,7 @@ func (c *Collector) backfill(cursor uint64) {
 		for i := len(older) - 1; i >= 0; i-- {
 			if c.Data.Ingest(older[i]) {
 				c.backfilledBundles.Inc()
+				recovered++
 			} else {
 				closed = true
 			}
@@ -373,6 +413,7 @@ func (c *Collector) FetchDetails() (int, error) {
 		fetched += len(details)
 	}
 	c.pendingGauge.Set(int64(c.PendingDetails()))
+	c.quality.ObserveDetails(fetched, c.PendingDetails(), uint64(failed))
 	if failed > 0 {
 		return fetched, fmt.Errorf("%w: %d of %d batches failed (last: %v), %d ids pending",
 			ErrDetailShortfall, failed, batches, lastErr, c.PendingDetails())

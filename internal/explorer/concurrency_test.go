@@ -19,15 +19,25 @@ func TestStoreConcurrentAcceptAndRead(t *testing.T) {
 	s := NewStore()
 	const writers, perWriter = 4, 250
 
+	// Seq is assigned by a single sequencer in production (the block
+	// engine), so acceptance order and Seq order agree — the invariant
+	// Recent/RecentBefore pagination relies on. The writers here contend
+	// on the store but must allocate seq at accept time, not up front,
+	// or interleaved pre-assigned Seqs would break that invariant.
+	var seqMu sync.Mutex
+	seq := 0
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
 			for i := 0; i < perWriter; i++ {
-				s.Accept(0, fakeAccepted(w*perWriter+i+1, 3))
+				seqMu.Lock()
+				seq++
+				s.Accept(0, fakeAccepted(seq, 3))
+				seqMu.Unlock()
 			}
-		}(w)
+		}()
 	}
 	done := make(chan struct{})
 	go func() {

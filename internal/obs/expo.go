@@ -160,13 +160,25 @@ func (r *Registry) StatusHandler() http.Handler {
 	})
 }
 
+// Endpoint is one extra route for NewOpsMux — how higher layers (the
+// quality sentinel's /qualityz and /healthz, for instance) join the ops
+// mux without obs importing them.
+type Endpoint struct {
+	Path    string
+	Handler http.Handler
+}
+
 // NewOpsMux builds the operational endpoint mux every binary mounts:
-// /metrics (Prometheus text), /statusz (JSON), and — only when withPprof
-// is set — the net/http/pprof handlers under /debug/pprof/.
-func NewOpsMux(r *Registry, withPprof bool) *http.ServeMux {
+// /metrics (Prometheus text), /statusz (JSON), any extra endpoints the
+// caller supplies, and — only when withPprof is set — the
+// net/http/pprof handlers under /debug/pprof/.
+func NewOpsMux(r *Registry, withPprof bool, extra ...Endpoint) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.MetricsHandler())
 	mux.Handle("/statusz", r.StatusHandler())
+	for _, e := range extra {
+		mux.Handle(e.Path, e.Handler)
+	}
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -126,6 +127,80 @@ func TestHandlers(t *testing.T) {
 	withPprof.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
 	if rec.Code != 200 {
 		t.Errorf("pprof opt-in not served: %d", rec.Code)
+	}
+}
+
+// TestStatusJSONShape pins the /statusz document shape: the top-level
+// key set and the exact metric-name set for a known registry. Values
+// are free to change; keys are the contract scrapers rely on.
+func TestStatusJSONShape(t *testing.T) {
+	r := goldenRegistry()
+	r.Volatile("fetch_seconds")
+	var buf bytes.Buffer
+	if err := r.WriteStatusJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for k := range doc {
+		if k != "metrics" && k != "volatile_families" {
+			t.Errorf("unexpected top-level key %q", k)
+		}
+	}
+	var metrics map[string]json.RawMessage
+	if err := json.Unmarshal(doc["metrics"], &metrics); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		`escaped_total{path="a\"b\\c"}`,
+		"faults_total{class=\"server\"}",
+		"faults_total{class=\"throttle\"}",
+		"fetch_seconds",
+		"overlap_ratio",
+		"pending",
+		"requests_total",
+	}
+	if len(metrics) != len(want) {
+		t.Errorf("metrics key count %d want %d", len(metrics), len(want))
+	}
+	for _, k := range want {
+		if _, ok := metrics[k]; !ok {
+			t.Errorf("metrics missing key %q", k)
+		}
+	}
+	// Volatile families stay in metrics (live view) but are declared, so
+	// determinism-minded consumers know to exclude them.
+	var vol []string
+	if err := json.Unmarshal(doc["volatile_families"], &vol); err != nil {
+		t.Fatal(err)
+	}
+	if len(vol) != 1 || vol[0] != "fetch_seconds" {
+		t.Errorf("volatile_families = %v", vol)
+	}
+}
+
+// TestOpsMuxExtraEndpoints covers the variadic extension: caller-
+// supplied routes mount beside /metrics and /statusz.
+func TestOpsMuxExtraEndpoints(t *testing.T) {
+	called := false
+	mux := NewOpsMux(goldenRegistry(), false, Endpoint{
+		Path: "/customz",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			called = true
+		}),
+	})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/customz", nil))
+	if rec.Code != 200 || !called {
+		t.Errorf("extra endpoint not served: code=%d called=%v", rec.Code, called)
+	}
+	// The core endpoints still work with extras present.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Errorf("/metrics with extras: %d", rec.Code)
 	}
 }
 

@@ -1,0 +1,26 @@
+package quality
+
+import "testing"
+
+// BenchmarkQualityObserve measures the per-poll cost of feeding the
+// sentinel — the hot path the collector pays on every page.
+func BenchmarkQualityObserve(b *testing.B) {
+	s := New(Config{}, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ObservePoll(i/720, 50, 40, 10, i > 0, i%20 != 0)
+	}
+}
+
+// BenchmarkQualityEvaluate measures rendering the full verdict — the
+// cost of one /qualityz request.
+func BenchmarkQualityEvaluate(b *testing.B) {
+	s := New(Config{}, nil)
+	feedClean(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Evaluate()
+	}
+}

@@ -1,0 +1,113 @@
+package quality
+
+import "math"
+
+// The drift detectors are the streaming half of the sentinel: each one
+// watches a single paper-anchored series (successive-poll overlap,
+// poll failure rate, per-day sandwich rate, …) and accumulates evidence
+// that the series has moved away from its calibration target. Both are
+// pure fold functions over the observation sequence — no clocks, no
+// randomness — so the detector state after a run is a bit-exact function
+// of the observations and their order, which the worker-count
+// determinism tests compare directly.
+
+// EWMA is an exponentially weighted moving average: mean' = mean +
+// alpha*(x - mean), seeded by the first observation. alpha trades
+// responsiveness against noise; the sentinel's defaults use 0.05–0.2
+// depending on how often the series ticks.
+type EWMA struct {
+	alpha float64
+	mean  float64
+	n     uint64
+}
+
+// NewEWMA builds a detector with the given smoothing factor (0 < alpha ≤ 1).
+func NewEWMA(alpha float64) *EWMA { return &EWMA{alpha: alpha} }
+
+// Observe folds one sample into the average.
+func (e *EWMA) Observe(x float64) {
+	e.n++
+	if e.n == 1 {
+		e.mean = x
+		return
+	}
+	e.mean += e.alpha * (x - e.mean)
+}
+
+// Mean reads the current smoothed value (0 before any observation).
+func (e *EWMA) Mean() float64 { return e.mean }
+
+// Samples reads the observation count.
+func (e *EWMA) Samples() uint64 { return e.n }
+
+// CUSUM is a two-sided cumulative-sum change detector around a fixed
+// target: the high side accumulates max(0, S + x - target - slack), the
+// low side max(0, S + target - x - slack). Either side crossing the
+// threshold is an alarm — the classic tabular CUSUM, which catches a
+// sustained small shift long before a single-sample band would.
+type CUSUM struct {
+	target    float64
+	slack     float64 // k: half the shift considered worth detecting
+	threshold float64 // h: alarm when either side exceeds this
+
+	hi, lo float64
+	n      uint64
+	alarms uint64
+}
+
+// NewCUSUM builds a detector around target with slack k and alarm
+// threshold h.
+func NewCUSUM(target, slack, threshold float64) *CUSUM {
+	return &CUSUM{target: target, slack: slack, threshold: threshold}
+}
+
+// Observe folds one sample and reports whether the detector is in alarm
+// after it.
+func (c *CUSUM) Observe(x float64) bool {
+	c.n++
+	c.hi = math.Max(0, c.hi+x-c.target-c.slack)
+	c.lo = math.Max(0, c.lo+c.target-x-c.slack)
+	if c.InAlarm() {
+		c.alarms++
+		return true
+	}
+	return false
+}
+
+// InAlarm reports whether either cumulative sum currently exceeds the
+// threshold.
+func (c *CUSUM) InAlarm() bool { return c.hi > c.threshold || c.lo > c.threshold }
+
+// Sides reads the high- and low-side cumulative sums.
+func (c *CUSUM) Sides() (hi, lo float64) { return c.hi, c.lo }
+
+// Samples reads the observation count.
+func (c *CUSUM) Samples() uint64 { return c.n }
+
+// Alarms reads how many observations left the detector in alarm.
+func (c *CUSUM) Alarms() uint64 { return c.alarms }
+
+// DetectorState is the serializable state of one drift detector — what
+// /qualityz exposes and what the determinism tests compare bit for bit.
+type DetectorState struct {
+	Name    string  `json:"name"`
+	Kind    string  `json:"kind"` // "ewma" or "cusum"
+	Samples uint64  `json:"samples"`
+	Value   float64 `json:"value"` // EWMA mean, or max(hi, lo) for CUSUM
+	Hi      float64 `json:"hi,omitempty"`
+	Lo      float64 `json:"lo,omitempty"`
+	Alarms  uint64  `json:"alarms,omitempty"`
+}
+
+// state snapshots an EWMA.
+func (e *EWMA) state(name string) DetectorState {
+	return DetectorState{Name: name, Kind: "ewma", Samples: e.n, Value: e.mean}
+}
+
+// state snapshots a CUSUM.
+func (c *CUSUM) state(name string) DetectorState {
+	return DetectorState{
+		Name: name, Kind: "cusum", Samples: c.n,
+		Value: math.Max(c.hi, c.lo), Hi: c.hi, Lo: c.lo, Alarms: c.alarms,
+	}
+}

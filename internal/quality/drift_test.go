@@ -1,0 +1,118 @@
+package quality
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEWMASeedAndFold(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Mean() != 0 || e.Samples() != 0 {
+		t.Fatalf("zero EWMA: mean=%v n=%d", e.Mean(), e.Samples())
+	}
+	e.Observe(10) // seeds
+	if e.Mean() != 10 {
+		t.Fatalf("seed: mean=%v want 10", e.Mean())
+	}
+	e.Observe(0) // 10 + 0.5*(0-10) = 5
+	if e.Mean() != 5 {
+		t.Fatalf("fold: mean=%v want 5", e.Mean())
+	}
+	if e.Samples() != 2 {
+		t.Fatalf("samples=%d want 2", e.Samples())
+	}
+}
+
+func TestEWMADeterministic(t *testing.T) {
+	fold := func() float64 {
+		e := NewEWMA(0.1)
+		for i := 0; i < 1000; i++ {
+			e.Observe(float64(i%7) / 7)
+		}
+		return e.Mean()
+	}
+	a, b := fold(), fold()
+	if a != b {
+		t.Fatalf("EWMA not bit-identical: %v vs %v", a, b)
+	}
+}
+
+func TestCUSUMOnTargetStaysQuiet(t *testing.T) {
+	c := NewCUSUM(0.95, 0.05, 5)
+	for i := 0; i < 1000; i++ {
+		// Alternate a little around the target, inside the slack.
+		x := 0.95
+		if i%2 == 0 {
+			x = 0.97
+		} else {
+			x = 0.93
+		}
+		if c.Observe(x) {
+			t.Fatalf("alarm at sample %d with on-target series", i)
+		}
+	}
+	if c.Alarms() != 0 {
+		t.Fatalf("alarms=%d want 0", c.Alarms())
+	}
+}
+
+func TestCUSUMDetectsSustainedShift(t *testing.T) {
+	c := NewCUSUM(0.95, 0.05, 5)
+	// A sustained drop to 0.5: each sample adds 0.95-0.5-0.05 = 0.4 to
+	// the low side, so the alarm fires within ~13 samples.
+	fired := -1
+	for i := 0; i < 100; i++ {
+		if c.Observe(0.5) {
+			fired = i
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("no alarm on a sustained shift")
+	}
+	if fired > 20 {
+		t.Fatalf("alarm too slow: sample %d", fired)
+	}
+	if !c.InAlarm() {
+		t.Fatal("InAlarm false after firing")
+	}
+	_, lo := c.Sides()
+	if lo <= 5 {
+		t.Fatalf("low side %v should exceed threshold", lo)
+	}
+}
+
+func TestCUSUMRecoversAfterShift(t *testing.T) {
+	c := NewCUSUM(0.5, 0.05, 2)
+	for i := 0; i < 10; i++ {
+		c.Observe(1.0) // drive the high side up
+	}
+	if !c.InAlarm() {
+		t.Fatal("expected alarm after shift")
+	}
+	for i := 0; i < 50; i++ {
+		c.Observe(0.3) // below target: high side drains
+	}
+	hi, _ := c.Sides()
+	if hi != 0 {
+		t.Fatalf("high side should drain to 0, got %v", hi)
+	}
+}
+
+func TestDetectorState(t *testing.T) {
+	e := NewEWMA(0.2)
+	e.Observe(1)
+	st := e.state("x")
+	if st.Kind != "ewma" || st.Name != "x" || st.Samples != 1 || st.Value != 1 {
+		t.Fatalf("EWMA state %+v", st)
+	}
+	c := NewCUSUM(0, 0, 0.5)
+	c.Observe(1)
+	cs := c.state("y")
+	if cs.Kind != "cusum" || cs.Hi != 1 || cs.Lo != 0 || cs.Alarms != 1 {
+		t.Fatalf("CUSUM state %+v", cs)
+	}
+	if cs.Value != math.Max(cs.Hi, cs.Lo) {
+		t.Fatalf("CUSUM value %v != max side", cs.Value)
+	}
+}

@@ -1,0 +1,44 @@
+package quality
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"jitomev/internal/obs"
+)
+
+// QualityHandler serves the /qualityz JSON document: the sentinel is
+// re-evaluated on every request, so the verdict is live. A nil sentinel
+// serves an empty OK report, keeping the endpoint shape stable whether
+// or not the binary wired quality up.
+func (s *Sentinel) QualityHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Evaluate())
+	})
+}
+
+// HealthHandler serves the /healthz probe: 200 with a one-line JSON
+// body while the aggregate verdict is OK or WARN, 503 on CRIT — the
+// contract load balancers and the smoke script key on.
+func (s *Sentinel) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rep := s.Evaluate()
+		w.Header().Set("Content-Type", "application/json")
+		if rep.Status == CRIT {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": rep.Status.String()})
+	})
+}
+
+// OpsEndpoints returns the routes a binary passes to obs.NewOpsMux to
+// mount the sentinel beside /metrics and /statusz.
+func (s *Sentinel) OpsEndpoints() []obs.Endpoint {
+	return []obs.Endpoint{
+		{Path: "/qualityz", Handler: s.QualityHandler()},
+		{Path: "/healthz", Handler: s.HealthHandler()},
+	}
+}

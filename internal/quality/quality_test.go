@@ -1,0 +1,248 @@
+package quality
+
+import (
+	"strings"
+	"testing"
+
+	"jitomev/internal/obs"
+)
+
+// feedClean drives a sentinel with a healthy synthetic run: plenty of
+// polls, all overlapping, plus an analysis pass sitting on the paper's
+// numbers.
+func feedClean(s *Sentinel) {
+	for i := 0; i < 50; i++ {
+		s.ObservePoll(i/10, 50, 40, 10, i > 0, true)
+	}
+	s.ObserveGenerated(0, 2200) // 50 polls × 40 new = 2000 collected → ~91%
+	s.ObserveDetails(60, 0, 0)
+	s.ObserveAnalysis(AnalysisObs{
+		TotalBundles:      100_000,
+		Len3Bundles:       2770,
+		Len3WithDetails:   2770,
+		Len1Bundles:       90_000,
+		Sandwiches:        38,
+		Rejections:        map[string]uint64{"same_pool": 100, "net_negative": 50},
+		MedianTipLen3:     1000,
+		MedianTipSandwich: 2_000_000,
+		DefensiveShare:    0.86,
+		PerDay: []DayAnalysis{
+			{Day: 0, Bundles: 50_000, Sandwiches: 19, DefensiveShare: 0.86},
+			{Day: 1, Bundles: 50_000, Sandwiches: 19, DefensiveShare: 0.85},
+		},
+	})
+}
+
+func TestCleanRunAllOK(t *testing.T) {
+	s := New(Config{}, nil)
+	feedClean(s)
+	rep := s.Evaluate()
+	if rep.Status != OK {
+		t.Fatalf("clean run verdict %v, report: %+v", rep.Status, rep.Checks)
+	}
+	for _, c := range rep.Checks {
+		if c.Status != OK {
+			t.Errorf("check %s: %v (%s)", c.Name, c.Status, c.Reason)
+		}
+	}
+	// Every paper-anchored check must be present on a full feed.
+	for _, name := range []string{
+		"poll_failure_rate", "overlap_rate", "page_gaps", "coverage",
+		"len3_share", "detail_completeness", "sandwich_rate",
+		"defensive_share", "tip_separation",
+	} {
+		if rep.ByName(name).Name == "" {
+			t.Errorf("check %s missing from report", name)
+		}
+	}
+}
+
+func TestPollFailureStormWarns(t *testing.T) {
+	s := New(Config{}, nil)
+	for i := 0; i < 40; i++ {
+		s.ObservePoll(0, 50, 40, 10, i > 0, true)
+		if i%5 == 0 { // 20% failure rate, well over the 2% WARN line
+			s.ObservePollError()
+		}
+	}
+	rep := s.Evaluate()
+	c := rep.ByName("poll_failure_rate")
+	if c.Status != WARN {
+		t.Fatalf("poll_failure_rate = %v want WARN (%s)", c.Status, c.Reason)
+	}
+	if c.Reason == "" {
+		t.Fatal("WARN check must carry a reason")
+	}
+	if rep.Status != WARN {
+		t.Fatalf("aggregate %v want WARN", rep.Status)
+	}
+}
+
+func TestOverlapCollapseGoesCrit(t *testing.T) {
+	s := New(Config{}, nil)
+	for i := 0; i < 30; i++ {
+		s.ObservePoll(0, 50, 50, 0, i > 0, false) // no pair overlaps
+	}
+	rep := s.Evaluate()
+	c := rep.ByName("overlap_rate")
+	if c.Status != CRIT {
+		t.Fatalf("overlap_rate = %v want CRIT (%s)", c.Status, c.Reason)
+	}
+	if rep.Status != CRIT {
+		t.Fatalf("aggregate %v want CRIT", rep.Status)
+	}
+	// 29 broken pairs × 50-page limit, nothing backfilled.
+	if got := rep.Coverage.EstimatedMissed; got != 29*50 {
+		t.Fatalf("estimated missed %d want %d", got, 29*50)
+	}
+}
+
+func TestBackfillCreditsMissedEstimate(t *testing.T) {
+	s := New(Config{}, nil)
+	for i := 0; i < 10; i++ {
+		s.ObservePoll(0, 50, 50, 0, i > 0, i%3 != 0) // a few gaps
+	}
+	before := s.LedgerSummary().EstimatedMissed
+	if before == 0 {
+		t.Fatal("expected a nonzero missed estimate before backfill")
+	}
+	s.ObserveBackfill(int(before))
+	if after := s.LedgerSummary().EstimatedMissed; after != 0 {
+		t.Fatalf("estimate after full backfill %d want 0", after)
+	}
+}
+
+func TestMinSampleGating(t *testing.T) {
+	s := New(Config{}, nil)
+	s.ObservePoll(0, 50, 10, 0, false, false)
+	s.ObservePollError() // 50% failure rate but only 2 polls
+	rep := s.Evaluate()
+	if rep.Status != OK {
+		t.Fatalf("tiny study verdict %v want OK: %+v", rep.Status, rep.Checks)
+	}
+	c := rep.ByName("poll_failure_rate")
+	if !strings.Contains(c.Reason, "insufficient data") {
+		t.Fatalf("gated check should say so, got %q", c.Reason)
+	}
+}
+
+func TestNilSentinelIsSafe(t *testing.T) {
+	var s *Sentinel
+	s.ObservePoll(0, 50, 1, 0, true, true)
+	s.ObservePollError()
+	s.ObserveBackfill(1)
+	s.ObserveBackfillError()
+	s.ObserveGenerated(0, 1)
+	s.ObserveDetails(1, 0, 0)
+	s.ObserveAnalysis(AnalysisObs{})
+	if got := s.Evaluate(); got.Status != OK || len(got.Checks) != 0 {
+		t.Fatalf("nil Evaluate: %+v", got)
+	}
+	if s.DriftState() != nil {
+		t.Fatal("nil DriftState should be nil")
+	}
+	if s.LedgerSummary().Pairs != 0 {
+		t.Fatal("nil LedgerSummary should be zero")
+	}
+	var sb strings.Builder
+	s.WriteReport(&sb) // must not panic
+	if !strings.Contains(sb.String(), "OK") {
+		t.Fatalf("nil WriteReport output %q", sb.String())
+	}
+}
+
+func TestLedgerPerDayAttribution(t *testing.T) {
+	s := New(Config{}, nil)
+	s.ObservePoll(3, 50, 10, 0, false, false)
+	s.ObservePoll(5, 50, 20, 5, true, true)
+	s.ObservePollError() // lands on day 5, the last seen
+	sum := s.LedgerSummary()
+	if len(sum.Days) != 2 || sum.Days[0].Day != 3 || sum.Days[1].Day != 5 {
+		t.Fatalf("days %+v", sum.Days)
+	}
+	d5 := sum.Days[1]
+	if d5.PollsFailed != 1 || d5.NewBundles != 20 || d5.Duplicates != 5 || d5.OverlapPairs != 1 {
+		t.Fatalf("day 5 window %+v", d5)
+	}
+}
+
+func TestRegistryPublication(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{}, reg)
+	for i := 0; i < 30; i++ {
+		s.ObservePoll(0, 50, 50, 0, i > 0, false)
+	}
+	s.Evaluate()
+	snap := reg.DeterministicSnapshot()
+	vals := make(map[string]float64)
+	for _, m := range snap {
+		vals[m.Name] = m.Value
+	}
+	if vals["quality_page_gaps_total"] != 29 {
+		t.Fatalf("gap counter %v want 29", vals["quality_page_gaps_total"])
+	}
+	if vals["quality_estimated_missed_bundles"] != 29*50 {
+		t.Fatalf("missed gauge %v want %d", vals["quality_estimated_missed_bundles"], 29*50)
+	}
+	if vals["quality_status"] != float64(CRIT) {
+		t.Fatalf("status gauge %v want %v", vals["quality_status"], float64(CRIT))
+	}
+	if vals[`quality_check_status{check="overlap_rate"}`] != float64(CRIT) {
+		t.Fatalf("check gauge %v", vals[`quality_check_status{check="overlap_rate"}`])
+	}
+}
+
+func TestDriftStateOrderFixed(t *testing.T) {
+	s := New(Config{}, nil)
+	feedClean(s)
+	st := s.DriftState()
+	want := []string{
+		"poll_failure_rate", "overlap_ewma", "overlap_cusum",
+		"sandwich_rate_ewma", "defensive_share_cusum",
+		"rejection_share_net_negative", "rejection_share_same_pool",
+	}
+	if len(st) != len(want) {
+		t.Fatalf("drift state len %d want %d: %+v", len(st), len(want), st)
+	}
+	for i, w := range want {
+		if st[i].Name != w {
+			t.Fatalf("drift[%d] = %s want %s", i, st[i].Name, w)
+		}
+	}
+}
+
+func TestStatusJSONRoundTrip(t *testing.T) {
+	for _, st := range []Status{OK, WARN, CRIT} {
+		b, err := st.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Status
+		if err := back.UnmarshalJSON(b); err != nil {
+			t.Fatal(err)
+		}
+		if back != st {
+			t.Fatalf("round trip %v -> %s -> %v", st, b, back)
+		}
+	}
+	var bad Status
+	if err := bad.UnmarshalJSON([]byte(`"sideways"`)); err == nil {
+		t.Fatal("unknown status should not parse")
+	}
+}
+
+func TestWriteReportTable(t *testing.T) {
+	s := New(Config{}, nil)
+	feedClean(s)
+	var sb strings.Builder
+	s.WriteReport(&sb)
+	out := sb.String()
+	if !strings.HasPrefix(out, "data quality: OK") {
+		t.Fatalf("header missing: %q", out)
+	}
+	for _, frag := range []string{"overlap_rate", "len3_share", "generated)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table missing %q:\n%s", frag, out)
+		}
+	}
+}

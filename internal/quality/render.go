@@ -1,0 +1,48 @@
+package quality
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteReport renders the end-of-run quality table beside
+// obs.WriteSummary: one row per check with its verdict and reason, then
+// the coverage totals. Nil-safe like everything else in the package.
+func (s *Sentinel) WriteReport(w io.Writer) {
+	rep := s.Evaluate()
+	fmt.Fprintf(w, "data quality: %s\n", strings.ToUpper(rep.Status.String()))
+	if len(rep.Checks) == 0 {
+		fmt.Fprintln(w, "(no checks evaluated)")
+		return
+	}
+	width := 0
+	for _, c := range rep.Checks {
+		if len(c.Name) > width {
+			width = len(c.Name)
+		}
+	}
+	for _, c := range rep.Checks {
+		pad := strings.Repeat(" ", width-len(c.Name))
+		line := fmt.Sprintf("  %-4s %s%s  %s", strings.ToUpper(c.Status.String()), c.Name, pad, fmtCheckValue(c))
+		if c.Reason != "" {
+			line += "  (" + c.Reason + ")"
+		}
+		fmt.Fprintln(w, line)
+	}
+	cov := rep.Coverage
+	fmt.Fprintf(w, "  polls %d ok / %d failed · overlap %.1f%% over %d pairs · %d gaps (est. %d bundles missed, %d backfilled)\n",
+		cov.PollsOK, cov.PollsFailed, 100*cov.OverlapRate, cov.Pairs, cov.Gaps, cov.EstimatedMissed, cov.BackfillRecovered)
+	if cov.Generated > 0 {
+		fmt.Fprintf(w, "  coverage %.1f%% (%d collected of %d generated)\n",
+			100*cov.CoverageRate, cov.NewBundles, cov.Generated)
+	}
+}
+
+// fmtCheckValue renders a check's value/target pair compactly.
+func fmtCheckValue(c Check) string {
+	if c.Target == 0 {
+		return fmt.Sprintf("%.4g", c.Value)
+	}
+	return fmt.Sprintf("%.4g vs %.4g", c.Value, c.Target)
+}

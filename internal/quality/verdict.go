@@ -1,0 +1,306 @@
+package quality
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Status is a check verdict. The zero value is OK, so an unevaluated
+// check never alarms by accident.
+type Status uint8
+
+// Verdict levels, ordered by severity.
+const (
+	OK Status = iota
+	WARN
+	CRIT
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case WARN:
+		return "warn"
+	case CRIT:
+		return "crit"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// MarshalJSON renders the status as its lowercase name.
+func (s Status) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON accepts the lowercase names.
+func (s *Status) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	switch str {
+	case "ok":
+		*s = OK
+	case "warn":
+		*s = WARN
+	case "crit":
+		*s = CRIT
+	default:
+		return fmt.Errorf("quality: unknown status %q", str)
+	}
+	return nil
+}
+
+// Check is one evaluated invariant.
+type Check struct {
+	Name   string  `json:"name"`
+	Status Status  `json:"status"`
+	Value  float64 `json:"value"`
+	Target float64 `json:"target"`
+	Reason string  `json:"reason"`
+}
+
+// Report is the full /qualityz document: the aggregate verdict, every
+// check in a fixed order, the coverage ledger, and the drift-detector
+// states.
+type Report struct {
+	Status   Status          `json:"status"`
+	Checks   []Check         `json:"checks"`
+	Coverage LedgerSummary   `json:"coverage"`
+	Drift    []DetectorState `json:"drift"`
+}
+
+// Worst returns the most severe status among the checks.
+func (r Report) Worst() Status { return r.Status }
+
+// ByName returns the named check (zero Check when absent).
+func (r Report) ByName(name string) Check {
+	for _, c := range r.Checks {
+		if c.Name == name {
+			return c
+		}
+	}
+	return Check{}
+}
+
+// Evaluate renders the sentinel's current state as a Report. It is a
+// pure function of the observations fed so far, so two runs that fed
+// identical sequences produce identical reports — the property the
+// worker-count determinism tests pin. A nil sentinel evaluates to an
+// empty OK report.
+func (s *Sentinel) Evaluate() Report {
+	if s == nil {
+		return Report{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	cfg := s.cfg
+	sum := s.led.Summary()
+	var checks []Check
+
+	add := func(c Check) { checks = append(checks, c) }
+	grade := func(name string, value, target float64, st Status, reason string) {
+		add(Check{Name: name, Status: st, Value: value, Target: target, Reason: reason})
+	}
+
+	// poll_failure_rate: the worse of the cumulative rate (sustained
+	// loss over the whole window) and the EWMA (a recent burst the
+	// cumulative average would dilute away).
+	polls := int(sum.PollsOK + sum.PollsFailed)
+	fr := sum.PollFailureRate
+	if ew := s.pollFail.Mean(); ew > fr {
+		fr = ew
+	}
+	switch {
+	case polls < cfg.MinPolls:
+		grade("poll_failure_rate", fr, 0, OK, fmt.Sprintf("insufficient data: %d polls < %d", polls, cfg.MinPolls))
+	case fr >= cfg.PollFailCrit:
+		grade("poll_failure_rate", fr, 0, CRIT,
+			fmt.Sprintf("poll failure rate %.3f >= %.2f: the scrape is losing pages wholesale (%d of %d polls failed)",
+				fr, cfg.PollFailCrit, sum.PollsFailed, polls))
+	case fr >= cfg.PollFailWarn:
+		grade("poll_failure_rate", fr, 0, WARN,
+			fmt.Sprintf("poll failure rate %.3f >= %.2f: sustained transport faults (%d of %d polls failed)",
+				fr, cfg.PollFailWarn, sum.PollsFailed, polls))
+	default:
+		grade("poll_failure_rate", fr, 0, OK, "")
+	}
+
+	// overlap_rate: §3.1 completeness invariant (H11, ~95%).
+	ov := sum.OverlapRate
+	switch {
+	case int(sum.Pairs) < cfg.MinPairs:
+		grade("overlap_rate", ov, TargetOverlapRate, OK,
+			fmt.Sprintf("insufficient data: %d pairs < %d", sum.Pairs, cfg.MinPairs))
+	case ov < cfg.OverlapCrit:
+		grade("overlap_rate", ov, TargetOverlapRate, CRIT,
+			fmt.Sprintf("overlap %.1f%% < %.0f%%: most successive pages share no bundle — completeness argument void",
+				100*ov, 100*cfg.OverlapCrit))
+	case ov < cfg.OverlapWarn || s.overlapCUS.InAlarm():
+		reason := fmt.Sprintf("overlap %.1f%% < %.0f%% (paper ~95%%)", 100*ov, 100*cfg.OverlapWarn)
+		if ov >= cfg.OverlapWarn {
+			hi, lo := s.overlapCUS.Sides()
+			reason = fmt.Sprintf("CUSUM drift alarm (hi=%.2f lo=%.2f): overlap shifting away from %.2f", hi, lo, TargetOverlapRate)
+		}
+		grade("overlap_rate", ov, TargetOverlapRate, WARN, reason)
+	default:
+		grade("overlap_rate", ov, TargetOverlapRate, OK, "")
+	}
+
+	// page_gaps: broken-pair fraction plus the missed-bundle estimate.
+	gapRate := 0.0
+	if sum.Pairs > 0 {
+		gapRate = float64(sum.Gaps) / float64(sum.Pairs)
+	}
+	switch {
+	case int(sum.Pairs) < cfg.MinPairs:
+		grade("page_gaps", gapRate, 0, OK,
+			fmt.Sprintf("insufficient data: %d pairs < %d", sum.Pairs, cfg.MinPairs))
+	case gapRate > cfg.GapRateWarn:
+		grade("page_gaps", gapRate, 0, WARN,
+			fmt.Sprintf("%.1f%% of poll pairs broken (%d gaps, est. %d bundles missed)",
+				100*gapRate, sum.Gaps, sum.EstimatedMissed))
+	default:
+		grade("page_gaps", gapRate, 0, OK, "")
+	}
+
+	// coverage: collected/generated — meaningful only when both sides of
+	// the join report. A process that only sees the generation feed
+	// (explorerd) has nothing collected by construction, so grading it
+	// would be a permanent false CRIT.
+	if sum.Generated > 0 {
+		cov := sum.CoverageRate
+		switch {
+		case polls == 0:
+			grade("coverage", cov, 1, OK, "insufficient data: no collection observed")
+		case cov < cfg.CoverageCrit:
+			grade("coverage", cov, 1, CRIT,
+				fmt.Sprintf("coverage %.1f%% < %.0f%%: the dataset is a thin sample of the chain", 100*cov, 100*cfg.CoverageCrit))
+		case cov < cfg.CoverageWarn:
+			grade("coverage", cov, 1, WARN,
+				fmt.Sprintf("coverage %.1f%% < %.0f%%", 100*cov, 100*cfg.CoverageWarn))
+		default:
+			grade("coverage", cov, 1, OK, "")
+		}
+	}
+
+	// Analysis-fed invariants.
+	if s.analysisSet {
+		a := s.analysis
+
+		// len3_share vs 2.77% (H10).
+		if a.TotalBundles > 0 {
+			share := float64(a.Len3Bundles) / float64(a.TotalBundles)
+			dev := share - TargetLen3Share
+			if dev < 0 {
+				dev = -dev
+			}
+			switch {
+			case int(a.Len3Bundles) < cfg.MinLen3:
+				grade("len3_share", share, TargetLen3Share, OK,
+					fmt.Sprintf("insufficient data: %d length-3 bundles < %d", a.Len3Bundles, cfg.MinLen3))
+			case dev > 3*cfg.Len3ShareBand:
+				grade("len3_share", share, TargetLen3Share, CRIT,
+					fmt.Sprintf("length-3 share %.2f%% vs paper 2.77%%: collection economy is seeing a different population", 100*share))
+			case dev > cfg.Len3ShareBand:
+				grade("len3_share", share, TargetLen3Share, WARN,
+					fmt.Sprintf("length-3 share %.2f%% outside ±%.1fpp of 2.77%%", 100*share, 100*cfg.Len3ShareBand))
+			default:
+				grade("len3_share", share, TargetLen3Share, OK, "")
+			}
+		}
+
+		// detail_completeness: fetched details over length-3 bundles.
+		if int(a.Len3Bundles) >= cfg.MinLen3 {
+			comp := float64(a.Len3WithDetails) / float64(a.Len3Bundles)
+			switch {
+			case comp < cfg.DetailCrit:
+				grade("detail_completeness", comp, 1, CRIT,
+					fmt.Sprintf("only %.1f%% of length-3 bundles have details (%d batches failed, %d ids pending)",
+						100*comp, s.led.detailBatchErr, s.led.detailsPending))
+			case comp < cfg.DetailWarn:
+				grade("detail_completeness", comp, 1, WARN,
+					fmt.Sprintf("%.1f%% of length-3 bundles have details (%d ids pending)", 100*comp, s.led.detailsPending))
+			default:
+				grade("detail_completeness", comp, 1, OK, "")
+			}
+		}
+
+		// sandwich_rate vs 0.038% (H8).
+		if a.TotalBundles > 0 && int(a.Sandwiches) >= cfg.MinSandwiches {
+			share := float64(a.Sandwiches) / float64(a.TotalBundles)
+			switch {
+			case share < cfg.SandwichShareMin || share > cfg.SandwichShareMax:
+				grade("sandwich_rate", share, TargetSandwichShare, WARN,
+					fmt.Sprintf("sandwich share %.4f%% outside [%.4f%%, %.2f%%] (paper 0.038%%)",
+						100*share, 100*cfg.SandwichShareMin, 100*cfg.SandwichShareMax))
+			default:
+				grade("sandwich_rate", share, TargetSandwichShare, OK, "")
+			}
+		} else {
+			grade("sandwich_rate", 0, TargetSandwichShare, OK,
+				fmt.Sprintf("insufficient data: %d sandwiches < %d", a.Sandwiches, cfg.MinSandwiches))
+		}
+
+		// defensive_share vs 86% (H5).
+		if a.Len1Bundles > 0 {
+			dev := a.DefensiveShare - TargetDefensiveShare
+			if dev < 0 {
+				dev = -dev
+			}
+			switch {
+			case dev > cfg.DefensiveBand:
+				grade("defensive_share", a.DefensiveShare, TargetDefensiveShare, WARN,
+					fmt.Sprintf("defensive share %.1f%% outside ±%.0fpp of 86%%", 100*a.DefensiveShare, 100*cfg.DefensiveBand))
+			default:
+				grade("defensive_share", a.DefensiveShare, TargetDefensiveShare, OK, "")
+			}
+		}
+
+		// tip_separation: median sandwich tip over median length-3 tip
+		// (Figure 4's three orders of magnitude, floored at 100×).
+		if int(a.Sandwiches) >= cfg.MinSandwiches && a.MedianTipLen3 > 0 {
+			ratio := a.MedianTipSandwich / a.MedianTipLen3
+			switch {
+			case ratio < cfg.TipSepCrit:
+				grade("tip_separation", ratio, TargetTipSeparation, CRIT,
+					fmt.Sprintf("median sandwich tip only %.1f× the length-3 median: the Figure 4 separation has collapsed", ratio))
+			case ratio < cfg.TipSepWarn:
+				grade("tip_separation", ratio, TargetTipSeparation, WARN,
+					fmt.Sprintf("median sandwich tip %.0f× the length-3 median (< %.0f×)", ratio, cfg.TipSepWarn))
+			default:
+				grade("tip_separation", ratio, TargetTipSeparation, OK, "")
+			}
+		} else {
+			grade("tip_separation", 0, TargetTipSeparation, OK,
+				fmt.Sprintf("insufficient data: %d sandwiches < %d", a.Sandwiches, cfg.MinSandwiches))
+		}
+	}
+
+	rep := Report{Checks: checks, Coverage: sum, Drift: s.driftStateLocked()}
+	for _, c := range checks {
+		if c.Status > rep.Status {
+			rep.Status = c.Status
+		}
+	}
+	s.publishVerdictLocked(rep)
+	return rep
+}
+
+// publishVerdictLocked mirrors the report onto the registry. Caller
+// holds s.mu.
+func (s *Sentinel) publishVerdictLocked(rep Report) {
+	if s.reg == nil {
+		return
+	}
+	s.statusG.Set(int64(rep.Status))
+	for _, c := range rep.Checks {
+		g, ok := s.checkG[c.Name]
+		if !ok {
+			g = s.reg.Gauge("quality_check_status", "check", c.Name)
+			s.checkG[c.Name] = g
+		}
+		g.Set(int64(c.Status))
+	}
+}

@@ -1,0 +1,61 @@
+package report
+
+import (
+	"jitomev/internal/collector"
+	"jitomev/internal/core"
+	"jitomev/internal/obs"
+	"jitomev/internal/quality"
+)
+
+// QualityObs distills an analysis pass into the observation the quality
+// sentinel streams over: the paper-anchored scalars plus the per-day
+// series in ascending day order. Criterion names cross the boundary as
+// strings so the quality package never imports the detector.
+func QualityObs(data *collector.Dataset, r *Results) quality.AnalysisObs {
+	a := quality.AnalysisObs{
+		TotalBundles:    r.TotalBundles,
+		Len3Bundles:     r.Len3Bundles,
+		Len3WithDetails: r.Len3WithDetails,
+		Len1Bundles:     r.Defense.SingleTxBundles,
+		Sandwiches:      r.Sandwiches,
+		MedianTipLen3:   data.TipsLen3.Quantile(0.5),
+	}
+	if r.TipsSandwich != nil && r.TipsSandwich.Len() > 0 {
+		a.MedianTipSandwich = r.TipsSandwich.Quantile(0.5)
+	}
+	if r.Defense.SingleTxBundles > 0 {
+		a.DefensiveShare = float64(r.Defense.Defensive) / float64(r.Defense.SingleTxBundles)
+	}
+	if len(r.Rejections) > 0 {
+		a.Rejections = make(map[string]uint64, len(r.Rejections))
+		for c, n := range r.Rejections {
+			a.Rejections[c.String()] = n
+		}
+	}
+	a.PerDay = make([]quality.DayAnalysis, 0, len(r.CollectedDays))
+	for _, day := range r.CollectedDays {
+		d := quality.DayAnalysis{Day: day}
+		if agg := r.BundlesByDay[day]; agg != nil {
+			d.Bundles = agg.Bundles
+			if single := agg.DefensiveCount + agg.PriorityCount; single > 0 {
+				d.DefensiveShare = float64(agg.DefensiveCount) / float64(single)
+			}
+		}
+		if r.AttacksByDay != nil {
+			d.Sandwiches = uint64(r.AttacksByDay.Get(day))
+		}
+		a.PerDay = append(a.PerDay, d)
+	}
+	return a
+}
+
+// AnalyzeQuality is AnalyzeObs feeding the data-quality sentinel: after
+// the detection pass it streams the per-day series and rejection shares
+// into q's drift detectors (nil q degrades to plain AnalyzeObs). The
+// feed order is deterministic — ascending day, then sorted criterion —
+// so sentinel state is bit-identical at any worker count.
+func AnalyzeQuality(data *collector.Dataset, det *core.Detector, solPriceUSD float64, workers int, reg *obs.Registry, q *quality.Sentinel) *Results {
+	r := AnalyzeObs(data, det, solPriceUSD, workers, reg)
+	q.ObserveAnalysis(QualityObs(data, r))
+	return r
+}

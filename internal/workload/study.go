@@ -91,6 +91,12 @@ type Study struct {
 	// pre-bundle, Ethereum-style detectors operate on.
 	BlockObserver func(*validator.Block)
 
+	// DayObserver, when set, receives each completed day's stats as it
+	// finishes — the ground-truth feed behind the quality sentinel's
+	// per-day coverage ledger (bundles landed = the denominator the
+	// collector's yield is measured against).
+	DayObserver func(DayStats)
+
 	u    *universe
 	rng  *rand.Rand
 	Days []DayStats
@@ -210,6 +216,9 @@ func (s *Study) RunDay(day int, sink Sink) {
 	// non-Jito leaders).
 	s.produce(dayStart+solana.SlotsPerDay-1, day, sink, &ds)
 	s.Days = append(s.Days, ds)
+	if s.DayObserver != nil {
+		s.DayObserver(ds)
+	}
 	s.events = events // keep the grown buffer for the next day
 }
 

@@ -32,6 +32,7 @@ import (
 	"jitomev/internal/jito"
 	"jitomev/internal/obs"
 	"jitomev/internal/parallel"
+	"jitomev/internal/quality"
 	"jitomev/internal/report"
 	"jitomev/internal/validator"
 	"jitomev/internal/workload"
@@ -109,6 +110,16 @@ type Config struct {
 	// dependent families are marked volatile and excluded from
 	// Registry.DeterministicSnapshot).
 	Obs *obs.Registry
+
+	// Quality receives the data-quality feed: the collector's coverage
+	// ledger (every poll, backfill and detail fetch), the workload's
+	// per-day landed counts, and the analysis pass's paper-anchored
+	// invariants. nil makes Run create a fresh sentinel on the run's
+	// registry; either way the sentinel used is returned on
+	// Outcome.Quality, and its end-of-run verdict on
+	// Outcome.QualityReport. Like every count-valued metric, sentinel
+	// state is bit-identical at any Workers setting.
+	Quality *quality.Sentinel
 }
 
 // Outcome bundles everything a study produces.
@@ -141,6 +152,14 @@ type Outcome struct {
 	// when set, a fresh registry otherwise. Snapshot it for assertions,
 	// WriteSummary it for a run report, or mount it on /metrics.
 	Obs *obs.Registry
+
+	// Quality is the data-quality sentinel the run fed — Config.Quality
+	// when set, a fresh sentinel otherwise. Serve its OpsEndpoints, or
+	// WriteReport it beside Obs.WriteSummary.
+	Quality *quality.Sentinel
+	// QualityReport is the end-of-run verdict (Quality.Evaluate at
+	// pipeline completion).
+	QualityReport quality.Report
 }
 
 // truthAdapter exposes workload ground truth through report.Truther.
@@ -205,6 +224,16 @@ func Run(cfg Config) (*Outcome, error) {
 	}
 
 	coll := collector.NewObs(ccfg, p.Clock(), transport, reg)
+	q := cfg.Quality
+	if q == nil {
+		q = quality.New(quality.Config{}, reg)
+	}
+	coll.AttachQuality(q)
+	// Ground truth for per-day coverage: the workload reports each day's
+	// landed bundles as it completes. The feed only touches the ledger's
+	// Generated column (a commutative add), so pipelined generation
+	// cannot perturb the drift detectors.
+	st.DayObserver = func(ds workload.DayStats) { q.ObserveGenerated(ds.Day, ds.BundlesLanded) }
 	sink := &collector.PollingSink{Store: store, Collector: coll, InOutage: p.InOutage}
 
 	var blockScanFlags int
@@ -242,7 +271,7 @@ func Run(cfg Config) (*Outcome, error) {
 	span.End()
 
 	det := core.NewDefaultDetector()
-	res := report.AnalyzeObs(coll.Data, det, cfg.SOLPriceUSD, cfg.Workers, reg)
+	res := report.AnalyzeQuality(coll.Data, det, cfg.SOLPriceUSD, cfg.Workers, reg, q)
 	res.OverlapRate = coll.OverlapRate()
 	res.PollCount = coll.Polls()
 	res.DetailRequests = coll.DetailRequests()
@@ -256,7 +285,9 @@ func Run(cfg Config) (*Outcome, error) {
 		PendingDetails: coll.PendingDetails(),
 		Chaos:          chaos,
 		Obs:            reg,
+		Quality:        q,
 	}
+	out.QualityReport = q.Evaluate()
 	if store.Len() > 0 {
 		out.CoverageRate = float64(coll.Data.Collected) / float64(store.Len())
 	}

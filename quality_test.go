@@ -1,0 +1,125 @@
+package jitomev
+
+// Data-quality acceptance tests: the sentinel's verdicts and drift-
+// detector state are part of a run's deterministic output — bit-identical
+// at any Workers setting — and a seeded chaos run degrades to WARN/CRIT
+// with a populated reason while the same seed at fault rate 0 stays OK.
+
+import (
+	"reflect"
+	"testing"
+
+	"jitomev/internal/quality"
+)
+
+// TestQualityDeterministicAcrossWorkers mirrors the obs determinism
+// test for the quality layer: under 10% injected faults the full
+// report — verdicts, check values, reasons, coverage ledger — and the
+// raw drift-detector state are identical at Workers = 1, 4 and 8.
+func TestQualityDeterministicAcrossWorkers(t *testing.T) {
+	type state struct {
+		Report quality.Report
+		Drift  []quality.DetectorState
+	}
+	run := func(workers int) state {
+		out, err := Run(obsConfig(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return state{Report: out.QualityReport, Drift: out.Quality.DriftState()}
+	}
+	one := run(1)
+	if len(one.Report.Checks) == 0 {
+		t.Fatal("chaos run evaluated no checks")
+	}
+	for _, workers := range []int{4, 8} {
+		other := run(workers)
+		if !reflect.DeepEqual(one.Report, other.Report) {
+			t.Errorf("quality report diverges between workers=1 and workers=%d:\n%+v\nvs\n%+v",
+				workers, one.Report, other.Report)
+		}
+		if !reflect.DeepEqual(one.Drift, other.Drift) {
+			t.Errorf("drift state diverges between workers=1 and workers=%d:\n%+v\nvs\n%+v",
+				workers, one.Drift, other.Drift)
+		}
+	}
+}
+
+// TestQualityChaosDegradesCleanStaysOK is the headline acceptance
+// criterion: the same seed at fault rate 0.10 must produce at least one
+// WARN/CRIT check with a populated reason, and at fault rate 0 every
+// check must be OK.
+func TestQualityChaosDegradesCleanStaysOK(t *testing.T) {
+	chaos, err := Run(obsConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := chaos.QualityReport
+	if rep.Status == quality.OK {
+		t.Fatalf("10%% fault run reported OK:\n%+v", rep.Checks)
+	}
+	degraded := 0
+	for _, c := range rep.Checks {
+		if c.Status != quality.OK {
+			degraded++
+			if c.Reason == "" {
+				t.Errorf("check %s degraded without a reason", c.Name)
+			}
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("no degraded check despite non-OK aggregate")
+	}
+
+	cfg := obsConfig(0)
+	cfg.FaultRate = 0
+	clean, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.QualityReport.Status != quality.OK {
+		for _, c := range clean.QualityReport.Checks {
+			if c.Status != quality.OK {
+				t.Errorf("clean run check %s: %v (%s, value %v)", c.Name, c.Status, c.Reason, c.Value)
+			}
+		}
+		t.Fatalf("clean run aggregate %v", clean.QualityReport.Status)
+	}
+	if len(clean.QualityReport.Checks) == 0 {
+		t.Fatal("clean run evaluated no checks")
+	}
+}
+
+// TestQualityLedgerMatchesCollector pins the ledger against the
+// collector's own counters: the two views of the same collection must
+// agree exactly.
+func TestQualityLedgerMatchesCollector(t *testing.T) {
+	out, err := Run(obsConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := out.Quality.LedgerSummary()
+	coll := out.Collector
+	if sum.PollsOK != coll.Polls() {
+		t.Errorf("ledger polls %d != collector %d", sum.PollsOK, coll.Polls())
+	}
+	if sum.Pairs != coll.Pairs() || sum.OverlapPairs != coll.OverlapPairs() {
+		t.Errorf("ledger pairs %d/%d != collector %d/%d",
+			sum.OverlapPairs, sum.Pairs, coll.OverlapPairs(), coll.Pairs())
+	}
+	if sum.OverlapRate != coll.OverlapRate() {
+		t.Errorf("ledger overlap %v != collector %v", sum.OverlapRate, coll.OverlapRate())
+	}
+	// Generated must equal the workload's landed total; ledger yield must
+	// equal the dataset's unique ingests.
+	var landed uint64
+	for _, ds := range out.Study.Days {
+		landed += ds.BundlesLanded
+	}
+	if sum.Generated != landed {
+		t.Errorf("ledger generated %d != workload landed %d", sum.Generated, landed)
+	}
+	if sum.NewBundles != coll.Data.Collected {
+		t.Errorf("ledger new bundles %d != dataset collected %d", sum.NewBundles, coll.Data.Collected)
+	}
+}

@@ -7,6 +7,10 @@
 # table (the same registry, rendered to stdout) is checked for the
 # snapshot and detection families that only materialize at exit.
 # Malformed exposition lines or missing families fail the target.
+#
+# Both processes also serve the data-quality sentinel: /qualityz must be
+# a well-formed verdict document with no CRIT (this is a clean, fault-
+# free run) and /healthz must answer 200.
 set -eu
 
 EXP_ADDR=${EXP_ADDR:-127.0.0.1:9180}
@@ -31,17 +35,30 @@ echo "metrics-smoke: starting explorerd on $EXP_ADDR"
 expd_pid=$!
 
 "$tmp/metricscheck" -url "http://$EXP_ADDR/metrics" -wait 10s \
-    -require explorer_requests_total -require explorer_throttled_total
+    -require explorer_requests_total -require explorer_throttled_total \
+    -quality-url "http://$EXP_ADDR/qualityz" -max-status warn
 "$tmp/metricscheck" -url "http://$EXP_ADDR/metrics" >/dev/null # stable on re-scrape
+
+# /healthz is the liveness/quality probe: 200 unless the verdict is CRIT.
+if ! curl -fsS "http://$EXP_ADDR/healthz" >/dev/null; then
+    echo "metrics-smoke: explorerd /healthz not healthy" >&2
+    exit 1
+fi
 
 echo "metrics-smoke: running collect with -metrics-addr $COL_ADDR"
 "$tmp/collect" -url "http://$EXP_ADDR" -polls 12 -every 250ms -page 200 \
     -metrics-addr "$COL_ADDR" -save "$tmp/data.snap" >"$tmp/collect.log" 2>&1 &
 col_pid=$!
 
-# Scrape the collector mid-run: the poll counters must be live.
+# Scrape the collector mid-run: the poll counters must be live, and the
+# quality verdict on a clean run must not be CRIT.
 "$tmp/metricscheck" -url "http://$COL_ADDR/metrics" -wait 10s \
-    -require collector_polls_total -require collector_http_requests_total
+    -require collector_polls_total -require collector_http_requests_total \
+    -quality-url "http://$COL_ADDR/qualityz" -max-status warn
+if ! curl -fsS "http://$COL_ADDR/healthz" >/dev/null; then
+    echo "metrics-smoke: collect /healthz not healthy" >&2
+    exit 1
+fi
 
 if ! wait "$col_pid"; then
     echo "metrics-smoke: collect failed:" >&2
@@ -58,5 +75,12 @@ for fam in detect_len3_with_details_total snapshot_shards_total pipeline_stage_i
         exit 1
     fi
 done
+
+# The end-of-run quality table must render with a non-CRIT verdict.
+if ! grep -q "data quality: OK\|data quality: WARN" "$tmp/collect.log"; then
+    echo "metrics-smoke: quality verdict missing or CRIT in collect's summary" >&2
+    cat "$tmp/collect.log" >&2
+    exit 1
+fi
 
 echo "metrics-smoke: ok"
