@@ -6,12 +6,14 @@ GO ?= go
 # fault injector (atomic call counters shared across goroutines), the
 # explorer store/server (writer vs. scraper interleavings), and the
 # metrics registry (atomic counters incremented from every pipeline
-# stage while /metrics snapshots them), and the quality sentinel (one
+# stage while /metrics snapshots them), the quality sentinel (one
 # mutex guarding ledger + drift state fed from poll and analysis paths
-# while /qualityz evaluates concurrently).
-RACE_PKGS = ./internal/parallel ./internal/report ./internal/collector ./internal/workload ./internal/snapshot ./internal/faults ./internal/explorer ./internal/obs ./internal/quality
+# while /qualityz evaluates concurrently), and the out-of-core query
+# engine (detection mapped onto the decode pool, folds on one
+# goroutine).
+RACE_PKGS = ./internal/parallel ./internal/report ./internal/collector ./internal/workload ./internal/snapshot ./internal/faults ./internal/explorer ./internal/obs ./internal/quality ./internal/query
 
-.PHONY: verify build test vet race bench bench-json chaos metrics-smoke
+.PHONY: verify build test vet race bench bench-json bench-stream chaos metrics-smoke
 
 # verify is the extended tier-1 gate (see ROADMAP.md): build + tests,
 # static checks, and the race suite over the concurrent packages.
@@ -52,6 +54,13 @@ bench-json:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_persist.json
 	$(GO) test -run=NONE -bench='Obs|InstrumentedAnalyze|AnalyzeParallel$$' -benchmem . ./internal/obs | $(GO) run ./cmd/benchjson > BENCH_obs.json
 	$(GO) test -run=NONE -bench=Quality -benchmem ./internal/quality | $(GO) run ./cmd/benchjson > BENCH_quality.json
+	$(GO) test -run=NONE -bench=Query -benchmem ./internal/query | $(GO) run ./cmd/benchjson > BENCH_query.json
+
+# bench-stream smoke-runs the out-of-core query benchmarks once:
+# streaming full scan, day-range pruned scan, and the resident baseline
+# over the same synthetic four-month container.
+bench-stream:
+	$(GO) test -run=NONE -bench=Query -benchtime=1x ./internal/query
 
 # metrics-smoke starts explorerd, validates its /metrics exposition, then
 # runs a short collect with -metrics-addr and validates the collector's

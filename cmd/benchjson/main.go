@@ -1,6 +1,8 @@
 // Command benchjson converts `go test -bench` text output on stdin into
 // a JSON object on stdout mapping each benchmark name to its metrics
-// (ns/op, B/op, allocs/op, MB/s when present). The `make bench-json`
+// (ns/op, B/op, allocs/op, MB/s when present). Custom units emitted via
+// b.ReportMetric — e.g. the streaming-query shards/s, peak-RSS-bytes and
+// pruned-frac — land under "extra" keyed by unit. The `make bench-json`
 // target pipes the benchmark suite through it into BENCH_persist.json so
 // successive PRs can diff the performance trajectory mechanically.
 //
@@ -25,6 +27,9 @@ type metrics struct {
 	AllocsPerOp *int64   `json:"allocs_op,omitempty"`
 	MBPerSec    *float64 `json:"mb_s,omitempty"`
 	Iterations  int64    `json:"iterations"`
+
+	// Extra holds custom b.ReportMetric pairs keyed by their unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -85,6 +90,13 @@ func parseLine(line string) (string, metrics, bool) {
 		case "MB/s":
 			if v, err := strconv.ParseFloat(val, 64); err == nil {
 				m.MBPerSec = &v
+			}
+		default:
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				if m.Extra == nil {
+					m.Extra = make(map[string]float64)
+				}
+				m.Extra[unit] = v
 			}
 		}
 	}

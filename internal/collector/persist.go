@@ -21,11 +21,12 @@ func unixNano(ns int64) time.Time { return time.Unix(0, ns).UTC() }
 // Dataset persistence: a four-month collection is too valuable to re-run
 // (the paper's actual dataset took four months of wall time to gather),
 // so the collector can checkpoint what it has and analysis tools can load
-// it without regenerating. Save writes the sharded columnar v2 format
+// it without regenerating. Save writes the sharded columnar v3 format
 // (package snapshot): parallel encode/decode, byte-identical output at
-// every worker count. LoadDataset sniffs the version and retains the v1
-// single-stream gzip+gob format read-only, so every checkpoint ever
-// written stays loadable.
+// every worker count, self-contained shards carrying pushdown metadata
+// for the out-of-core query engine. LoadDataset sniffs the version and
+// retains the v2 and v1 (single-stream gzip+gob) formats read-only, so
+// every checkpoint ever written stays loadable.
 
 // v1SnapshotVersion guards the legacy gob layout.
 const v1SnapshotVersion = 1

@@ -1,0 +1,124 @@
+package query
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+
+	"jitomev/internal/collector"
+	"jitomev/internal/core"
+	"jitomev/internal/report"
+)
+
+// The streaming benchmarks run over a synthetic four-month collection at
+// the paper's per-day density shape (120 study days, chronological
+// shards), subsampled in volume so the suite stays tractable — the
+// quantities reported per shard are what matter, not the absolute count.
+// BENCH_query.json records shards/sec and MB/s throughput, the live-heap
+// high-water (peak-RSS-bytes) and, for the ranged query, the fraction of
+// shards pushdown skipped without decoding (pruned-frac).
+
+var benchOnce sync.Once
+var benchPath string
+var benchSize int64
+
+// benchSnapshot builds the container once and serves it from disk, the
+// way real queries run — an in-memory blob would charge the input to
+// every peak-RSS sample.
+func benchSnapshot(b *testing.B) (string, int64) {
+	benchOnce.Do(func() {
+		data := synthDataset(117, 400_000, 120, 0.85, 4_000)
+		benchPath = filepath.Join(os.TempDir(), "jitomev-bench-query.snap")
+		f, err := os.Create(benchPath)
+		if err != nil {
+			panic(err)
+		}
+		if err := data.Save(f); err != nil {
+			panic(err)
+		}
+		if err := f.Close(); err != nil {
+			panic(err)
+		}
+		st, err := os.Stat(benchPath)
+		if err != nil {
+			panic(err)
+		}
+		benchSize = st.Size()
+		runtime.GC() // drop construction garbage before anyone samples heap
+	})
+	return benchPath, benchSize
+}
+
+// BenchmarkQueryStreamFull scans every bundle shard (full Results).
+func BenchmarkQueryStreamFull(b *testing.B) {
+	path, size := benchSnapshot(b)
+	b.SetBytes(size)
+	b.ResetTimer()
+	var shards int
+	var peak uint64
+	for i := 0; i < b.N; i++ {
+		_, st, err := RunFile(path, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		shards += st.ShardsScanned
+		if st.PeakHeapBytes > peak {
+			peak = st.PeakHeapBytes
+		}
+	}
+	b.ReportMetric(float64(shards)/b.Elapsed().Seconds(), "shards/s")
+	b.ReportMetric(float64(peak), "peak-RSS-bytes")
+}
+
+// BenchmarkQueryStreamPruned answers "sandwich share by day" for one
+// month of the four: pushdown must skip well over half the shards.
+func BenchmarkQueryStreamPruned(b *testing.B) {
+	path, size := benchSnapshot(b)
+	days := DayRange{Lo: 30, Hi: 59}
+	b.SetBytes(size)
+	b.ResetTimer()
+	var shards int
+	var peak uint64
+	var pruned float64
+	for i := 0; i < b.N; i++ {
+		_, st, err := RunFile(path, Options{Days: &days})
+		if err != nil {
+			b.Fatal(err)
+		}
+		shards += st.ShardsScanned
+		if st.PeakHeapBytes > peak {
+			peak = st.PeakHeapBytes
+		}
+		pruned = st.PrunedFraction()
+	}
+	b.ReportMetric(float64(shards)/b.Elapsed().Seconds(), "shards/s")
+	b.ReportMetric(float64(peak), "peak-RSS-bytes")
+	b.ReportMetric(pruned, "pruned-frac")
+}
+
+// BenchmarkQueryResidentFull is the in-memory baseline over the same
+// container: full load plus AnalyzeN, for the EXPERIMENTS comparison.
+func BenchmarkQueryResidentFull(b *testing.B) {
+	path, size := benchSnapshot(b)
+	b.SetBytes(size)
+	b.ResetTimer()
+	var peak uint64
+	for i := 0; i < b.N; i++ {
+		f, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := collector.LoadDataset(f, 1)
+		f.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report.AnalyzeN(data, core.NewDefaultDetector(), 0, 0)
+		if h := liveHeap(); h > peak {
+			peak = h
+		}
+	}
+	b.ReportMetric(float64(peak), "peak-RSS-bytes")
+}

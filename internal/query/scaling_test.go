@@ -1,0 +1,75 @@
+package query
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"jitomev/internal/collector"
+	"jitomev/internal/core"
+	"jitomev/internal/report"
+)
+
+// TestScalingExperiment prints the EXPERIMENTS.md streaming-vs-resident
+// scaling table. Gated: run with JITOMEV_SCALING=1.
+func TestScalingExperiment(t *testing.T) {
+	if os.Getenv("JITOMEV_SCALING") != "1" {
+		t.Skip("set JITOMEV_SCALING=1 to run")
+	}
+	for _, sc := range []struct {
+		label  string
+		nLen3  int
+		days   int
+		orphan int
+	}{
+		{"1x", 100_000, 30, 1_000},
+		{"4x", 400_000, 120, 4_000},
+		{"16x", 1_600_000, 480, 16_000},
+	} {
+		data := synthDataset(117, sc.nLen3, sc.days, 0.85, sc.orphan)
+		path := filepath.Join(t.TempDir(), "scale.snap")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := data.Save(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		st, _ := os.Stat(path)
+		data = nil
+		runtime.GC()
+
+		start := time.Now()
+		_, qs, err := RunFile(path, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamWall := time.Since(start)
+
+		runtime.GC()
+		start = time.Now()
+		rf, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := collector.LoadDataset(rf, 1)
+		rf.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		report.AnalyzeN(loaded, core.NewDefaultDetector(), 0, 0)
+		residentWall := time.Since(start)
+		residentPeak := liveHeap()
+		loaded = nil
+		runtime.GC()
+
+		fmt.Printf("| %s | %d rec / %d days | %.0f MiB | %s / %.0f MiB | %s / %.0f MiB |\n",
+			sc.label, sc.nLen3, sc.days, float64(st.Size())/(1<<20),
+			residentWall.Round(10*time.Millisecond), float64(residentPeak)/(1<<20),
+			streamWall.Round(10*time.Millisecond), float64(qs.PeakHeapBytes)/(1<<20))
+	}
+}

@@ -88,19 +88,6 @@ type hit struct {
 	day int
 }
 
-// len3Shard is one shard's partial result over data.Len3.
-type len3Shard struct {
-	withDetails uint64
-	rejections  [core.NumCriteria]uint64
-	hits        []hit
-}
-
-// longShard is one shard's partial result over data.Long.
-type longShard struct {
-	scanned  uint64
-	verdicts []core.Verdict
-}
-
 // AnalyzeN is Analyze with an explicit worker count: 0 selects
 // GOMAXPROCS, 1 runs the legacy single-core pass (kept as the reference
 // implementation), and any other count shards data.Len3 and data.Long
@@ -122,121 +109,31 @@ func AnalyzeN(data *collector.Dataset, det *core.Detector, solPriceUSD float64, 
 // snapshot; only the stage durations are volatile.
 func AnalyzeObs(data *collector.Dataset, det *core.Detector, solPriceUSD float64, workers int, reg *obs.Registry) *Results {
 	workers = parallel.Workers(workers)
-	if solPriceUSD <= 0 {
-		solPriceUSD = stats.SOLPriceUSD
-	}
-	r := &Results{
-		TotalBundles:  data.Collected,
-		Len3Bundles:   uint64(len(data.Len3)),
-		BundlesByDay:  data.Days,
-		AttacksByDay:  stats.NewTimeSeries(),
-		LossSOLByDay:  stats.NewTimeSeries(),
-		GainSOLByDay:  stats.NewTimeSeries(),
-		DefenseByDay:  stats.NewTimeSeries(),
-		CollectedDays: data.SortedDays(),
-		TipsLen1:      data.TipsLen1,
-		TipsLen3:      data.TipsLen3,
-		SOLPriceUSD:   solPriceUSD,
-	}
-	if data.Duplicates+data.Collected > 0 {
-		r.DuplicateRate = float64(data.Duplicates) / float64(data.Duplicates+data.Collected)
-	}
-
-	for day, agg := range data.Days {
-		r.TotalTxs += agg.Txs
-		r.Defense.SingleTxBundles += agg.DefensiveCount + agg.PriorityCount
-		r.Defense.Defensive += agg.DefensiveCount
-		r.Defense.Priority += agg.PriorityCount
-		r.Defense.DefensiveSpendLamports += agg.DefensiveSpend
-		r.DefenseByDay.Add(day, float64(agg.DefensiveCount))
-	}
-	if len(r.CollectedDays) > 0 {
-		r.Days = r.CollectedDays[len(r.CollectedDays)-1] + 1
-	}
-
-	est := verdictEst(len(data.Len3))
-	r.Verdicts = make([]core.Verdict, 0, est)
-	lossUSD := make([]float64, 0, est)
-	sandwichTips := make([]float64, 0, est)
-	var rejections [core.NumCriteria]uint64
-
-	// record folds one positive verdict into the results. Both the serial
-	// pass and the parallel fan-in call it in bundle index order, which
-	// pins verdict ordering and float accumulation order to the serial
-	// reference exactly.
-	record := func(v core.Verdict, day int) {
-		r.Sandwiches++
-		r.Verdicts = append(r.Verdicts, v)
-		r.AttacksByDay.Add(day, 1)
-		sandwichTips = append(sandwichTips, float64(v.TipLamports))
-		if !v.HasSOL {
-			r.SandwichesNoSOL++
-			return
-		}
-		lossSOL := v.VictimLossLamports / 1e9
-		gainSOL := v.AttackerGainLamports / 1e9
-		r.VictimLossSOL += lossSOL
-		r.AttackerGainSOL += gainSOL
-		r.LossSOLByDay.Add(day, lossSOL)
-		r.GainSOLByDay.Add(day, gainSOL)
-		lossUSD = append(lossUSD, lossSOL*solPriceUSD)
-	}
+	a := NewAccumulator(det, solPriceUSD, Scope{
+		Clock:       data.Clock,
+		Days:        data.Days,
+		TipsLen1:    data.TipsLen1,
+		TipsLen3:    data.TipsLen3,
+		Collected:   data.Collected,
+		Duplicates:  data.Duplicates,
+		Len3Bundles: uint64(len(data.Len3)),
+	})
 
 	span := reg.StartSpan("analyze_len3")
 	span.AddItems(len(data.Len3))
 	if workers == 1 {
-		// Serial reference pass.
-		var scratch []jito.TxDetail
-		for i := range data.Len3 {
-			rec := &data.Len3[i]
-			var ok bool
-			scratch, ok = data.AppendDetails(scratch[:0], rec)
-			if !ok {
-				continue
-			}
-			r.Len3WithDetails++
-			v := det.Detect(rec, scratch)
-			if !v.Sandwich {
-				rejections[v.Failed]++
-				continue
-			}
-			record(v, data.Clock.DayOf(rec.Slot))
-		}
+		// Serial reference pass: one partial over the whole population.
+		a.FoldLen3(a.DetectLen3(data.Len3, datasetSource(data, data.Len3)))
 	} else {
 		// Sharded pass: workers run the pure per-bundle detection over
 		// contiguous index ranges; the fan-in replays hits in shard order.
 		parallel.MapReduceObs(reg, "analyze_len3", workers, len(data.Len3),
-			func(lo, hi int) len3Shard {
-				var sh len3Shard
-				var scratch []jito.TxDetail
-				for i := lo; i < hi; i++ {
-					rec := &data.Len3[i]
-					var ok bool
-					scratch, ok = data.AppendDetails(scratch[:0], rec)
-					if !ok {
-						continue
-					}
-					sh.withDetails++
-					v := det.Detect(rec, scratch)
-					if !v.Sandwich {
-						sh.rejections[v.Failed]++
-						continue
-					}
-					sh.hits = append(sh.hits, hit{v: v, day: data.Clock.DayOf(rec.Slot)})
-				}
-				return sh
+			func(lo, hi int) Len3Partial {
+				recs := data.Len3[lo:hi]
+				return a.DetectLen3(recs, datasetSource(data, recs))
 			},
-			func(sh len3Shard) {
-				r.Len3WithDetails += sh.withDetails
-				for c, n := range sh.rejections {
-					rejections[c] += n
-				}
-				for _, h := range sh.hits {
-					record(h.v, h.day)
-				}
-			})
+			a.FoldLen3)
 	}
-
 	span.End()
 
 	// Extended pass over retained longer bundles: recover disguised
@@ -244,77 +141,26 @@ func AnalyzeObs(data *collector.Dataset, det *core.Detector, solPriceUSD float64
 	span = reg.StartSpan("analyze_extended")
 	span.AddItems(len(data.Long))
 	if workers == 1 {
-		var scratch []jito.TxDetail
-		for i := range data.Long {
-			rec := &data.Long[i]
-			var ok bool
-			scratch, ok = data.AppendDetails(scratch[:0], rec)
-			if !ok {
-				continue
-			}
-			r.LongBundlesScanned++
-			ev := det.DetectExtended(rec, scratch)
-			for _, v := range ev.Sandwiches {
-				r.DisguisedSandwiches++
-				r.DisguisedVerdicts = append(r.DisguisedVerdicts, v)
-			}
-		}
+		a.FoldLong(a.DetectLong(data.Long, datasetSource(data, data.Long)))
 	} else {
 		parallel.MapReduceObs(reg, "analyze_extended", workers, len(data.Long),
-			func(lo, hi int) longShard {
-				var sh longShard
-				var scratch []jito.TxDetail
-				for i := lo; i < hi; i++ {
-					rec := &data.Long[i]
-					var ok bool
-					scratch, ok = data.AppendDetails(scratch[:0], rec)
-					if !ok {
-						continue
-					}
-					sh.scanned++
-					ev := det.DetectExtended(rec, scratch)
-					sh.verdicts = append(sh.verdicts, ev.Sandwiches...)
-				}
-				return sh
+			func(lo, hi int) LongPartial {
+				recs := data.Long[lo:hi]
+				return a.DetectLong(recs, datasetSource(data, recs))
 			},
-			func(sh longShard) {
-				r.LongBundlesScanned += sh.scanned
-				for _, v := range sh.verdicts {
-					r.DisguisedSandwiches++
-					r.DisguisedVerdicts = append(r.DisguisedVerdicts, v)
-				}
-			})
+			a.FoldLong)
 	}
-
 	span.End()
 
-	// Export the fixed-size rejection tally as the map the boundary (and
-	// renderers) expect; the serial map never held zero-count entries, so
-	// only observed criteria cross over.
-	r.Rejections = make(map[core.Criterion]uint64, core.NumCriteria)
-	for c, n := range rejections {
-		if n > 0 {
-			r.Rejections[core.Criterion(c)] = n
-		}
-	}
-	if reg != nil {
-		reg.Help("detect_rejections_total", "Length-3 bundles rejected by the detector, by first failed criterion.")
-		for c := core.Criterion(1); c < core.Criterion(core.NumCriteria); c++ {
-			reg.Counter("detect_rejections_total", "criterion", c.String()).Add(rejections[c])
-		}
-		reg.Counter("detect_len3_with_details_total").Add(r.Len3WithDetails)
-		reg.Counter("detect_sandwiches_total").Add(r.Sandwiches)
-		reg.Counter("detect_sandwiches_no_sol_total").Add(r.SandwichesNoSOL)
-		reg.Counter("detect_disguised_sandwiches_total").Add(r.DisguisedSandwiches)
-		reg.Counter("detect_long_bundles_scanned_total").Add(r.LongBundlesScanned)
-	}
+	return a.Finish(reg)
+}
 
-	if r.TotalBundles > 0 {
-		r.SandwichShare = float64(r.Sandwiches) / float64(r.TotalBundles)
+// datasetSource adapts a resident dataset's detail map to the fold's
+// DetailSource over the given record slice.
+func datasetSource(data *collector.Dataset, recs []jito.BundleRecord) DetailSource {
+	return func(i int, scratch []jito.TxDetail) ([]jito.TxDetail, bool) {
+		return data.AppendDetails(scratch, &recs[i])
 	}
-	r.LossUSD = stats.NewECDF(lossUSD)
-	r.TipsSandwich = stats.NewECDF(sandwichTips)
-	return r
 }
 
 // DisguisedLossUSD sums the victim losses of disguised (length>3)

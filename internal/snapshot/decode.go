@@ -49,24 +49,27 @@ type frameHeader struct {
 	items, rawLen, compLen int
 }
 
-func readFrame(br *bufio.Reader, itemsLeft int) (frameHeader, []byte, error) {
+// readFrame reads shard number idx's frame. Every failure — including a
+// short read truncating the header or body — is a corrupt error naming
+// the shard, so a checkpoint cut mid-stream can never load silently.
+func readFrame(br *bufio.Reader, idx, itemsLeft int) (frameHeader, []byte, error) {
 	var h frameHeader
 	for _, dst := range []*int{&h.items, &h.rawLen, &h.compLen} {
 		v, err := binary.ReadUvarint(br)
 		if err != nil {
-			return h, nil, corrupt("shard header: %v", err)
+			return h, nil, corrupt("shard %d: header: %v", idx, err)
 		}
 		if v > maxShardBytes {
-			return h, nil, corrupt("shard length %d exceeds limit", v)
+			return h, nil, corrupt("shard %d: length %d exceeds limit", idx, v)
 		}
 		*dst = int(v)
 	}
 	if h.items > itemsLeft {
-		return h, nil, corrupt("shard items %d overflow section total", h.items)
+		return h, nil, corrupt("shard %d: items %d overflow section total", idx, h.items)
 	}
 	blob := make([]byte, h.compLen)
-	if _, err := io.ReadFull(br, blob); err != nil {
-		return h, nil, corrupt("shard body: %v", err)
+	if n, err := io.ReadFull(br, blob); err != nil {
+		return h, nil, corrupt("shard %d: body truncated at byte %d of %d: %v", idx, n, h.compLen, err)
 	}
 	return h, blob, nil
 }
@@ -83,17 +86,17 @@ func forEachShard(br *bufio.Reader, shardCount, totalItems, workers int, m *snap
 	if workers == 1 || shardCount <= 1 {
 		base := 0
 		for i := 0; i < shardCount; i++ {
-			h, blob, err := readFrame(br, totalItems-base)
+			h, blob, err := readFrame(br, i, totalItems-base)
 			if err != nil {
 				return err
 			}
 			m.frame(h.rawLen, h.compLen)
 			raw, err := decompressShard(blob, h.rawLen)
 			if err != nil {
-				return err
+				return corruptShard(i, err)
 			}
 			if err := handle(base, h.items, raw); err != nil {
-				return err
+				return corruptShard(i, err)
 			}
 			base += h.items
 		}
@@ -104,6 +107,7 @@ func forEachShard(br *bufio.Reader, shardCount, totalItems, workers int, m *snap
 	}
 
 	type job struct {
+		idx  int
 		base int
 		h    frameHeader
 		blob []byte
@@ -140,7 +144,7 @@ func forEachShard(br *bufio.Reader, shardCount, totalItems, workers int, m *snap
 					err = handle(j.base, j.h.items, raw)
 				}
 				if err != nil {
-					fail(err)
+					fail(corruptShard(j.idx, err))
 				}
 			}
 		}()
@@ -148,13 +152,13 @@ func forEachShard(br *bufio.Reader, shardCount, totalItems, workers int, m *snap
 
 	base := 0
 	for i := 0; i < shardCount && !failed(); i++ {
-		h, blob, err := readFrame(br, totalItems-base)
+		h, blob, err := readFrame(br, i, totalItems-base)
 		if err != nil {
 			fail(err)
 			break
 		}
 		m.frame(h.rawLen, h.compLen)
-		jobs <- job{base: base, h: h, blob: blob}
+		jobs <- job{idx: i, base: base, h: h, blob: blob}
 		base += h.items
 	}
 	close(jobs)
@@ -168,8 +172,9 @@ func forEachShard(br *bufio.Reader, shardCount, totalItems, workers int, m *snap
 	return nil
 }
 
-// Read decodes a v2 snapshot from r. workers bounds the shard
-// decompress/decode pool (0 = all cores, 1 = serial).
+// Read decodes a v2 or v3 snapshot from r, sniffing the version from
+// the magic. workers bounds the shard decompress/decode pool (0 = all
+// cores, 1 = serial).
 func Read(r io.Reader, workers int) (*Snapshot, error) {
 	return read(r, workers, &snapObs{})
 }
@@ -183,10 +188,18 @@ func read(r io.Reader, workers int, m *snapObs) (*Snapshot, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, corrupt("magic: %v", err)
 	}
-	if string(magic[:]) != Magic {
-		return nil, corrupt("bad magic %q (not a v2 snapshot)", magic[:])
+	switch string(magic[:]) {
+	case Magic:
+		return readV2(br, workers, m)
+	case MagicV3:
+		return readV3(br, workers, m)
+	default:
+		return nil, corrupt("bad magic %q (not a snapshot container)", magic[:])
 	}
+}
 
+// readV2 decodes the superseded v2 body (everything after the magic).
+func readV2(br *bufio.Reader, workers int, m *snapObs) (*Snapshot, error) {
 	s := &Snapshot{}
 	var interned []solana.Pubkey
 	seen := make(map[byte]bool)
@@ -277,8 +290,15 @@ func read(r io.Reader, workers int, m *snapObs) (*Snapshot, error) {
 			return nil, err
 		}
 	}
-	if !seen[secMeta] {
-		return nil, corrupt("missing meta section")
+	// The writer emits every section unconditionally (empty sections have
+	// zero shards), so a missing one means the stream was cut at a section
+	// boundary — a truncation shape that would otherwise load as a
+	// silently smaller dataset if the next byte happened to read as 0xFF.
+	for _, id := range []byte{secMeta, secDays, secTipsLen1, secTipsLen3,
+		secInterns, secLen3, secLong, secDetails} {
+		if !seen[id] {
+			return nil, corrupt("missing section %#x (truncated at a section boundary?)", id)
+		}
 	}
 	return s, nil
 }
@@ -364,10 +384,21 @@ func decodeDays(dst map[int]*DayAgg, items int, raw []byte) error {
 }
 
 // decodeRecordShard parses a columnar record shard into dst (one entry
-// per record). Signatures for the whole shard share one backing array.
+// per record).
 func decodeRecordShard(dst []jito.BundleRecord, raw []byte) error {
-	n := len(dst)
 	c := varintCursor{raw: raw}
+	if err := decodeRecordColumns(dst, &c); err != nil {
+		return err
+	}
+	return c.done()
+}
+
+// decodeRecordColumns parses the record columns at the cursor into dst
+// (one entry per record), leaving the cursor just past them — v3 bundle
+// shards continue decoding detail columns from there. Signatures for the
+// whole shard share one backing array.
+func decodeRecordColumns(dst []jito.BundleRecord, c *varintCursor) error {
+	n := len(dst)
 	col, err := c.take(8 * n)
 	if err != nil {
 		return err
@@ -423,7 +454,7 @@ func decodeRecordShard(dst []jito.BundleRecord, raw []byte) error {
 		}
 		off += cnt
 	}
-	return c.done()
+	return nil
 }
 
 // decodeDetailShard parses a detail shard and inserts the entries into
@@ -438,6 +469,29 @@ func decodeDetailShard(dst map[solana.Signature]jito.TxDetail, mu *sync.Mutex, i
 	for i := range dets {
 		copy(dets[i].Sig[:], sigCol[64*i:])
 	}
+	if err := decodeDetailColumns(dets, &c, interned); err != nil {
+		return err
+	}
+	if err := c.done(); err != nil {
+		return err
+	}
+	mu.Lock()
+	for i := range dets {
+		dst[dets[i].Sig] = dets[i]
+	}
+	mu.Unlock()
+	return nil
+}
+
+// decodeDetailColumns parses the detail columns at the cursor into dets
+// (whose length fixes the item count): signer index, slot, flags, tip,
+// delta counts, then the ragged delta triples — the layout shared by the
+// v2 details section and the v3 bundle/orphan shards. Pubkey indices
+// resolve against interned (the global v2 table or a v3 shard-local
+// dictionary).
+func decodeDetailColumns(dets []jito.TxDetail, c *varintCursor, interned []solana.Pubkey) error {
+	items := len(dets)
+	var err error
 	pubkey := func() (solana.Pubkey, error) {
 		idx, err := c.uvarint()
 		if err != nil {
@@ -480,7 +534,7 @@ func decodeDetailShard(dst map[solana.Signature]jito.TxDetail, mu *sync.Mutex, i
 		if err != nil {
 			return err
 		}
-		if n > uint64(len(raw)) { // each delta needs ≥3 bytes; cheap sanity bound
+		if n > uint64(len(c.raw)) { // each delta needs ≥3 bytes; cheap sanity bound
 			return corrupt("delta count %d exceeds shard size", n)
 		}
 		counts[i] = int(n)
@@ -508,13 +562,5 @@ func decodeDetailShard(dst map[solana.Signature]jito.TxDetail, mu *sync.Mutex, i
 		}
 		off += counts[i]
 	}
-	if err := c.done(); err != nil {
-		return err
-	}
-	mu.Lock()
-	for i := range dets {
-		dst[dets[i].Sig] = dets[i]
-	}
-	mu.Unlock()
 	return nil
 }

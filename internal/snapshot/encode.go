@@ -132,19 +132,26 @@ func (w *writer) section(id byte, totalItems, shardSize, workers int, encode fun
 	})
 }
 
-// Write encodes s to w in the v2 container format. workers bounds the
-// shard encode/compress pool (0 = all cores, 1 = serial); the bytes
-// written are identical for every worker count.
+// Write encodes s to w in the v3 container format: self-contained
+// bundle shards with pushdown metadata. workers bounds the shard
+// encode/compress pool (0 = all cores, 1 = serial); the bytes written
+// are identical for every worker count.
 func Write(w io.Writer, s *Snapshot, workers int) error {
 	return write(w, s, workers, &snapObs{})
 }
 
-func write(w io.Writer, s *Snapshot, workers int, m *snapObs) error {
-	bw := &writer{w: bufio.NewWriterSize(w, 1<<16), m: m}
-	bw.bytes([]byte(Magic))
+// WriteV2 encodes s in the superseded v2 container format. Retained so
+// tests and benchmarks can produce the older format against the
+// still-supported read path; new checkpoints should use Write.
+func WriteV2(w io.Writer, s *Snapshot, workers int) error {
+	return writeV2(w, s, workers, &snapObs{})
+}
 
+// headerSections emits the aggregate sections shared by v2 and v3: meta,
+// days, and the two tip histograms.
+func (w *writer) headerSections(s *Snapshot) {
 	// meta: three fixed uint64s.
-	bw.section(secMeta, 1, 1, 1, func(_, _ int) ([]byte, error) {
+	w.section(secMeta, 1, 1, 1, func(_, _ int) ([]byte, error) {
 		raw := make([]byte, 0, 24)
 		raw = appendU64(raw, uint64(s.Genesis))
 		raw = appendU64(raw, s.Collected)
@@ -158,7 +165,7 @@ func write(w io.Writer, s *Snapshot, workers int, m *snapObs) error {
 		days = append(days, d)
 	}
 	sort.Ints(days)
-	bw.section(secDays, len(days), len(days)+1, 1, func(lo, hi int) ([]byte, error) {
+	w.section(secDays, len(days), len(days)+1, 1, func(lo, hi int) ([]byte, error) {
 		raw := make([]byte, 0, 32*(hi-lo))
 		for _, d := range days[lo:hi] {
 			agg := s.Days[d]
@@ -175,8 +182,14 @@ func write(w io.Writer, s *Snapshot, workers int, m *snapObs) error {
 		return raw, nil
 	})
 
-	bw.histogram(secTipsLen1, s.TipsLen1)
-	bw.histogram(secTipsLen3, s.TipsLen3)
+	w.histogram(secTipsLen1, s.TipsLen1)
+	w.histogram(secTipsLen3, s.TipsLen3)
+}
+
+func writeV2(w io.Writer, s *Snapshot, workers int, m *snapObs) error {
+	bw := &writer{w: bufio.NewWriterSize(w, 1<<16), m: m}
+	bw.bytes([]byte(Magic))
+	bw.headerSections(s)
 
 	// Details in sorted-signature order: the canonical encode order that
 	// makes both the shard payloads and the intern table deterministic.
@@ -302,6 +315,13 @@ func encodeDetailShard(sigs []solana.Signature, details map[solana.Signature]jit
 	for _, sig := range sigs {
 		raw = append(raw, sig[:]...)
 	}
+	return appendDetailColumns(raw, dets, in), nil
+}
+
+// appendDetailColumns emits the detail columns shared by the v2 details
+// section and the v3 bundle/orphan shards: signer index, slot, flags,
+// tip, delta count, then the ragged delta triples.
+func appendDetailColumns(raw []byte, dets []jito.TxDetail, in *interner) []byte {
 	for i := range dets {
 		raw = appendUvarint(raw, in.idx[dets[i].Signer])
 	}
@@ -331,5 +351,5 @@ func encodeDetailShard(sigs []solana.Signature, details map[solana.Signature]jit
 			raw = appendUvarint(raw, zigzag(td.Delta))
 		}
 	}
-	return raw, nil
+	return raw
 }

@@ -1,17 +1,25 @@
-// Package snapshot implements the dataset checkpoint format (v2): a
-// length-prefixed, versioned container of independently gzip-compressed
-// shards, written and read in parallel. The paper's four-month collection
-// is the asset the whole pipeline exists to protect, and the v1 format —
-// one gzip stream around one reflective gob encoding of the entire
-// dataset — pushed every byte through a single core. v2 splits the
-// dataset into fixed-size shards whose encoding is a pure function of the
-// data (never of the worker count), compresses them concurrently, and
-// concatenates them in shard order, so Save and Load both scale with
-// cores, output bytes are identical at every worker count, and peak
-// transient memory is bounded by the compression window rather than the
-// dataset.
+// Package snapshot implements the dataset checkpoint formats (v2 and
+// v3): length-prefixed, versioned containers of independently
+// gzip-compressed shards, written and read in parallel. The paper's
+// four-month collection is the asset the whole pipeline exists to
+// protect, and the v1 format — one gzip stream around one reflective gob
+// encoding of the entire dataset — pushed every byte through a single
+// core. v2 split the dataset into fixed-size shards whose encoding is a
+// pure function of the data (never of the worker count), compressed them
+// concurrently, and concatenated them in shard order, so Save and Load
+// both scale with cores, output bytes are identical at every worker
+// count, and peak transient memory is bounded by the compression window
+// rather than the dataset.
 //
-// # Container layout
+// v3 — the current write format — restructures the bundle payload for
+// out-of-core analytics: every shard is a self-contained streaming unit
+// (records plus their aligned transaction details plus a local pubkey
+// dictionary), and every shard frame carries a pushdown-metadata header
+// (record count, min/max study day, bundle-length histogram) that a
+// streaming scanner can use to skip the shard without even inflating it.
+// v2 files stay readable; see the versioning policy below.
+//
+// # Container layout (v2)
 //
 // All multi-byte integers are little-endian when fixed-width and unsigned
 // LEB128 ("uvarint") when variable; signed varints use zigzag. The file
@@ -36,6 +44,41 @@
 // reference it. Unknown section ids are a decode error — the version
 // byte in the magic, not section skipping, is the compatibility
 // mechanism.
+//
+// # Container layout (v3)
+//
+// A v3 file opens with magic "jitosnp3" and holds the header sections
+// meta, days, tipsLen1 and tipsLen3 exactly as v2 does, followed by
+// three streaming sections — bundles3, bundlesLong, orphans — and the
+// 0xFF terminator. Streaming sections use an extended frame whose
+// header is the pushdown-metadata block:
+//
+//	items   uvarint          records (or orphan details) in this shard
+//	minDay  zigzag uvarint   earliest study day touched by the shard
+//	maxDay  zigzag uvarint   latest study day touched by the shard
+//	byLen   uvarints         bundle-length histogram, lengths 0..5
+//	                         (all zero for orphan shards)
+//	rawLen  uvarint
+//	compLen uvarint
+//	blob    compLen bytes of gzip(payload)
+//
+// A bundle shard's payload is self-contained: the v2 record columns,
+// then a local pubkey dictionary (nKeys uvarint + nKeys×32 bytes, in
+// first-use order), then one presence byte per (record, member
+// transaction) pair, then the v2 detail columns over exactly the present
+// details in (record, member) order. Member signatures are not stored
+// with the details — a detail's signature is the transaction id at its
+// position in the owning record, which is also why the v2 global intern
+// table and the globally signature-sorted details section disappear: a
+// scanner can decode, analyze and discard one shard at a time with no
+// dataset-sized state. Details not referenced by any retained record
+// land in the orphans section (signature-sorted, v2 detail layout plus
+// the same local dictionary), preserving exact map round trips.
+//
+// The metadata header is what predicate pushdown reads: a day-ranged
+// query drops shards whose [minDay, maxDay] misses the range, and a
+// query that needs no long bundles drops every shard with no length-3
+// entries, in both cases skipping the gzip inflate entirely.
 //
 // # Shard payloads
 //
@@ -78,6 +121,7 @@ package snapshot
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"jitomev/internal/jito"
@@ -89,28 +133,61 @@ import (
 // the gzip magic's 0x1f, so version sniffing needs only one byte.
 const Magic = "jitosnp2"
 
-// Section identifiers, in file order.
+// MagicV3 opens every v3 snapshot — the current write format, with
+// self-contained bundle shards and per-shard pushdown metadata.
+const MagicV3 = "jitosnp3"
+
+// Section identifiers, in file order. The 0x0A+ block is v3-only.
 const (
 	secMeta     = 0x01
 	secDays     = 0x02
 	secTipsLen1 = 0x03
 	secTipsLen3 = 0x04
-	secInterns  = 0x05
-	secLen3     = 0x06
-	secLong     = 0x07
-	secDetails  = 0x08
+	secInterns  = 0x05 // v2 only
+	secLen3     = 0x06 // v2 only
+	secLong     = 0x07 // v2 only
+	secDetails  = 0x08 // v2 only
 	secEnd      = 0xFF
+
+	secBundles3    = 0x0A // v3: len-3 records + aligned details
+	secBundlesLong = 0x0B // v3: retained length-4/5 records + details
+	secOrphans     = 0x0C // v3: details referenced by no retained record
 )
 
 // Shard sizing: fixed constants so shard boundaries — and therefore the
 // output bytes — depend only on the data, never on the worker count.
 // 8192 records ≈ 1 MiB raw for the record columns, which keeps per-shard
-// compression state small while amortizing the frame overhead.
+// compression state small while amortizing the frame overhead. v3 bundle
+// shards carry their details inline, so they use a smaller record count
+// both to hold the raw payload near the same size and to keep the
+// per-shard day span tight (finer-grained shards prune better).
 const (
 	recordShardSize = 8192
 	detailShardSize = 8192
 	internShardSize = 16384
+
+	bundleShardSize = 4096
+	orphanShardSize = 8192
 )
+
+// ShardMeta is the pushdown-metadata block every v3 streaming frame
+// carries: enough for a planner to decide whether a shard can be skipped
+// without inflating it. Day bounds are zero-based study days (the same
+// solana.Clock.DayOf the collector aggregates by); ByLength counts the
+// shard's records by bundle length, with out-of-spec lengths clamped
+// into the top bucket, and is all zero for orphan-detail shards.
+type ShardMeta struct {
+	Items  int
+	MinDay int
+	MaxDay int
+
+	ByLength [jito.MaxBundleTxs + 1]uint64
+
+	// RawLen and CompLen size the shard's payload: CompLen is what a
+	// pruned scan skips, RawLen what a full scan inflates.
+	RawLen  int
+	CompLen int
+}
 
 // DayAgg aggregates one study day of collected bundles — the per-day
 // series behind Figures 1 and 2. The canonical definition lives here so
@@ -150,7 +227,23 @@ func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
 
-// corrupt builds the uniform decode error.
+// ErrCorrupt is the sentinel every decode failure wraps: any malformed,
+// truncated or hostile input — including a short read anywhere in the
+// stream — surfaces as errors.Is(err, ErrCorrupt), so callers can
+// distinguish "bad checkpoint" from I/O plumbing failures.
+var ErrCorrupt = errors.New("snapshot: corrupt")
+
+// corrupt builds the uniform decode error, wrapping ErrCorrupt.
 func corrupt(format string, args ...any) error {
-	return fmt.Errorf("snapshot: corrupt: "+format, args...)
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// corruptShard tags a shard-level failure with its shard index, ensuring
+// exactly one ErrCorrupt wrap even when the inner error already carries
+// one (payload decoders) or none (histogram codecs).
+func corruptShard(idx int, err error) error {
+	if errors.Is(err, ErrCorrupt) {
+		return fmt.Errorf("snapshot: shard %d: %w", idx, err)
+	}
+	return fmt.Errorf("%w: shard %d: %v", ErrCorrupt, idx, err)
 }

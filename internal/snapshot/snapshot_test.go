@@ -243,7 +243,7 @@ func TestReadRejectsCorruption(t *testing.T) {
 	cases := map[string][]byte{
 		"empty":         {},
 		"bad magic":     append([]byte("jitosnpX"), good[8:]...),
-		"v3 magic":      append([]byte("jitosnp3"), good[8:]...),
+		"v2 magic":      append([]byte("jitosnp2"), good[8:]...),
 		"truncated":     good[:len(good)/2],
 		"no terminator": good[:len(good)-1],
 	}
