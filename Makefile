@@ -10,10 +10,11 @@ GO ?= go
 # mutex guarding ledger + drift state fed from poll and analysis paths
 # while /qualityz evaluates concurrently), and the out-of-core query
 # engine (detection mapped onto the decode pool, folds on one
-# goroutine).
-RACE_PKGS = ./internal/parallel ./internal/report ./internal/collector ./internal/workload ./internal/snapshot ./internal/faults ./internal/explorer ./internal/obs ./internal/quality ./internal/query
+# goroutine), and the incremental stream engine (concurrent Offer vs.
+# the detect worker pool vs. the ordered fold goroutine).
+RACE_PKGS = ./internal/parallel ./internal/report ./internal/collector ./internal/workload ./internal/snapshot ./internal/faults ./internal/explorer ./internal/obs ./internal/quality ./internal/query ./internal/stream
 
-.PHONY: verify build test vet race bench bench-json bench-stream chaos metrics-smoke
+.PHONY: verify build test vet race bench bench-json bench-stream bench-latency chaos metrics-smoke
 
 # verify is the extended tier-1 gate (see ROADMAP.md): build + tests,
 # static checks, and the race suite over the concurrent packages.
@@ -55,6 +56,13 @@ bench-json:
 	$(GO) test -run=NONE -bench='Obs|InstrumentedAnalyze|AnalyzeParallel$$' -benchmem . ./internal/obs | $(GO) run ./cmd/benchjson > BENCH_obs.json
 	$(GO) test -run=NONE -bench=Quality -benchmem ./internal/quality | $(GO) run ./cmd/benchjson > BENCH_quality.json
 	$(GO) test -run=NONE -bench=Query -benchmem ./internal/query | $(GO) run ./cmd/benchjson > BENCH_query.json
+	$(GO) test -run=NONE -bench=Stream -benchmem ./internal/stream | $(GO) run ./cmd/benchjson > BENCH_stream.json
+
+# bench-latency smoke-runs the incremental-detection benchmarks once —
+# quick proof that the streamed path, its cross-block stage and the
+# batch baseline still execute and report their latency percentiles.
+bench-latency:
+	$(GO) test -run=NONE -bench=Stream -benchtime=1x ./internal/stream
 
 # bench-stream smoke-runs the out-of-core query benchmarks once:
 # streaming full scan, day-range pruned scan, and the resident baseline

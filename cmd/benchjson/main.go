@@ -2,9 +2,11 @@
 // a JSON object on stdout mapping each benchmark name to its metrics
 // (ns/op, B/op, allocs/op, MB/s when present). Custom units emitted via
 // b.ReportMetric — e.g. the streaming-query shards/s, peak-RSS-bytes and
-// pruned-frac — land under "extra" keyed by unit. The `make bench-json`
-// target pipes the benchmark suite through it into BENCH_persist.json so
-// successive PRs can diff the performance trajectory mechanically.
+// pruned-frac, or the incremental detector's events/s and p50-ms/p99-ms
+// latency percentiles — land under "extra" keyed by unit. The `make
+// bench-json` target pipes the benchmark suite through it into
+// BENCH_persist.json (plus per-subsystem files like BENCH_stream.json)
+// so successive PRs can diff the performance trajectory mechanically.
 //
 // Usage:
 //

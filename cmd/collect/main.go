@@ -50,6 +50,7 @@ import (
 	"jitomev/internal/report"
 	"jitomev/internal/snapshot"
 	"jitomev/internal/solana"
+	"jitomev/internal/stream"
 )
 
 func main() {
@@ -65,6 +66,8 @@ func main() {
 		resume    = flag.Bool("resume", false, "load the -save snapshot before polling, if it exists")
 		faultRate = flag.Float64("fault-rate", 0, "per-call fault probability injected client-side (0 = off)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "seed for the deterministic fault schedule")
+		streamDet = flag.Bool("stream-detect", false, "feed collected bundles through the incremental streaming detector (fetches details after every poll)")
+		streamLag = flag.Int("stream-lag", 64, "streaming watermark lag in slots (how much slot reordering a poll page may carry)")
 		metrics   = flag.String("metrics-addr", "", "serve /metrics and /statusz on this address while collecting")
 		withPprof = flag.Bool("pprof", false, "with -metrics-addr, also mount net/http/pprof under /debug/pprof/")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this path")
@@ -151,6 +154,22 @@ func main() {
 		fmt.Printf("saved dataset to %s (%d bytes)\n", path, n)
 	}
 
+	// -stream-detect runs the incremental detector beside collection: the
+	// detail fetch moves into the poll loop so freshly collected length-3
+	// bundles stream into the engine while their slots are still inside
+	// the watermark lag, instead of waiting for the end-of-run fetch.
+	var eng *stream.Engine
+	var feeder *stream.Feeder
+	if *streamDet {
+		eng = stream.New(stream.Config{
+			LagSlots: solana.Slot(*streamLag),
+			Clock:    clock,
+			Reg:      reg,
+		})
+		feeder = stream.NewFeeder(eng, c.Data)
+		feeder.Feed() // resumed datasets stream their backlog first
+	}
+
 	for i := 0; i < *polls; i++ {
 		if i > 0 {
 			time.Sleep(*every)
@@ -158,6 +177,13 @@ func main() {
 		if err := c.Poll(); err != nil {
 			fmt.Fprintf(os.Stderr, "poll %d: %v\n", i, err)
 			continue
+		}
+		if feeder != nil {
+			if _, err := c.FetchDetails(); err != nil && !errors.Is(err, collector.ErrDetailShortfall) {
+				fmt.Fprintln(os.Stderr, "collect:", err)
+				os.Exit(1)
+			}
+			feeder.Feed()
 		}
 		fmt.Printf("poll %d: %d bundles collected (%d dups), overlap rate %.1f%%\n",
 			i, c.Data.Collected, c.Data.Duplicates, 100*c.OverlapRate())
@@ -186,6 +212,17 @@ func main() {
 	report.RenderHeadline(os.Stdout, res, 1)
 	fmt.Println()
 	report.RenderRejections(os.Stdout, res)
+
+	if feeder != nil {
+		// Stragglers whose details never completed stream detail-less
+		// (undetectable), exactly as the batch fold treats them.
+		feeder.FlushPending()
+		eng.SetScope(stream.ScopeOf(c.Data))
+		sres := eng.Finish()
+		fmt.Println("\n== Streaming detection ==")
+		eng.Summary().Write(os.Stdout)
+		fmt.Printf("  streamed results: %d sandwiches (batch pass above: %d)\n", sres.Sandwiches, res.Sandwiches)
+	}
 
 	if *save != "" {
 		saveTo(*save)

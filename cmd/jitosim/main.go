@@ -51,6 +51,8 @@ func main() {
 		chaosSeed = flag.Int64("chaos-seed", 0, "seed for the deterministic fault schedule")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this path (taken after the run)")
+		streamDet = flag.Bool("stream-detect", false, "also run the incremental streaming detector over the live feed")
+		crossWin  = flag.Int("stream-cross", 0, "streaming cross-block window in slots (0 = default 4, negative = off)")
 		metrics   = flag.String("metrics-addr", "", "serve /metrics and /statusz on this address during the run")
 		withPprof = flag.Bool("pprof", false, "with -metrics-addr, also mount net/http/pprof under /debug/pprof/")
 		summary   = flag.Bool("summary", false, "print the metrics registry as a table at exit")
@@ -98,6 +100,8 @@ func main() {
 		Workers:           *workers,
 		FaultRate:         *faultRate,
 		ChaosSeed:         *chaosSeed,
+		StreamDetect:      *streamDet,
+		StreamCrossSlots:  *crossWin,
 		Obs:               reg,
 		Quality:           q,
 	})
@@ -170,6 +174,15 @@ func main() {
 	}
 	if *extended {
 		report.RenderExtended(os.Stdout, r)
+		fmt.Println()
+	}
+	if *streamDet {
+		fmt.Println("== Streaming detection ==")
+		out.StreamSummary.Write(os.Stdout)
+		if sr := out.StreamResults; sr != nil {
+			fmt.Printf("  full-feed results: %d sandwiches from %d bundles (batch collected view: %d from %d)\n",
+				sr.Sandwiches, sr.TotalBundles, r.Sandwiches, r.TotalBundles)
+		}
 		fmt.Println()
 	}
 	if *blockscan {

@@ -57,6 +57,11 @@ const (
 	ClassDuplicate
 	// ClassReorder is a page with entries out of acceptance order.
 	ClassReorder
+	// ClassDelay is a bundle delivered late — it arrives after bundles
+	// from younger slots, the out-of-order arrival a streaming consumer's
+	// watermark must absorb (or count as dropped when the delay exceeds
+	// its allowed lateness).
+	ClassDelay
 
 	// NumClasses bounds the taxonomy (ClassNone included).
 	NumClasses
@@ -64,7 +69,7 @@ const (
 
 var classNames = [NumClasses]string{
 	"none", "transport", "throttle", "server", "timeout",
-	"truncate", "corrupt", "partial", "duplicate", "reorder",
+	"truncate", "corrupt", "partial", "duplicate", "reorder", "delay",
 }
 
 // String implements fmt.Stringer.
@@ -103,6 +108,9 @@ var (
 	// HTTPMask: faults the wire-level chaos middleware can inject.
 	HTTPMask = MaskOf(ClassThrottle, ClassServer, ClassTimeout,
 		ClassTruncate, ClassCorrupt)
+	// FeedMask: faults a per-bundle delivery feed can suffer — late
+	// (out-of-order) arrival and repeated delivery.
+	FeedMask = MaskOf(ClassDelay, ClassDuplicate)
 )
 
 // classes expands the mask into a stable, ascending class list.

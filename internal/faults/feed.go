@@ -1,0 +1,41 @@
+package faults
+
+// FeedChaos scrambles a per-bundle delivery feed on the deterministic
+// schedule: a schedule-selected subset of deliveries arrives late by
+// 1..MaxDelaySlots slots (so they land out of slot order), and another
+// subset is delivered twice. It exists for the streaming detection
+// engine's watermark path — delayed deliveries exercise out-of-order
+// sealing, duplicates exercise the feed-level dedup — but is usable by
+// any consumer that replays an ordered event sequence.
+//
+// Like every injector-backed fault source, the plan for delivery i is a
+// pure function of (seed, rate, i): the same feed scrambled twice yields
+// the same arrival order, so chaos-fed determinism tests stay exact.
+type FeedChaos struct {
+	inj *Injector
+	// MaxDelaySlots bounds how late a delayed delivery arrives (≥ 1).
+	MaxDelaySlots int
+}
+
+// NewFeedChaos builds a feed scrambler over the injector's schedule.
+// maxDelaySlots ≤ 0 selects 1 (the minimum observable delay).
+func NewFeedChaos(inj *Injector, maxDelaySlots int) *FeedChaos {
+	if maxDelaySlots <= 0 {
+		maxDelaySlots = 1
+	}
+	return &FeedChaos{inj: inj, MaxDelaySlots: maxDelaySlots}
+}
+
+// Plan consumes one delivery index and returns its fault: ClassNone
+// (deliver on time), ClassDelay with 1..MaxDelaySlots slots of lateness,
+// or ClassDuplicate (deliver on time, then once more). The delay amount
+// is derived from the same index hash as the class, so it is as
+// deterministic as the schedule itself.
+func (f *FeedChaos) Plan() (class Class, delaySlots int) {
+	c, idx := f.inj.Next(FeedMask)
+	if c != ClassDelay {
+		return c, 0
+	}
+	h := hash(f.inj.Seed(), idx, 0xde1a9)
+	return c, 1 + int(h%uint64(f.MaxDelaySlots))
+}

@@ -228,6 +228,47 @@ func (h *Histogram) Count() uint64 {
 // Sum reads the sum of observed values.
 func (h *Histogram) Sum() float64 { return h.sum.Value() }
 
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts,
+// interpolating linearly inside the bucket that crosses the rank — the
+// standard Prometheus histogram_quantile estimate, so precision is
+// bounded by the bucket bounds, not the sample count. Returns 0 with no
+// observations; ranks landing in the +Inf bucket report the last finite
+// bound (the estimate cannot exceed what the buckets resolve).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, bound := range h.bounds {
+		n := float64(h.buckets[i].Load())
+		if cum+n >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if n == 0 {
+				return bound
+			}
+			return lo + (bound-lo)*(rank-cum)/n
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // metric is one registered instrument plus its identity.
 type metric struct {
 	family string // metric name without labels

@@ -118,6 +118,13 @@ func RunFile(path string, opts Options) (*report.Results, *Stats, error) {
 // bounded-memory streaming pass for v3 snapshots, the full-load
 // fallback for anything older.
 func Run(r io.Reader, opts Options) (*report.Results, *Stats, error) {
+	// A reversed range would silently select nothing (every Contains
+	// check fails and every shard prunes); refuse it loudly instead —
+	// the caller swapped the bounds.
+	if opts.Days != nil && opts.Days.Lo > opts.Days.Hi {
+		return nil, nil, fmt.Errorf("query: reversed day range %d:%d (lo > hi; did you swap the bounds?)",
+			opts.Days.Lo, opts.Days.Hi)
+	}
 	br := bufio.NewReaderSize(r, 1<<20)
 	version, err := snapshot.Sniff(br)
 	if err != nil {

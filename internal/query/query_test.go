@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"runtime"
 	"sync"
 	"testing"
@@ -438,5 +439,21 @@ func TestTruncatedStream(t *testing.T) {
 	}
 	if _, _, err := Run(io.LimitReader(bytes.NewReader(blob), 4), Options{}); err == nil {
 		t.Fatal("4-byte stream produced results")
+	}
+}
+
+// TestReversedDayRange: a lo > hi range is a caller mistake, and Run
+// must say so loudly — before this guard it silently pruned every shard
+// and returned an empty, plausible-looking Results.
+func TestReversedDayRange(t *testing.T) {
+	data := buildStudyDataset(t)
+	blob := saveV3(t, data)
+	days := DayRange{Lo: 4, Hi: 2}
+	_, _, err := Run(bytes.NewReader(blob), Options{Workers: 2, Days: &days})
+	if err == nil {
+		t.Fatal("reversed day range produced results instead of an error")
+	}
+	if !strings.Contains(err.Error(), "reversed day range 4:2") {
+		t.Errorf("error %q does not name the reversed range", err)
 	}
 }

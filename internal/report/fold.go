@@ -66,22 +66,60 @@ type Accumulator struct {
 // accumulator that will fill in the detection-derived statistics.
 // solPriceUSD ≤ 0 selects the paper's rate.
 func NewAccumulator(det *core.Detector, solPriceUSD float64, sc Scope) *Accumulator {
+	a := NewLiveAccumulator(det, solPriceUSD, sc.Clock)
+	// Size the verdict buffers from the known length-3 population —
+	// a capacity-only improvement over the live path's lazy growth.
+	est := verdictEst(int(sc.Len3Bundles))
+	a.r.Verdicts = make([]core.Verdict, 0, est)
+	a.lossUSD = make([]float64, 0, est)
+	a.sandwichTips = make([]float64, 0, est)
+	a.SeedScope(sc)
+	return a
+}
+
+// NewLiveAccumulator builds an accumulator whose Scope is not known yet —
+// the shape of an incremental feed, where collection aggregates are still
+// accumulating while detection folds run. The clock must be supplied up
+// front (Detect* maps slots to study days); everything else arrives via
+// SeedScope, which must be called exactly once before Finish. Fold order
+// and scope seeding touch disjoint Results fields, so an accumulator
+// built this way produces bit-identical Results to NewAccumulator over
+// the same records and the same final Scope.
+func NewLiveAccumulator(det *core.Detector, solPriceUSD float64, clock solana.Clock) *Accumulator {
 	if solPriceUSD <= 0 {
 		solPriceUSD = stats.SOLPriceUSD
 	}
+	est := verdictEst(0)
 	r := &Results{
-		TotalBundles:  sc.Collected,
-		Len3Bundles:   sc.Len3Bundles,
-		BundlesByDay:  sc.Days,
-		AttacksByDay:  stats.NewTimeSeries(),
-		LossSOLByDay:  stats.NewTimeSeries(),
-		GainSOLByDay:  stats.NewTimeSeries(),
-		DefenseByDay:  stats.NewTimeSeries(),
-		CollectedDays: sortedDays(sc.Days),
-		TipsLen1:      sc.TipsLen1,
-		TipsLen3:      sc.TipsLen3,
-		SOLPriceUSD:   solPriceUSD,
+		AttacksByDay: stats.NewTimeSeries(),
+		LossSOLByDay: stats.NewTimeSeries(),
+		GainSOLByDay: stats.NewTimeSeries(),
+		DefenseByDay: stats.NewTimeSeries(),
+		SOLPriceUSD:  solPriceUSD,
+		Verdicts:     make([]core.Verdict, 0, est),
 	}
+	return &Accumulator{
+		r:            r,
+		det:          det,
+		clock:        clock,
+		lossUSD:      make([]float64, 0, est),
+		sandwichTips: make([]float64, 0, est),
+	}
+}
+
+// SeedScope folds the dataset-level aggregates into the results. Called
+// by NewAccumulator at construction; a live accumulator calls it once the
+// feed has completed, any time before Finish. The fields it writes are
+// disjoint from everything Fold* touches, so its ordering relative to the
+// folds cannot perturb the output.
+func (a *Accumulator) SeedScope(sc Scope) {
+	r := a.r
+	r.TotalBundles = sc.Collected
+	r.Len3Bundles = sc.Len3Bundles
+	r.BundlesByDay = sc.Days
+	r.CollectedDays = sortedDays(sc.Days)
+	r.TipsLen1 = sc.TipsLen1
+	r.TipsLen3 = sc.TipsLen3
 	if sc.Duplicates+sc.Collected > 0 {
 		r.DuplicateRate = float64(sc.Duplicates) / float64(sc.Duplicates+sc.Collected)
 	}
@@ -95,15 +133,6 @@ func NewAccumulator(det *core.Detector, solPriceUSD float64, sc Scope) *Accumula
 	}
 	if len(r.CollectedDays) > 0 {
 		r.Days = r.CollectedDays[len(r.CollectedDays)-1] + 1
-	}
-	est := verdictEst(int(sc.Len3Bundles))
-	r.Verdicts = make([]core.Verdict, 0, est)
-	return &Accumulator{
-		r:            r,
-		det:          det,
-		clock:        sc.Clock,
-		lossUSD:      make([]float64, 0, est),
-		sandwichTips: make([]float64, 0, est),
 	}
 }
 
@@ -165,6 +194,15 @@ func (a *Accumulator) DetectLen3(recs []jito.BundleRecord, src DetailSource) Len
 	return p
 }
 
+// Hits reports how many positive verdicts the partial carries — what an
+// incremental caller surfaces as its per-slot verdict count without
+// waiting for Finish.
+func (p *Len3Partial) Hits() int { return len(p.hits) }
+
+// WithDetails reports how many records in the partial had complete
+// details and therefore reached the detector.
+func (p *Len3Partial) WithDetails() uint64 { return p.withDetails }
+
 // FoldLen3 folds one partial into the results. Call in record index
 // order on a single goroutine.
 func (a *Accumulator) FoldLen3(p Len3Partial) {
@@ -204,6 +242,9 @@ func (a *Accumulator) DetectLong(recs []jito.BundleRecord, src DetailSource) Lon
 	}
 	return p
 }
+
+// Hits reports how many disguised-sandwich verdicts the partial carries.
+func (p *LongPartial) Hits() int { return len(p.verdicts) }
 
 // FoldLong folds one extended partial, in record index order.
 func (a *Accumulator) FoldLong(p LongPartial) {

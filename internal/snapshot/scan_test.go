@@ -300,3 +300,52 @@ func TestScanRejectsOlderContainers(t *testing.T) {
 		t.Fatal("scan of a v2 container succeeded")
 	}
 }
+
+// TestScanAllShardsPrunedSkipsMap: when the planner prunes every shard
+// (a day filter entirely outside the snapshot), Map must never run —
+// the scan is pure frame-skipping — while the fold still sees every
+// shard's metadata with a nil batch and a nil mapped value.
+func TestScanAllShardsPrunedSkipsMap(t *testing.T) {
+	s := alignedSnapshot(27, 2*bundleShardSize+55, 6, 0.8)
+	var buf bytes.Buffer
+	if err := Write(&buf, s, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	mapCalls := 0
+	folds := 0
+	err := Scan(&buf, ScanOptions{
+		Workers: 4,
+		Prune:   func(sec Section, m ShardMeta) bool { return sec != SectionOrphans },
+		Map: func(sec Section, m ShardMeta, b *Batch) (any, error) {
+			if sec != SectionOrphans {
+				mapCalls++
+			}
+			return nil, nil
+		},
+	}, nil, func(sec Section, m ShardMeta, b *Batch, mapped any) error {
+		if sec == SectionOrphans {
+			return nil
+		}
+		folds++
+		if b != nil {
+			t.Errorf("%s: pruned shard delivered a batch", sec)
+		}
+		if mapped != nil {
+			t.Errorf("%s: pruned shard delivered a mapped value", sec)
+		}
+		if m.Items == 0 {
+			t.Errorf("%s: pruned shard lost its metadata", sec)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapCalls != 0 {
+		t.Errorf("Map ran %d times on a fully pruned scan", mapCalls)
+	}
+	if folds == 0 {
+		t.Error("fully pruned scan delivered no shard metadata at all")
+	}
+}

@@ -1,0 +1,192 @@
+package stream_test
+
+import (
+	"reflect"
+	"testing"
+
+	"jitomev/internal/jito"
+	"jitomev/internal/solana"
+	"jitomev/internal/stream"
+	"jitomev/internal/token"
+)
+
+// Cross-block detection tests drive the tracker through the public
+// engine API with hand-built feeds: every trade is a single-transaction
+// bundle whose TokenDeltas express exactly one clean two-mint swap.
+
+func pk(b byte) solana.Pubkey {
+	var p solana.Pubkey
+	p[0] = b
+	return p
+}
+
+var (
+	mintSOL = token.SOL.Address
+	mintX   = pk(0xAA)
+
+	attacker = pk(1)
+	victim   = pk(2)
+)
+
+// swapEvent is a one-transaction bundle: signer sells `soldAmt` of
+// `sold` for `boughtAmt` of `bought` in the given slot.
+func swapEvent(seq uint64, slot solana.Slot, signer, sold, bought solana.Pubkey, soldAmt, boughtAmt uint64) stream.Event {
+	var id jito.BundleID
+	id[0] = byte(seq)
+	id[1] = byte(seq >> 8)
+	var sig solana.Signature
+	sig[0] = byte(seq)
+	return stream.Event{
+		Rec: jito.BundleRecord{Seq: seq, ID: id, Slot: slot, TxIDs: []solana.Signature{sig}, TipLamps: 1000},
+		Details: []jito.TxDetail{{
+			Sig:    sig,
+			Signer: signer,
+			Slot:   slot,
+			TokenDeltas: []jito.TokenDelta{
+				{Owner: signer, Mint: sold, Delta: -int64(soldAmt)},
+				{Owner: signer, Mint: bought, Delta: int64(boughtAmt)},
+			},
+		}},
+	}
+}
+
+func crossEngine(window, maxBytes int) *stream.Engine {
+	return stream.New(stream.Config{
+		Clock: solana.Clock{},
+		Cross: stream.CrossConfig{WindowSlots: window, MaxBytes: maxBytes},
+	})
+}
+
+// TestCrossBlockSandwichDetected: front-run, victim, back-run in three
+// different bundles across three slots — invisible to the in-block
+// detector, caught by the cross-block stage with the right attribution.
+func TestCrossBlockSandwichDetected(t *testing.T) {
+	eng := crossEngine(4, 0)
+	eng.Offer(swapEvent(1, 10, attacker, mintSOL, mintX, 100, 50)) // front: SOL -> X
+	eng.Offer(swapEvent(2, 11, victim, mintSOL, mintX, 60, 25))    // victim, same direction
+	eng.Offer(swapEvent(3, 12, attacker, mintX, mintSOL, 50, 120)) // back: X -> SOL, +20 SOL net
+	res := eng.Finish()
+
+	if res.Sandwiches != 0 {
+		t.Errorf("in-block detector flagged %d sandwiches over single-tx bundles", res.Sandwiches)
+	}
+	cvs := eng.CrossVerdicts()
+	if len(cvs) != 1 {
+		t.Fatalf("cross verdicts = %d, want 1", len(cvs))
+	}
+	cv := cvs[0]
+	if cv.Attacker != attacker || cv.Victim != victim {
+		t.Errorf("attribution: attacker %x victim %x", cv.Attacker[:2], cv.Victim[:2])
+	}
+	if cv.FrontSlot != 10 || cv.BackSlot != 12 || cv.SpanSlots() != 2 {
+		t.Errorf("span: front %d back %d", cv.FrontSlot, cv.BackSlot)
+	}
+	if !cv.HasSOL || cv.AttackerGainLamports != 20 {
+		t.Errorf("gain: hasSOL=%v gain=%v, want 20 SOL-leg lamports", cv.HasSOL, cv.AttackerGainLamports)
+	}
+	if s := eng.Summary(); s.CrossVerdicts != 1 {
+		t.Errorf("summary cross verdicts = %d", s.CrossVerdicts)
+	}
+}
+
+// TestCrossBlockRequiresVictim: an attacker round trip with nobody in
+// between is inventory management, not a sandwich.
+func TestCrossBlockRequiresVictim(t *testing.T) {
+	eng := crossEngine(4, 0)
+	eng.Offer(swapEvent(1, 10, attacker, mintSOL, mintX, 100, 50))
+	eng.Offer(swapEvent(2, 12, attacker, mintX, mintSOL, 50, 120))
+	eng.Finish()
+	if n := len(eng.CrossVerdicts()); n != 0 {
+		t.Errorf("victimless round trip produced %d verdicts", n)
+	}
+}
+
+// TestCrossBlockRequiresProfit: closing at a loss fails the C4-analog
+// test even with a victim in between.
+func TestCrossBlockRequiresProfit(t *testing.T) {
+	eng := crossEngine(4, 0)
+	eng.Offer(swapEvent(1, 10, attacker, mintSOL, mintX, 100, 50))
+	eng.Offer(swapEvent(2, 11, victim, mintSOL, mintX, 60, 25))
+	eng.Offer(swapEvent(3, 12, attacker, mintX, mintSOL, 50, 90)) // -10 SOL
+	eng.Finish()
+	if n := len(eng.CrossVerdicts()); n != 0 {
+		t.Errorf("losing round trip produced %d verdicts", n)
+	}
+}
+
+// TestCrossBlockWindowExpiry: a back-leg landing outside the
+// leader-contiguity window closes nothing — the candidate was already
+// window-evicted, and the eviction is counted.
+func TestCrossBlockWindowExpiry(t *testing.T) {
+	const window = 4
+	eng := crossEngine(window, 0)
+	eng.Offer(swapEvent(1, 10, attacker, mintSOL, mintX, 100, 50))
+	eng.Offer(swapEvent(2, 11, victim, mintSOL, mintX, 60, 25))
+	eng.Offer(swapEvent(3, 40, attacker, mintX, mintSOL, 50, 120)) // 30 slots later
+	eng.Finish()
+	if n := len(eng.CrossVerdicts()); n != 0 {
+		t.Errorf("out-of-window back-leg produced %d verdicts", n)
+	}
+	if s := eng.Summary(); s.CrossEvictWindow == 0 {
+		t.Error("window expiry evicted nothing")
+	}
+}
+
+// TestCrossBlockCacheBound: a 10× replay of the study feed (slots and
+// ids shifted per round so dedup and the watermark admit every event)
+// against a deliberately tiny cache must stay under the configured byte
+// bound, evicting by LRU — and produce identical verdicts at every
+// worker count.
+func TestCrossBlockCacheBound(t *testing.T) {
+	fx := buildFeed(t)
+	maxSlot := solana.Slot(0)
+	for _, ev := range fx.events {
+		if ev.Rec.Slot > maxSlot {
+			maxSlot = ev.Rec.Slot
+		}
+	}
+
+	const maxBytes = 8192 // 16 candidates at the 512-byte accounting unit
+	run := func(workers int) (stream.Summary, []stream.CrossVerdict) {
+		eng := stream.New(stream.Config{
+			Workers: workers,
+			Clock:   fx.clock,
+			// A window wide enough that candidates pile up: capacity, not
+			// expiry, must do the bounding.
+			Cross: stream.CrossConfig{WindowSlots: int(maxSlot), MaxBytes: maxBytes},
+		})
+		for round := 0; round < 10; round++ {
+			offset := solana.Slot(round) * (maxSlot + 1)
+			for _, ev := range fx.events {
+				shifted := ev
+				shifted.Rec.Slot += offset
+				shifted.Rec.ID[31] ^= byte(round) // fresh identity per round
+				eng.Offer(shifted)
+			}
+		}
+		eng.Finish()
+		return eng.Summary(), eng.CrossVerdicts()
+	}
+
+	s1, v1 := run(1)
+	if s1.CrossCacheHighWater > maxBytes {
+		t.Errorf("cache high water %d bytes exceeds configured bound %d", s1.CrossCacheHighWater, maxBytes)
+	}
+	if s1.CrossEvictCapacity == 0 {
+		t.Error("tiny cache over a 10x replay produced no capacity evictions")
+	}
+	if s1.CrossCandidates == 0 {
+		t.Error("study feed opened no candidates")
+	}
+
+	s8, v8 := run(8)
+	if s1.CrossCacheHighWater != s8.CrossCacheHighWater ||
+		s1.CrossEvictCapacity != s8.CrossEvictCapacity ||
+		s1.CrossCandidates != s8.CrossCandidates ||
+		s1.CrossVerdicts != s8.CrossVerdicts {
+		t.Errorf("cross counters differ across workers:\n  w1: %+v\n  w8: %+v", s1, s8)
+	}
+	if !reflect.DeepEqual(v1, v8) {
+		t.Error("cross verdicts differ across workers")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"jitomev/internal/parallel"
 	"jitomev/internal/quality"
 	"jitomev/internal/report"
+	"jitomev/internal/stream"
 	"jitomev/internal/validator"
 	"jitomev/internal/workload"
 )
@@ -111,6 +112,19 @@ type Config struct {
 	// Registry.DeterministicSnapshot).
 	Obs *obs.Registry
 
+	// StreamDetect taps the accepted-bundle feed into the incremental
+	// streaming detector (internal/stream) alongside batch collection.
+	// The tap sees every accepted bundle with full details — coverage
+	// 1.0 by construction — so on a lossy collection run
+	// Outcome.StreamResults can exceed Outcome.Results.
+	StreamDetect bool
+
+	// StreamCrossSlots sets the streaming detector's cross-block window
+	// (slots of leader contiguity a front/back pair may span). 0 selects
+	// 4, the common Jito leader rotation span; < 0 disables the
+	// cross-block stage. Only meaningful with StreamDetect.
+	StreamCrossSlots int
+
 	// Quality receives the data-quality feed: the collector's coverage
 	// ledger (every poll, backfill and detail fetch), the workload's
 	// per-day landed counts, and the analysis pass's paper-anchored
@@ -160,6 +174,19 @@ type Outcome struct {
 	// QualityReport is the end-of-run verdict (Quality.Evaluate at
 	// pipeline completion).
 	QualityReport quality.Report
+
+	// StreamResults is the streaming detector's completed analysis when
+	// Config.StreamDetect is set (nil otherwise). Over the live tap the
+	// stream sees every accepted bundle, so these Results cover the full
+	// chain feed rather than the collected subset.
+	StreamResults *report.Results
+	// StreamSummary carries the stream's counters and latency
+	// percentiles.
+	StreamSummary stream.Summary
+	// StreamCross holds cross-block sandwich verdicts — front/back legs
+	// in different bundles within the leader-contiguity window — which
+	// the batch path cannot see.
+	StreamCross []stream.CrossVerdict
 }
 
 // truthAdapter exposes workload ground truth through report.Truther.
@@ -235,6 +262,30 @@ func Run(cfg Config) (*Outcome, error) {
 	// cannot perturb the drift detectors.
 	st.DayObserver = func(ds workload.DayStats) { q.ObserveGenerated(ds.Day, ds.BundlesLanded) }
 	sink := &collector.PollingSink{Store: store, Collector: coll, InOutage: p.InOutage}
+	var runSink workload.Sink = sink
+
+	var eng *stream.Engine
+	if cfg.StreamDetect {
+		crossSlots := cfg.StreamCrossSlots
+		if crossSlots == 0 {
+			crossSlots = 4
+		}
+		if crossSlots < 0 {
+			crossSlots = 0
+		}
+		eng = stream.New(stream.Config{
+			Workers:     cfg.Workers,
+			Extended:    cfg.ExtendedDetection,
+			Clock:       p.Clock(),
+			SOLPriceUSD: cfg.SOLPriceUSD,
+			Cross:       stream.CrossConfig{WindowSlots: crossSlots},
+			Reg:         reg,
+		})
+		runSink = workload.SinkFunc(func(day int, acc *jito.Accepted) {
+			sink.Accept(day, acc)
+			eng.Offer(stream.Event{Rec: acc.Record, Details: acc.Details})
+		})
+	}
 
 	var blockScanFlags int
 	if cfg.RunBlockScan {
@@ -247,12 +298,23 @@ func Run(cfg Config) (*Outcome, error) {
 	if parallel.Workers(cfg.Workers) > 1 {
 		// Ingest (store writes + polling) never touches the bank, so it
 		// overlaps block production; order and output stay identical.
-		st.RunPipelinedObs(sink, 0, reg)
+		st.RunPipelinedObs(runSink, 0, reg)
 	} else {
-		st.Run(sink)
+		st.Run(runSink)
 	}
 	span.AddItems(store.Len())
 	span.End()
+
+	var streamRes *report.Results
+	var streamSummary stream.Summary
+	var streamCross []stream.CrossVerdict
+	if eng != nil {
+		span = reg.StartSpan("stream_finish")
+		streamRes = eng.Finish()
+		streamSummary = eng.Summary()
+		streamCross = eng.CrossVerdicts()
+		span.End()
+	}
 
 	span = reg.StartSpan("fetch_details")
 	fetched, err := coll.FetchDetails()
@@ -286,6 +348,9 @@ func Run(cfg Config) (*Outcome, error) {
 		Chaos:          chaos,
 		Obs:            reg,
 		Quality:        q,
+		StreamResults:  streamRes,
+		StreamSummary:  streamSummary,
+		StreamCross:    streamCross,
 	}
 	out.QualityReport = q.Evaluate()
 	if store.Len() > 0 {
