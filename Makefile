@@ -11,10 +11,12 @@ GO ?= go
 # while /qualityz evaluates concurrently), and the out-of-core query
 # engine (detection mapped onto the decode pool, folds on one
 # goroutine), and the incremental stream engine (concurrent Offer vs.
-# the detect worker pool vs. the ordered fold goroutine).
-RACE_PKGS = ./internal/parallel ./internal/report ./internal/collector ./internal/workload ./internal/snapshot ./internal/faults ./internal/explorer ./internal/obs ./internal/quality ./internal/query ./internal/stream
+# the detect worker pool vs. the ordered fold goroutine), and the
+# collection fleet (lease table hammered by concurrent replicas, TTL
+# expiry racing renewals, checkpoint posts fenced by epoch).
+RACE_PKGS = ./internal/parallel ./internal/report ./internal/collector ./internal/workload ./internal/snapshot ./internal/faults ./internal/explorer ./internal/obs ./internal/quality ./internal/query ./internal/stream ./internal/fleet
 
-.PHONY: verify build test vet race bench bench-json bench-stream bench-latency chaos metrics-smoke
+.PHONY: verify build test vet race bench bench-json bench-stream bench-latency chaos metrics-smoke fleet
 
 # verify is the extended tier-1 gate (see ROADMAP.md): build + tests,
 # static checks, and the race suite over the concurrent packages.
@@ -57,6 +59,7 @@ bench-json:
 	$(GO) test -run=NONE -bench=Quality -benchmem ./internal/quality | $(GO) run ./cmd/benchjson > BENCH_quality.json
 	$(GO) test -run=NONE -bench=Query -benchmem ./internal/query | $(GO) run ./cmd/benchjson > BENCH_query.json
 	$(GO) test -run=NONE -bench=Stream -benchmem ./internal/stream | $(GO) run ./cmd/benchjson > BENCH_stream.json
+	$(GO) test -run=NONE -bench=Fleet -benchmem ./internal/fleet | $(GO) run ./cmd/benchjson > BENCH_fleet.json
 
 # bench-latency smoke-runs the incremental-detection benchmarks once —
 # quick proof that the streamed path, its cross-block stage and the
@@ -69,6 +72,16 @@ bench-latency:
 # over the same synthetic four-month container.
 bench-stream:
 	$(GO) test -run=NONE -bench=Query -benchtime=1x ./internal/query
+
+# fleet is the distributed-collection gate: lease/fencing/chaos/merge
+# tests under the race detector, then a real multi-process run — four
+# collect -fleet replicas against a chaos explorerd, one killed with
+# SIGKILL mid-run, survivors finishing its partitions, and the merged
+# snapshot compared byte-for-byte against a clean single-replica
+# baseline (see scripts/fleet_smoke.sh).
+fleet:
+	$(GO) test -race -count=1 -run 'Fleet|Lease|Merge|Plan' ./internal/fleet
+	sh scripts/fleet_smoke.sh
 
 # metrics-smoke starts explorerd, validates its /metrics exposition, then
 # runs a short collect with -metrics-addr and validates the collector's

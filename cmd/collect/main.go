@@ -22,6 +22,21 @@
 // (between the collector and the wire), for chaos-testing a collection
 // run without touching the server.
 //
+// -fleet turns the process into one member of a distributed collection
+// fleet: it claims acceptance-sequence partitions from the explorer's
+// /leasez coordinator under a TTL lease (renewed every page, epoch-
+// fenced after takeover), drains them backwards with the same hardened
+// transport, and checkpoints each partition's snapshot plus cursor so a
+// crashed replica's partition is resumed by a survivor from the last
+// checkpoint. -merge then rebuilds the canonical dataset from the
+// partition snapshots (bundle-id dedup + sequence sort), byte-identical
+// to a single-collector run:
+//
+//	collect -fleet -url http://127.0.0.1:8899 -ckpt-dir ckpt [-replica-id r0]
+//	        [-partitions 4] [-lease-ttl 2s] [-ckpt-every 4]
+//	collect -merge -save merged.snap -url http://127.0.0.1:8899 -ckpt-dir ckpt
+//	collect -merge -save merged.snap part-000.e1.snap part-001.e2.snap ...
+//
 // -metrics-addr serves GET /metrics (Prometheus text), GET /statusz
 // (JSON), GET /qualityz (the data-quality verdict document) and GET
 // /healthz (503 on a critical verdict) while the collection runs, so a
@@ -66,6 +81,14 @@ func main() {
 		resume    = flag.Bool("resume", false, "load the -save snapshot before polling, if it exists")
 		faultRate = flag.Float64("fault-rate", 0, "per-call fault probability injected client-side (0 = off)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "seed for the deterministic fault schedule")
+		fleetMode = flag.Bool("fleet", false, "run as one fleet replica: claim lease-fenced partitions from -url's /leasez and drain them")
+		replicaID = flag.String("replica-id", "", "fleet holder name (default host-pid)")
+		partsN    = flag.Int("partitions", 4, "fleet partition count proposed to the coordinator (first replica wins)")
+		ckptDir   = flag.String("ckpt-dir", "", "fleet partition checkpoint directory (required with -fleet)")
+		leaseTTL  = flag.Duration("lease-ttl", 2*time.Second, "fleet lease TTL (renewed every page)")
+		ckptEvery = flag.Int("ckpt-every", 4, "fleet: checkpoint every N pages")
+		pageDelay = flag.Duration("page-delay", 0, "fleet: pace the page loop (stretches smoke runs so kills land mid-partition)")
+		mergeMode = flag.Bool("merge", false, "merge partition snapshots into -save: positional paths, or -ckpt-dir plus the coordinator state at -url")
 		streamDet = flag.Bool("stream-detect", false, "feed collected bundles through the incremental streaming detector (fetches details after every poll)")
 		streamLag = flag.Int("stream-lag", 64, "streaming watermark lag in slots (how much slot reordering a poll page may carry)")
 		metrics   = flag.String("metrics-addr", "", "serve /metrics and /statusz on this address while collecting")
@@ -111,13 +134,29 @@ func main() {
 		chaos = faults.NewInjectorObs(*chaosSeed, *faultRate, reg)
 		transport = faults.WrapTransport(transport, chaos, faults.TransportOptions{})
 	}
+
+	if *mergeMode {
+		runMerge(*url, *save, *ckptDir, flag.Args(), reg)
+		return
+	}
+	if *fleetMode {
+		runFleetReplica(fleetOpts{
+			url: *url, id: *replicaID, partitions: *partsN, ckptDir: *ckptDir,
+			ttl: *leaseTTL, every: *ckptEvery, page: *page, batch: *batch,
+			pageDelay: *pageDelay,
+		}, clock, transport, reg, q)
+		return
+	}
 	c := collector.NewObs(collector.Config{PageLimit: *page, DetailBatch: *batch, BackfillPages: *backfill},
 		clock, transport, reg)
 	c.AttachQuality(q)
 
 	if *resume && *save != "" {
 		if f, err := os.Open(*save); err == nil {
-			data, lerr := collector.LoadDatasetObs(f, 4**page, 0, reg)
+			// LoadCheckpoint validates the header before any decoder runs:
+			// a truncated file or a v1/v2 archive is refused with a clear
+			// error instead of being decoded (and then overwritten as v3).
+			data, lerr := collector.LoadCheckpoint(f, 4**page, 0, reg)
 			f.Close()
 			if lerr != nil {
 				fmt.Fprintln(os.Stderr, "collect: resume:", lerr)

@@ -24,6 +24,12 @@
 // is critical; -pprof additionally mounts net/http/pprof under
 // /debug/pprof/. Chaos faults never touch the ops endpoints — only the
 // API is wrapped.
+//
+// The listener also serves the fleet lease coordinator: GET /leasez is
+// the lease-table state document and POST /leasez/{plan,acquire,renew,
+// checkpoint,release} are the coordination operations `collect -fleet`
+// replicas use to divide the backlog, with TTL expiry and epoch fencing
+// (see internal/fleet).
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 
 	"jitomev/internal/explorer"
 	"jitomev/internal/faults"
+	"jitomev/internal/fleet"
 	"jitomev/internal/jito"
 	"jitomev/internal/obs"
 	"jitomev/internal/quality"
@@ -76,7 +83,13 @@ func main() {
 	// /healthz stays a liveness probe.
 	q := quality.New(quality.Config{}, reg)
 	st.DayObserver = func(ds workload.DayStats) { q.ObserveGenerated(ds.Day, ds.BundlesLanded) }
-	mux := obs.NewOpsMux(reg, *withPprof, q.OpsEndpoints()...)
+	// The lease coordinator for a collection fleet lives with the data:
+	// explorerd owns the acceptance sequence, so it also serves /leasez,
+	// and the fleet's partition plan is fixed over the store's high-water
+	// mark at the moment the first replica asks.
+	leases := fleet.NewLeaseTable(store.HighWater, reg)
+	eps := append(q.OpsEndpoints(), fleet.NewLeaseServer(leases).Endpoints()...)
+	mux := obs.NewOpsMux(reg, *withPprof, eps...)
 	mux.Handle("/", handler)
 
 	srv := &http.Server{

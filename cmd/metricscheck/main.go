@@ -11,6 +11,11 @@
 // smoke run fails on an unexpected CRIT, not just on a malformed
 // exposition.
 //
+// -leasez-url fetches a fleet coordinator's /leasez state document and
+// validates its shape: the partition plan must tile (0, high-water]
+// contiguously and every lease must name a plan partition with its
+// cursor inside the partition's range.
+//
 // Usage:
 //
 //	curl -s host:port/metrics | metricscheck
@@ -29,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"jitomev/internal/fleet"
 	"jitomev/internal/obs"
 	"jitomev/internal/quality"
 )
@@ -45,6 +51,7 @@ func main() {
 		wait       = flag.Duration("wait", 0, "with -url, keep retrying for up to this long before failing")
 		qualityURL = flag.String("quality-url", "", "also fetch and validate a /qualityz JSON document from this URL")
 		maxStatus  = flag.String("max-status", "warn", "with -quality-url, fail when the aggregate verdict exceeds this (ok|warn|crit)")
+		leasezURL  = flag.String("leasez-url", "", "also fetch and validate a /leasez fleet state document from this URL")
 		require    families
 	)
 	flag.Var(&require, "require", "fail unless this metric family is present (repeatable)")
@@ -79,6 +86,69 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *leasezURL != "" {
+		if err := checkLeasez(*leasezURL, *wait); err != nil {
+			fmt.Fprintln(os.Stderr, "metricscheck:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkLeasez fetches and validates a /leasez state document: the JSON
+// must be the fleet.State shape, the plan's partitions must tile
+// (0, high-water] contiguously in ID order, and every lease must refer
+// to a partition of the plan with a cursor inside (or one past) its
+// range.
+func checkLeasez(url string, wait time.Duration) error {
+	body, err := read(url, wait)
+	if err != nil {
+		return err
+	}
+	var st fleet.State
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&st); err != nil {
+		return fmt.Errorf("malformed /leasez document: %w", err)
+	}
+	if len(st.Plan.Partitions) == 0 {
+		return fmt.Errorf("/leasez plan has no partitions")
+	}
+	next := uint64(1)
+	for i, p := range st.Plan.Partitions {
+		if p.ID != i {
+			return fmt.Errorf("/leasez partition %d carries ID %d", i, p.ID)
+		}
+		if p.Empty() {
+			continue
+		}
+		if p.Lo != next {
+			return fmt.Errorf("/leasez plan not contiguous: partition %d starts at %d, want %d", i, p.Lo, next)
+		}
+		next = p.Hi + 1
+	}
+	if next != st.Plan.HighWater+1 {
+		return fmt.Errorf("/leasez plan covers through %d, high water is %d", next-1, st.Plan.HighWater)
+	}
+	if len(st.Leases) != len(st.Plan.Partitions) {
+		return fmt.Errorf("/leasez has %d leases for %d partitions", len(st.Leases), len(st.Plan.Partitions))
+	}
+	done := 0
+	for i, l := range st.Leases {
+		if l.Partition.ID != st.Plan.Partitions[i].ID {
+			return fmt.Errorf("/leasez lease %d names partition %d", i, l.Partition.ID)
+		}
+		if l.Cursor != 0 && !l.Partition.Empty() &&
+			(l.Cursor < l.Partition.Lo || l.Cursor > l.Partition.Hi+1) {
+			return fmt.Errorf("/leasez lease %d cursor %d outside partition (%d,%d]",
+				i, l.Cursor, l.Partition.Lo-1, l.Partition.Hi)
+		}
+		if l.Done {
+			done++
+		}
+	}
+	fmt.Printf("metricscheck: leasez ok — %d partitions over high water %d, %d done\n",
+		len(st.Plan.Partitions), st.Plan.HighWater, done)
+	return nil
 }
 
 // checkQuality fetches and validates a /qualityz document: it must be

@@ -108,6 +108,12 @@ func (d *Dataset) Ingest(rec jito.BundleRecord) bool {
 		} else {
 			agg.PriorityCount++
 		}
+		// Normally length-1 traffic only feeds the aggregates; a capture
+		// dataset (fleet partition snapshot) opts records in so a merge
+		// can rebuild those aggregates from scratch.
+		if d.retain[1] {
+			d.Long = append(d.Long, rec)
+		}
 	case 3:
 		d.TipsLen3.Add(float64(rec.TipLamps))
 		d.Len3 = append(d.Len3, rec)

@@ -115,6 +115,55 @@ func (d *Dataset) saveV1(w io.Writer) error {
 	return nil
 }
 
+// SniffVersion inspects a snapshot stream's leading bytes without
+// consuming them and reports the container version: 1 (legacy gzip+gob),
+// 2 ("jitosnp2") or 3 ("jitosnp3"). Anything else — a truncated header,
+// a foreign file, damaged magic — is a descriptive error, so callers can
+// refuse a bad checkpoint before any decoder touches it.
+func SniffVersion(br *bufio.Reader) (int, error) {
+	head, err := br.Peek(len(snapshot.Magic))
+	if err != nil && len(head) < 2 {
+		return 0, fmt.Errorf("truncated header: %d bytes, need at least 2", len(head))
+	}
+	if head[0] == 0x1f && head[1] == 0x8b {
+		return 1, nil
+	}
+	if len(head) < len(snapshot.Magic) {
+		return 0, fmt.Errorf("truncated header: %d bytes, need %d", len(head), len(snapshot.Magic))
+	}
+	switch string(head) {
+	case snapshot.Magic:
+		return 2, nil
+	case snapshot.MagicV3:
+		return 3, nil
+	}
+	return 0, fmt.Errorf("unrecognized header %q — not a dataset snapshot", head)
+}
+
+// LoadCheckpoint is the resume loader: it accepts only the current (v3)
+// checkpoint format and refuses everything else with a clear, versioned
+// error instead of handing a stale archive to a decoder. Resuming
+// rewrites the file in place as v3, so pointing -resume at a v1/v2
+// archive would silently convert it; a truncated checkpoint means the
+// previous run's atomic-save discipline was bypassed. Both deserve a
+// loud stop, not a best-effort decode.
+func LoadCheckpoint(r io.Reader, windowSize, workers int, reg *obs.Registry) (*Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	v, err := SniffVersion(br)
+	if err != nil {
+		return nil, fmt.Errorf("collector: checkpoint: %w", err)
+	}
+	if v != 3 {
+		return nil, fmt.Errorf("collector: checkpoint is a v%d snapshot; resume requires the current v3 format "+
+			"(load the archive with `report -load` or start a fresh collection — resuming would rewrite it)", v)
+	}
+	snap, err := snapshot.ReadObs(br, workers, reg)
+	if err != nil {
+		return nil, fmt.Errorf("collector: decoding checkpoint: %w", err)
+	}
+	return datasetFromSnapshot(snap, windowSize), nil
+}
+
 // LoadDataset reads a dataset previously written by Save — either
 // format; the version is sniffed from the leading bytes. windowSize
 // shapes the fresh dedup window for any subsequent ingestion.
@@ -132,12 +181,12 @@ func LoadDatasetWorkers(r io.Reader, windowSize, workers int) (*Dataset, error) 
 // totals and load duration onto reg (nil = uninstrumented).
 func LoadDatasetObs(r io.Reader, windowSize, workers int, reg *obs.Registry) (*Dataset, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	head, err := br.Peek(2)
+	v, err := SniffVersion(br)
 	if err != nil {
 		return nil, fmt.Errorf("collector: opening dataset: %w", err)
 	}
 	var snap *snapshot.Snapshot
-	if head[0] == 0x1f && head[1] == 0x8b { // gzip magic: the v1 stream
+	if v == 1 { // gzip magic: the legacy v1 stream
 		snap, err = loadV1(br)
 	} else {
 		snap, err = snapshot.ReadObs(br, workers, reg)

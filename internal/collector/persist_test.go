@@ -1,17 +1,21 @@
 package collector
 
 import (
+	"bufio"
 	"bytes"
 	"compress/gzip"
+	"errors"
 	"flag"
 	"net/http/httptest"
 	"os"
+	"strings"
 	"testing"
 
 	"jitomev/internal/jito"
 
 	"jitomev/internal/core"
 	"jitomev/internal/explorer"
+	"jitomev/internal/snapshot"
 	"jitomev/internal/solana"
 	"jitomev/internal/workload"
 )
@@ -125,22 +129,101 @@ func TestLoadDatasetRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestLoadCheckpointRefusesNonV3 is the -resume regression test: a
+// checkpoint that is not a current-format snapshot — a v1 or v2 archive,
+// a truncated header, foreign bytes — must be refused with a clear
+// versioned error, never decoded (or panicked over) and then rewritten.
+func TestLoadCheckpointRefusesNonV3(t *testing.T) {
+	c := collectedDataset(t)
+
+	var v3 bytes.Buffer
+	if err := c.Data.Save(&v3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(bytes.NewReader(v3.Bytes()), 256, 1, nil); err != nil {
+		t.Fatalf("v3 checkpoint refused: %v", err)
+	}
+
+	var v1 bytes.Buffer
+	if err := c.Data.saveV1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := snapshot.WriteV2(&v2, c.Data.snapshotView(), 1); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, want string
+		data       []byte
+	}{
+		{"v1 archive", "v1 snapshot", v1.Bytes()},
+		{"v2 archive", "v2 snapshot", v2.Bytes()},
+		{"empty file", "truncated header", nil},
+		{"one byte", "truncated header", []byte{'j'}},
+		{"short magic", "truncated header", []byte("jitos")},
+		{"foreign bytes", "not a dataset snapshot", []byte("PK\x03\x04 definitely a zip")},
+		{"damaged magic", "not a dataset snapshot", []byte("jitosnp9????????")},
+	}
+	for _, tc := range cases {
+		_, err := LoadCheckpoint(bytes.NewReader(tc.data), 256, 1, nil)
+		if err == nil {
+			t.Errorf("%s: accepted as a checkpoint", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// A v3 header with a truncated body is refused by the decoder (not a
+	// panic), wrapped as a corrupt snapshot.
+	cut := v3.Bytes()[:v3.Len()/2]
+	if _, err := LoadCheckpoint(bytes.NewReader(cut), 256, 1, nil); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Errorf("truncated v3 body: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSniffVersion(t *testing.T) {
+	for _, tc := range []struct {
+		head []byte
+		want int
+	}{
+		{[]byte{0x1f, 0x8b, 0x08, 0, 0, 0, 0, 0}, 1},
+		{[]byte("jitosnp2rest"), 2},
+		{[]byte("jitosnp3rest"), 3},
+	} {
+		v, err := SniffVersion(bufio.NewReader(bytes.NewReader(tc.head)))
+		if err != nil || v != tc.want {
+			t.Errorf("SniffVersion(%q) = %d, %v; want %d", tc.head, v, err, tc.want)
+		}
+	}
+	if _, err := SniffVersion(bufio.NewReader(bytes.NewReader(nil))); err == nil {
+		t.Error("empty stream sniffed without error")
+	}
+}
+
 func TestStoreRecentBefore(t *testing.T) {
 	store := explorer.NewStore()
 	for i := 1; i <= 10; i++ {
 		store.Accept(0, fakeAccepted(i, 1, solana.Slot(i), 1_000))
 	}
 	// Cursor at seq 6: returns 5,4,3 for limit 3.
-	got := store.RecentBefore(6, 3)
+	got, err := store.RecentBefore(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 3 || got[0].Seq != 5 || got[2].Seq != 3 {
 		t.Fatalf("RecentBefore(6,3) = %+v", seqsOf(got))
 	}
-	// Cursor at 1: nothing older.
-	if got := store.RecentBefore(1, 5); len(got) != 0 {
-		t.Errorf("RecentBefore(1) returned %v", seqsOf(got))
+	// Cursor at 1: nothing older — caught up, not an error.
+	if got, err := store.RecentBefore(1, 5); err != nil || len(got) != 0 {
+		t.Errorf("RecentBefore(1) returned %v, %v", seqsOf(got), err)
 	}
 	// Cursor 0 means from the newest.
-	got = store.RecentBefore(0, 2)
+	got, err = store.RecentBefore(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 2 || got[0].Seq != 10 {
 		t.Errorf("RecentBefore(0,2) = %v", seqsOf(got))
 	}

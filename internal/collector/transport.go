@@ -48,7 +48,7 @@ func (d Direct) RecentBundles(limit int) ([]jito.BundleRecord, error) {
 
 // RecentBundlesBefore implements Transport.
 func (d Direct) RecentBundlesBefore(beforeSeq uint64, limit int) ([]jito.BundleRecord, error) {
-	return d.Store.RecentBefore(beforeSeq, limit), nil
+	return d.Store.RecentBefore(beforeSeq, limit)
 }
 
 // TxDetails implements Transport.

@@ -52,7 +52,10 @@ func TestStoreConcurrentAcceptAndRead(t *testing.T) {
 				}
 			}
 			if len(page) > 0 {
-				s.RecentBefore(page[0].Seq, 20)
+				if _, err := s.RecentBefore(page[0].Seq, 20); err != nil {
+					t.Errorf("RecentBefore with a served cursor: %v", err)
+					return
+				}
 				s.TxDetails([]solana.Signature{page[0].TxIDs[0]})
 			}
 		}

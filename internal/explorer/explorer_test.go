@@ -3,9 +3,12 @@ package explorer
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -86,6 +89,74 @@ func TestStoreRetainDetailsFor(t *testing.T) {
 	s.Accept(0, b1)
 	if got := s.TxDetails(b1.Record.TxIDs); len(got) != 1 {
 		t.Error("RetainDetailsFor(1) ignored")
+	}
+}
+
+func TestStoreRecentBeforeCursorValidation(t *testing.T) {
+	s := NewStore()
+	for i := 1; i <= 10; i++ {
+		s.Accept(0, fakeAccepted(i, 1))
+	}
+	if hw := s.HighWater(); hw != 10 {
+		t.Fatalf("HighWater = %d, want 10", hw)
+	}
+	// Caught up: a valid cursor with nothing older is an empty page.
+	if page, err := s.RecentBefore(1, 5); err != nil || len(page) != 0 {
+		t.Errorf("caught-up cursor: page %d, err %v", len(page), err)
+	}
+	// high-water+1 is the newest-first cursor a client legitimately
+	// derives; beyond that no page could ever have produced it.
+	if page, err := s.RecentBefore(11, 5); err != nil || len(page) != 5 || page[0].Seq != 10 {
+		t.Errorf("RecentBefore(high-water+1) = %d records, err %v", len(page), err)
+	}
+	if _, err := s.RecentBefore(12, 5); !errors.Is(err, ErrInvalidCursor) {
+		t.Errorf("cursor beyond high-water: err = %v, want ErrInvalidCursor", err)
+	}
+	// An empty store has no valid non-zero cursor at all.
+	empty := NewStore()
+	if hw := empty.HighWater(); hw != 0 {
+		t.Errorf("empty HighWater = %d", hw)
+	}
+	if _, err := empty.RecentBefore(1, 5); !errors.Is(err, ErrInvalidCursor) {
+		t.Errorf("empty store cursor: err = %v, want ErrInvalidCursor", err)
+	}
+	if page, err := empty.RecentBefore(0, 5); err != nil || len(page) != 0 {
+		t.Errorf("empty store from-newest: page %d, err %v", len(page), err)
+	}
+}
+
+func TestServerRecentInvalidCursorIs400(t *testing.T) {
+	s := NewStore()
+	for i := 1; i <= 5; i++ {
+		s.Accept(0, fakeAccepted(i, 1))
+	}
+	srv := httptest.NewServer(NewServer(s, 0))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/v1/bundles/recent?limit=5&before=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid cursor status = %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "high-water") {
+		t.Errorf("400 body does not name the cursor problem: %q", body)
+	}
+	// A valid cursor on the same server still pages.
+	resp, err = http.Get(srv.URL + "/api/v1/bundles/recent?limit=5&before=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var page RecentResponse
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Bundles) != 2 || page.Bundles[0].Seq != 2 {
+		t.Errorf("before=3 page = %+v", page.Bundles)
 	}
 }
 

@@ -165,7 +165,15 @@ func (s *Server) handleRecent(w http.ResponseWriter, r *http.Request) {
 		before = n
 	}
 	if before > 0 {
-		writeJSON(w, RecentResponse{Bundles: s.store.RecentBefore(before, limit)})
+		page, err := s.store.RecentBefore(before, limit)
+		if err != nil {
+			// ErrInvalidCursor is a client bug (or a fenced-off stale
+			// replica), not server trouble: a non-retryable 4xx, with the
+			// reason in the body so the caller can tell it from "bad limit".
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, RecentResponse{Bundles: page})
 		return
 	}
 	writeJSON(w, RecentResponse{Bundles: s.store.Recent(limit)})

@@ -14,11 +14,20 @@
 package explorer
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 
 	"jitomev/internal/jito"
 	"jitomev/internal/solana"
 )
+
+// ErrInvalidCursor marks a `before` cursor beyond the store's sequence
+// high-water: no page the store ever served could have produced it, so
+// the client is confused (or stale — a fleet replica resuming from a
+// checkpoint written against a different explorer). Distinct from the
+// legitimate caught-up case, which is an empty page with a nil error.
+var ErrInvalidCursor = errors.New("explorer: cursor beyond sequence high-water")
 
 // MaxPageLimit is the hard cap on the recent-bundles page size (the value
 // the paper's widened request used).
@@ -106,19 +115,45 @@ func (s *Store) Recent(limit int) []jito.BundleRecord {
 	return out
 }
 
+// HighWater returns the highest acceptance sequence the store holds
+// (0 when empty) — the denominator cursor validation and fleet
+// partition planning both read.
+func (s *Store) HighWater() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.records) == 0 {
+		return 0
+	}
+	return s.records[len(s.records)-1].Seq
+}
+
 // RecentBefore returns up to limit bundles whose acceptance sequence is
 // strictly below beforeSeq, newest first. beforeSeq 0 means "from the
 // newest". This is the cursor the backfilling collector uses to recover
-// bundles that scrolled past the page during a traffic spike.
-func (s *Store) RecentBefore(beforeSeq uint64, limit int) []jito.BundleRecord {
+// bundles that scrolled past the page during a traffic spike, and the
+// cursor fleet replicas page their partitions backwards with.
+//
+// A cursor the store could never have handed out — beyond HighWater()+1
+// — fails with ErrInvalidCursor rather than aliasing the newest page:
+// "caught up" (an empty page, nil error) and "your cursor is nonsense"
+// are different conditions and a months-long scrape must not conflate
+// them.
+func (s *Store) RecentBefore(beforeSeq uint64, limit int) ([]jito.BundleRecord, error) {
 	if limit <= 0 {
-		return nil
+		return nil, nil
 	}
 	if limit > MaxPageLimit {
 		limit = MaxPageLimit
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if n := len(s.records); beforeSeq > 0 && (n == 0 || beforeSeq > s.records[n-1].Seq+1) {
+		var hw uint64
+		if n > 0 {
+			hw = s.records[n-1].Seq
+		}
+		return nil, fmt.Errorf("%w: before=%d, high-water %d", ErrInvalidCursor, beforeSeq, hw)
+	}
 	// Seq is assigned in acceptance order, so records are sorted by Seq;
 	// binary search the upper bound.
 	hi := len(s.records)
@@ -141,7 +176,7 @@ func (s *Store) RecentBefore(beforeSeq uint64, limit int) []jito.BundleRecord {
 	for i := 0; i < limit; i++ {
 		out[i] = s.records[hi-1-i]
 	}
-	return out
+	return out, nil
 }
 
 // TxDetails returns details for the requested transaction ids. Unknown ids

@@ -62,6 +62,16 @@ const (
 	// watermark must absorb (or count as dropped when the delay exceeds
 	// its allowed lateness).
 	ClassDelay
+	// ClassCrash is a whole-process death: the replica stops mid-batch
+	// without releasing its leases or flushing its in-memory progress —
+	// the failure mode a fleet's lease TTL plus checkpoint resume exists
+	// to absorb.
+	ClassCrash
+	// ClassPartition is a split-brain network partition from the
+	// coordinator: the replica keeps fetching and writing but can no
+	// longer renew its lease, so after takeover every one of its
+	// checkpoint writes must be fenced off by the epoch check.
+	ClassPartition
 
 	// NumClasses bounds the taxonomy (ClassNone included).
 	NumClasses
@@ -70,6 +80,7 @@ const (
 var classNames = [NumClasses]string{
 	"none", "transport", "throttle", "server", "timeout",
 	"truncate", "corrupt", "partial", "duplicate", "reorder", "delay",
+	"crash", "partition",
 }
 
 // String implements fmt.Stringer.
@@ -111,6 +122,9 @@ var (
 	// FeedMask: faults a per-bundle delivery feed can suffer — late
 	// (out-of-order) arrival and repeated delivery.
 	FeedMask = MaskOf(ClassDelay, ClassDuplicate)
+	// ReplicaMask: whole-replica faults a fleet member can suffer —
+	// crashing outright or being partitioned away from the coordinator.
+	ReplicaMask = MaskOf(ClassCrash, ClassPartition)
 )
 
 // classes expands the mask into a stable, ascending class list.

@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"jitomev/internal/obs"
+)
+
+// BenchmarkFleetIngest measures end-to-end fleet throughput — lease
+// coordination, backward paging, checkpointing, merge — at growing
+// replica counts over the same backlog. The interesting output is
+// bundles/s: how much of the paging parallelism survives the
+// coordination and merge overhead.
+func BenchmarkFleetIngest(b *testing.B) {
+	clock := testClock()
+	store := fillStore(20_000, clock)
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			var bundles uint64
+			for i := 0; i < b.N; i++ {
+				res, err := RunFleet(HarnessConfig{
+					Store:      store,
+					Clock:      clock,
+					Replicas:   replicas,
+					Partitions: replicas * 2,
+					PageLimit:  500,
+					CkptDir:    b.TempDir(),
+				})
+				if err != nil {
+					b.Fatalf("RunFleet: %v", err)
+				}
+				bundles += res.Stats.Records
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(bundles)/elapsed, "bundles/s")
+			}
+		})
+	}
+}
+
+// BenchmarkFleetTakeover measures crash failover: a fleet where one
+// replica dies mid-run, timed end to end, reporting the coordinator's
+// measured orphaned-partition latency (expiry to takeover).
+func BenchmarkFleetTakeover(b *testing.B) {
+	clock := testClock()
+	store := fillStore(6_000, clock)
+	reg := obs.NewRegistry()
+	for i := 0; i < b.N; i++ {
+		_, err := RunFleet(HarnessConfig{
+			Store:           store,
+			Clock:           clock,
+			Replicas:        3,
+			Partitions:      6,
+			PageLimit:       200,
+			CheckpointEvery: 2,
+			LeaseTTL:        50 * time.Millisecond,
+			CrashAfterPages: map[int]int{1: 2},
+			CkptDir:         b.TempDir(),
+			Reg:             reg,
+		})
+		if err != nil {
+			b.Fatalf("RunFleet: %v", err)
+		}
+	}
+	h := reg.Histogram("fleet_takeover_latency_seconds", TakeoverBuckets)
+	if n := h.Count(); n > 0 {
+		b.ReportMetric(h.Sum()/float64(n)*1000, "takeover-ms")
+	}
+}

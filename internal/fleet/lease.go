@@ -1,0 +1,324 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"jitomev/internal/obs"
+)
+
+// TakeoverBuckets are the bucket bounds for the takeover-latency
+// histogram, in seconds: how long a partition sat orphaned between its
+// lease expiring and a survivor re-acquiring it. The interesting range
+// is a few TTLs wide.
+var TakeoverBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// LeaseTable is the coordinator: one lease per partition, TTL expiry,
+// and epoch fencing. Expiry is lazy — nothing ticks; a lapsed lease is
+// observed (and counted) the next time anything touches its partition.
+// Every mutation validates (holder, epoch, unexpired), so after a
+// takeover bumps the epoch, every write the previous holder still
+// attempts is rejected and counted on fleet_writes_fenced_total.
+//
+// Safe for concurrent use; the in-process harness shares one table
+// across replica goroutines and explorerd serves one over /leasez.
+type LeaseTable struct {
+	mu sync.Mutex
+	// highWater supplies the backlog ceiling when the plan is created
+	// (explorerd wires the store's HighWater; tests wire a constant).
+	highWater func() uint64
+	// now is the table's clock, injectable for deterministic expiry
+	// tests.
+	now func() time.Time
+
+	plan   *Plan
+	leases map[int]*leaseState
+
+	acquired, renewed, released *obs.Counter
+	expired, takeovers          *obs.Counter
+	checkpoints                 *obs.Counter
+	fenced                      map[string]*obs.Counter
+	takeoverLat                 *obs.Histogram
+	activeG, doneG              *obs.Gauge
+}
+
+// leaseState is one partition's mutable coordinator record.
+type leaseState struct {
+	part    Partition
+	holder  string
+	epoch   uint64
+	expires time.Time
+	done    bool
+
+	cursor    uint64
+	ckptEpoch uint64
+	records   uint64
+
+	// expiredSeen marks that this lapse was already counted (lazy
+	// expiry must count each lapse once, not once per observation).
+	expiredSeen bool
+}
+
+// fencedOps label the fleet_writes_fenced_total counter by which write
+// path the stale holder attempted.
+var fencedOps = []string{"renew", "checkpoint", "release"}
+
+// NewLeaseTable builds a table over the given high-water source,
+// publishing its tallies onto reg (nil = private registry).
+func NewLeaseTable(highWater func() uint64, reg *obs.Registry) *LeaseTable {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	t := &LeaseTable{
+		highWater: highWater,
+		now:       time.Now,
+		leases:    make(map[int]*leaseState),
+		fenced:    make(map[string]*obs.Counter, len(fencedOps)),
+	}
+	reg.Help("fleet_leases_acquired_total", "Partition leases granted (every grant is a new fencing epoch).")
+	reg.Help("fleet_leases_expired_total", "Leases that lapsed past their TTL without renewal.")
+	reg.Help("fleet_leases_takeovers_total", "Expired leases re-acquired by a different holder.")
+	reg.Help("fleet_writes_fenced_total", "Stale-epoch or expired-lease writes rejected, by operation.")
+	reg.Help("fleet_takeover_latency_seconds", "Orphaned time between lease expiry and takeover.")
+	// Lease lifecycle depends on wall time (TTLs, stalls), not on
+	// (seed, days, scale); keep the determinism snapshot clean.
+	reg.Volatile("fleet_leases_acquired_total", "fleet_leases_renewed_total",
+		"fleet_leases_released_total", "fleet_leases_expired_total",
+		"fleet_leases_takeovers_total", "fleet_writes_fenced_total",
+		"fleet_checkpoints_total", "fleet_takeover_latency_seconds",
+		"fleet_leases_active", "fleet_partitions_done")
+	t.acquired = reg.Counter("fleet_leases_acquired_total")
+	t.renewed = reg.Counter("fleet_leases_renewed_total")
+	t.released = reg.Counter("fleet_leases_released_total")
+	t.expired = reg.Counter("fleet_leases_expired_total")
+	t.takeovers = reg.Counter("fleet_leases_takeovers_total")
+	t.checkpoints = reg.Counter("fleet_checkpoints_total")
+	for _, op := range fencedOps {
+		t.fenced[op] = reg.Counter("fleet_writes_fenced_total", "op", op)
+	}
+	t.takeoverLat = reg.Histogram("fleet_takeover_latency_seconds", TakeoverBuckets)
+	t.activeG = reg.Gauge("fleet_leases_active")
+	t.doneG = reg.Gauge("fleet_partitions_done")
+	return t
+}
+
+// WithClock injects the table's clock (tests). Returns t for chaining.
+func (t *LeaseTable) WithClock(now func() time.Time) *LeaseTable {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+	return t
+}
+
+// Plan implements Coordinator. The first call fixes the plan over the
+// current high-water mark; later calls return it unchanged (joiners
+// adopt the existing division regardless of their own n).
+func (t *LeaseTable) Plan(n int) (Plan, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.plan != nil {
+		return t.planCopyLocked(), nil
+	}
+	pl, err := PlanOver(t.highWater(), n)
+	if err != nil {
+		return Plan{}, err
+	}
+	t.plan = &pl
+	for _, p := range pl.Partitions {
+		t.leases[p.ID] = &leaseState{part: p}
+	}
+	return t.planCopyLocked(), nil
+}
+
+// planCopyLocked returns a detached copy of the plan.
+func (t *LeaseTable) planCopyLocked() Plan {
+	return Plan{
+		HighWater:  t.plan.HighWater,
+		Partitions: append([]Partition(nil), t.plan.Partitions...),
+	}
+}
+
+// stateFor resolves a partition id, enforcing plan existence.
+func (t *LeaseTable) stateFor(partition int) (*leaseState, error) {
+	if t.plan == nil {
+		return nil, ErrNoPlan
+	}
+	ls, ok := t.leases[partition]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d (plan has %d)", ErrUnknownPartition, partition, len(t.leases))
+	}
+	return ls, nil
+}
+
+// observeExpiryLocked counts a lapsed lease once. The holder stays on
+// record so the takeover latency can be measured from the expiry
+// instant when someone else claims the partition.
+func (t *LeaseTable) observeExpiryLocked(ls *leaseState, now time.Time) {
+	if ls.holder != "" && !ls.done && !now.Before(ls.expires) && !ls.expiredSeen {
+		ls.expiredSeen = true
+		t.expired.Inc()
+	}
+}
+
+// activeLocked recomputes the live-lease gauge.
+func (t *LeaseTable) activeLocked(now time.Time) {
+	var n int64
+	for _, ls := range t.leases {
+		if ls.holder != "" && !ls.done && now.Before(ls.expires) {
+			n++
+		}
+	}
+	t.activeG.Set(n)
+}
+
+// Acquire implements Coordinator.
+func (t *LeaseTable) Acquire(partition int, holder string, ttl time.Duration) (Lease, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ls, err := t.stateFor(partition)
+	if err != nil {
+		return Lease{}, err
+	}
+	now := t.now()
+	t.observeExpiryLocked(ls, now)
+	if ls.done {
+		return t.viewLocked(ls, now), fmt.Errorf("%w: partition %d", ErrDone, partition)
+	}
+	if ls.holder != "" && now.Before(ls.expires) && ls.holder != holder {
+		return Lease{}, fmt.Errorf("%w: partition %d held by %s for %s",
+			ErrLeaseHeld, partition, ls.holder, ls.expires.Sub(now).Round(time.Millisecond))
+	}
+	if ls.holder != "" && !now.Before(ls.expires) && ls.holder != holder {
+		t.takeovers.Inc()
+		t.takeoverLat.Observe(now.Sub(ls.expires).Seconds())
+	}
+	// Every grant is a new epoch — including a holder re-acquiring its
+	// own live or lapsed lease. A restarted process must not be able to
+	// alias writes from its previous incarnation.
+	ls.epoch++
+	ls.holder = holder
+	ls.expires = now.Add(ttl)
+	ls.expiredSeen = false
+	t.acquired.Inc()
+	t.activeLocked(now)
+	return t.viewLocked(ls, now), nil
+}
+
+// validateWriteLocked is the fencing gate every write passes: current
+// holder, current epoch, unexpired lease. Anything else is fenced.
+func (t *LeaseTable) validateWriteLocked(ls *leaseState, holder string, epoch uint64, now time.Time, op string) error {
+	t.observeExpiryLocked(ls, now)
+	if ls.holder != holder || ls.epoch != epoch || !now.Before(ls.expires) {
+		t.fenced[op].Inc()
+		return fmt.Errorf("%w: %s by %s@e%d on partition %d (current %s@e%d, expired=%v)",
+			ErrFenced, op, holder, epoch, ls.part.ID, ls.holder, ls.epoch, !now.Before(ls.expires))
+	}
+	return nil
+}
+
+// Renew implements Coordinator.
+func (t *LeaseTable) Renew(partition int, holder string, epoch uint64, ttl time.Duration) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ls, err := t.stateFor(partition)
+	if err != nil {
+		return err
+	}
+	now := t.now()
+	if err := t.validateWriteLocked(ls, holder, epoch, now, "renew"); err != nil {
+		return err
+	}
+	ls.expires = now.Add(ttl)
+	t.renewed.Inc()
+	t.activeLocked(now)
+	return nil
+}
+
+// Checkpoint implements Coordinator.
+func (t *LeaseTable) Checkpoint(partition int, holder string, epoch uint64, cursor, records uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ls, err := t.stateFor(partition)
+	if err != nil {
+		return err
+	}
+	now := t.now()
+	if err := t.validateWriteLocked(ls, holder, epoch, now, "checkpoint"); err != nil {
+		return err
+	}
+	ls.cursor = cursor
+	ls.ckptEpoch = epoch
+	ls.records = records
+	t.checkpoints.Inc()
+	return nil
+}
+
+// Release implements Coordinator.
+func (t *LeaseTable) Release(partition int, holder string, epoch uint64, done bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ls, err := t.stateFor(partition)
+	if err != nil {
+		return err
+	}
+	now := t.now()
+	if err := t.validateWriteLocked(ls, holder, epoch, now, "release"); err != nil {
+		return err
+	}
+	ls.holder = ""
+	ls.expires = time.Time{}
+	ls.expiredSeen = false
+	if done {
+		ls.done = true
+		var n int64
+		for _, other := range t.leases {
+			if other.done {
+				n++
+			}
+		}
+		t.doneG.Set(n)
+	}
+	t.released.Inc()
+	t.activeLocked(now)
+	return nil
+}
+
+// State implements Coordinator.
+func (t *LeaseTable) State() (State, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.plan == nil {
+		return State{}, ErrNoPlan
+	}
+	now := t.now()
+	st := State{Plan: t.planCopyLocked(), Leases: make([]Lease, 0, len(t.leases))}
+	for _, ls := range t.leases {
+		t.observeExpiryLocked(ls, now)
+		st.Leases = append(st.Leases, t.viewLocked(ls, now))
+	}
+	sort.Slice(st.Leases, func(i, j int) bool {
+		return st.Leases[i].Partition.ID < st.Leases[j].Partition.ID
+	})
+	t.activeLocked(now)
+	return st, nil
+}
+
+// viewLocked renders a lease state as its wire form.
+func (t *LeaseTable) viewLocked(ls *leaseState, now time.Time) Lease {
+	l := Lease{
+		Partition: ls.part,
+		Holder:    ls.holder,
+		Epoch:     ls.epoch,
+		Done:      ls.done,
+		Cursor:    ls.cursor,
+		CkptEpoch: ls.ckptEpoch,
+		Records:   ls.records,
+	}
+	if ls.holder != "" {
+		l.ExpiresUnixMs = ls.expires.UnixMilli()
+		l.Expired = !now.Before(ls.expires)
+	}
+	return l
+}

@@ -1,0 +1,242 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jitomev/internal/obs"
+)
+
+// fakeClock is a hand-advanced clock for deterministic expiry tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestTable(hw uint64, reg *obs.Registry) (*LeaseTable, *fakeClock) {
+	clk := newFakeClock()
+	return NewLeaseTable(func() uint64 { return hw }, reg).WithClock(clk.now), clk
+}
+
+func TestLeaseLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	table, clk := newTestTable(1000, reg)
+
+	if _, err := table.Acquire(0, "a", time.Second); !errors.Is(err, ErrNoPlan) {
+		t.Fatalf("acquire before plan: %v, want ErrNoPlan", err)
+	}
+	pl, err := table.Plan(4)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if len(pl.Partitions) != 4 || pl.HighWater != 1000 {
+		t.Fatalf("plan = %+v", pl)
+	}
+	// The plan is sticky: a joiner asking for a different split adopts it.
+	pl2, err := table.Plan(16)
+	if err != nil || len(pl2.Partitions) != 4 {
+		t.Fatalf("second plan = %+v, %v", pl2, err)
+	}
+
+	lease, err := table.Acquire(0, "a", time.Second)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if lease.Epoch != 1 || lease.Holder != "a" {
+		t.Fatalf("lease = %+v", lease)
+	}
+	if _, err := table.Acquire(0, "b", time.Second); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("contended acquire: %v, want ErrLeaseHeld", err)
+	}
+	if _, err := table.Acquire(99, "a", time.Second); !errors.Is(err, ErrUnknownPartition) {
+		t.Fatalf("bogus partition: %v, want ErrUnknownPartition", err)
+	}
+
+	// Self re-acquire bumps the epoch: a restarted holder must not be
+	// able to alias its previous incarnation's writes.
+	again, err := table.Acquire(0, "a", time.Second)
+	if err != nil {
+		t.Fatalf("re-acquire: %v", err)
+	}
+	if again.Epoch != 2 {
+		t.Fatalf("re-acquire epoch = %d, want 2", again.Epoch)
+	}
+	// The old epoch is fenced on every write path.
+	if err := table.Renew(0, "a", 1, time.Second); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale renew: %v, want ErrFenced", err)
+	}
+	if err := table.Checkpoint(0, "a", 1, 500, 10); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale checkpoint: %v, want ErrFenced", err)
+	}
+	if err := table.Release(0, "a", 1, false); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale release: %v, want ErrFenced", err)
+	}
+	for _, op := range fencedOps {
+		if v := reg.Value("fleet_writes_fenced_total", "op", op); v != 1 {
+			t.Fatalf("fenced[%s] = %v, want 1", op, v)
+		}
+	}
+
+	// Current epoch works.
+	if err := table.Renew(0, "a", 2, time.Second); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	if err := table.Checkpoint(0, "a", 2, 750, 250); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+
+	// Expiry: half a TTL is fine, past it every write is fenced and the
+	// lapse counts exactly once.
+	clk.advance(2 * time.Second)
+	if err := table.Renew(0, "a", 2, time.Second); !errors.Is(err, ErrFenced) {
+		t.Fatalf("expired renew: %v, want ErrFenced", err)
+	}
+	if err := table.Checkpoint(0, "a", 2, 800, 300); !errors.Is(err, ErrFenced) {
+		t.Fatalf("expired checkpoint: %v, want ErrFenced", err)
+	}
+	if v := reg.Value("fleet_leases_expired_total"); v != 1 {
+		t.Fatalf("expired = %v, want 1 (lazy expiry counts each lapse once)", v)
+	}
+
+	// Takeover: a different holder claims the lapsed partition, epoch
+	// bumps, latency lands in the histogram, checkpoint state survives.
+	taken, err := table.Acquire(0, "b", time.Second)
+	if err != nil {
+		t.Fatalf("takeover acquire: %v", err)
+	}
+	if taken.Epoch != 3 || taken.Holder != "b" {
+		t.Fatalf("takeover lease = %+v", taken)
+	}
+	if taken.Cursor != 750 || taken.Records != 250 || taken.CkptEpoch != 2 {
+		t.Fatalf("takeover lost checkpoint state: %+v", taken)
+	}
+	if v := reg.Value("fleet_leases_takeovers_total"); v != 1 {
+		t.Fatalf("takeovers = %v, want 1", v)
+	}
+	if n := reg.Histogram("fleet_takeover_latency_seconds", TakeoverBuckets).Count(); n != 1 {
+		t.Fatalf("takeover latency count = %d, want 1", n)
+	}
+
+	// Done: release(done) finishes the partition for good.
+	if err := table.Release(0, "b", 3, true); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if _, err := table.Acquire(0, "a", time.Second); !errors.Is(err, ErrDone) {
+		t.Fatalf("acquire done partition: %v, want ErrDone", err)
+	}
+	if v := reg.Value("fleet_partitions_done"); v != 1 {
+		t.Fatalf("partitions done gauge = %v, want 1", v)
+	}
+
+	st, err := table.State()
+	if err != nil {
+		t.Fatalf("state: %v", err)
+	}
+	if len(st.Leases) != 4 || !st.Leases[0].Done || st.Done() {
+		t.Fatalf("state = %+v", st)
+	}
+}
+
+// TestLeaseMutualExclusionRace hammers one partition with concurrent
+// claimants under -race: at most one holder may ever be inside the
+// critical section, across expiries and takeovers.
+func TestLeaseMutualExclusionRace(t *testing.T) {
+	table := NewLeaseTable(func() uint64 { return 100 }, nil)
+	if _, err := table.Plan(1); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+
+	var inside int32
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			holder := fmt.Sprintf("worker-%d", w)
+			for i := 0; i < 50; i++ {
+				lease, err := table.Acquire(0, holder, 500*time.Millisecond)
+				if err != nil {
+					continue
+				}
+				if n := atomic.AddInt32(&inside, 1); n != 1 {
+					t.Errorf("%d holders in critical section", n)
+				}
+				time.Sleep(time.Millisecond)
+				atomic.AddInt32(&inside, -1)
+				if err := table.Release(0, holder, lease.Epoch, false); err != nil &&
+					!errors.Is(err, ErrFenced) {
+					t.Errorf("release: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestLeaseExpiryRaceUnderContention runs claimants against a tiny real
+// TTL so expiry, takeover, and fencing all fire concurrently; the
+// invariant is that every fenced writer really had lost its lease (a
+// successful checkpoint always carries the table's current epoch).
+func TestLeaseExpiryRaceUnderContention(t *testing.T) {
+	reg := obs.NewRegistry()
+	table := NewLeaseTable(func() uint64 { return 1000 }, reg)
+	if _, err := table.Plan(2); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			holder := fmt.Sprintf("racer-%d", w)
+			for i := 0; i < 40; i++ {
+				part := i % 2
+				lease, err := table.Acquire(part, holder, 2*time.Millisecond)
+				if err != nil {
+					continue
+				}
+				// Outlive the TTL half the time so takeovers happen.
+				if i%2 == 0 {
+					time.Sleep(5 * time.Millisecond)
+				}
+				err = table.Checkpoint(part, holder, lease.Epoch, uint64(i), uint64(i))
+				if err != nil && !errors.Is(err, ErrFenced) {
+					t.Errorf("checkpoint: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if v := reg.Value("fleet_leases_expired_total"); v < 1 {
+		t.Fatalf("expired = %v, want some under 2ms TTLs", v)
+	}
+	fenced := 0.0
+	for _, op := range fencedOps {
+		fenced += reg.Value("fleet_writes_fenced_total", "op", op)
+	}
+	if fenced < 1 {
+		t.Fatalf("no writes fenced under contention")
+	}
+}

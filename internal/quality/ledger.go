@@ -100,6 +100,27 @@ type LedgerSummary struct {
 	Days []DayWindow `json:"days,omitempty"`
 }
 
+// AggregateLedgers folds per-replica coverage summaries into one
+// fleet-wide summary: day windows sum pointwise across replicas, the
+// page limit takes the largest any replica polled with, and the derived
+// rates (overlap, failure, coverage, estimated-missed) are recomputed
+// from the summed windows — averaging the replicas' own rates would
+// weight a ten-page partition like a thousand-page one.
+func AggregateLedgers(parts ...LedgerSummary) LedgerSummary {
+	l := newLedger()
+	for i := range parts {
+		p := &parts[i]
+		if p.PageLimit > l.pageLimit {
+			l.pageLimit = p.PageLimit
+		}
+		for j := range p.Days {
+			d := &p.Days[j]
+			l.window(d.Day).add(d)
+		}
+	}
+	return l.Summary()
+}
+
 // Summary aggregates the ledger. Days come out sorted ascending, so the
 // result is deterministic.
 func (l *Ledger) Summary() LedgerSummary {

@@ -1,0 +1,106 @@
+#!/bin/sh
+# fleet_smoke: end-to-end check of the distributed collection fleet with
+# real processes.
+#
+# Two explorerds serve the same deterministic study. Against the first,
+# a 4-replica fleet of `collect -fleet` processes drains the backlog
+# under a 10% client-side fault rate while one replica is killed with
+# SIGKILL mid-run — its lease expires and a survivor resumes the
+# partition from the last checkpoint. Against the second, a single clean
+# replica collects the same study as the ground-truth baseline. Both
+# outputs are merged with `collect -merge` (coordinator state + bundle-id
+# dedup) and must be byte-identical; /leasez must validate as a complete
+# contiguous plan and the fleet_* metric families must be live on
+# /metrics. A kill that lands after the victim finished still exercises
+# the merge path, so the smoke asserts the kill landed, not that every
+# schedule produced a takeover.
+set -eu
+
+EXP_ADDR=${EXP_ADDR:-127.0.0.1:9190}
+BASE_ADDR=${BASE_ADDR:-127.0.0.1:9191}
+GO=${GO:-go}
+REPLICAS=4
+SEED=11
+SCALE=20000
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "fleet-smoke: building binaries"
+$GO build -o "$tmp/explorerd" ./cmd/explorerd
+$GO build -o "$tmp/collect" ./cmd/collect
+$GO build -o "$tmp/metricscheck" ./cmd/metricscheck
+
+echo "fleet-smoke: starting explorerds on $EXP_ADDR (fleet) and $BASE_ADDR (baseline)"
+"$tmp/explorerd" -addr "$EXP_ADDR" -days 2 -scale $SCALE -seed $SEED >"$tmp/explorerd.log" 2>&1 &
+pids="$pids $!"
+"$tmp/explorerd" -addr "$BASE_ADDR" -days 2 -scale $SCALE -seed $SEED >"$tmp/baseline-explorerd.log" 2>&1 &
+pids="$pids $!"
+"$tmp/metricscheck" -url "http://$EXP_ADDR/metrics" -wait 10s >/dev/null
+"$tmp/metricscheck" -url "http://$BASE_ADDR/metrics" -wait 10s >/dev/null
+
+mkdir "$tmp/ckpt" "$tmp/base-ckpt"
+
+echo "fleet-smoke: launching $REPLICAS replicas (10% faults, one to be killed)"
+rep_pids=""
+i=0
+while [ $i -lt $REPLICAS ]; do
+    "$tmp/collect" -fleet -url "http://$EXP_ADDR" -ckpt-dir "$tmp/ckpt" \
+        -replica-id "smoke-$i" -partitions 8 -page 20 -page-delay 80ms \
+        -lease-ttl 700ms -ckpt-every 2 \
+        -fault-rate 0.1 -chaos-seed $((7 + i)) >"$tmp/replica-$i.log" 2>&1 &
+    rep_pids="$rep_pids $!"
+    i=$((i + 1))
+done
+
+# Kill the last replica mid-run, hard: no lease release, no final
+# checkpoint post — exactly the failure the TTL + fencing absorb.
+victim=${rep_pids##* }
+sleep 1
+if ! kill -9 "$victim" 2>/dev/null; then
+    echo "fleet-smoke: victim replica exited before the kill" >&2
+    exit 1
+fi
+echo "fleet-smoke: killed replica pid $victim"
+
+fail=0
+for p in $rep_pids; do
+    [ "$p" = "$victim" ] && continue
+    wait "$p" || fail=1
+done
+if [ "$fail" -ne 0 ]; then
+    echo "fleet-smoke: a surviving replica failed:" >&2
+    cat "$tmp"/replica-*.log >&2
+    exit 1
+fi
+
+# The coordinator must now publish a complete, contiguous plan, and the
+# lease/fleet metric families must be on the shared listener.
+"$tmp/metricscheck" -url "http://$EXP_ADDR/metrics" \
+    -require fleet_leases_acquired_total -require fleet_checkpoints_total \
+    -leasez-url "http://$EXP_ADDR/leasez"
+
+echo "fleet-smoke: baseline single replica"
+"$tmp/collect" -fleet -url "http://$BASE_ADDR" -ckpt-dir "$tmp/base-ckpt" \
+    -replica-id "baseline" -partitions 8 -page 20 >"$tmp/baseline.log" 2>&1
+
+echo "fleet-smoke: merging both runs"
+"$tmp/collect" -merge -save "$tmp/fleet.snap" -url "http://$EXP_ADDR" -ckpt-dir "$tmp/ckpt" \
+    >"$tmp/merge.log" 2>&1
+"$tmp/collect" -merge -save "$tmp/baseline.snap" -url "http://$BASE_ADDR" -ckpt-dir "$tmp/base-ckpt" \
+    >"$tmp/baseline-merge.log" 2>&1
+
+if ! cmp -s "$tmp/fleet.snap" "$tmp/baseline.snap"; then
+    echo "fleet-smoke: chaos fleet merge is NOT byte-identical to the clean baseline" >&2
+    ls -l "$tmp/fleet.snap" "$tmp/baseline.snap" >&2
+    cat "$tmp/merge.log" "$tmp/baseline-merge.log" >&2
+    exit 1
+fi
+echo "fleet-smoke: merged snapshots byte-identical ($(wc -c <"$tmp/fleet.snap") bytes)"
+cat "$tmp/merge.log"
+echo "fleet-smoke: ok"
