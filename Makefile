@@ -16,7 +16,7 @@ GO ?= go
 # expiry racing renewals, checkpoint posts fenced by epoch).
 RACE_PKGS = ./internal/parallel ./internal/report ./internal/collector ./internal/workload ./internal/snapshot ./internal/faults ./internal/explorer ./internal/obs ./internal/quality ./internal/query ./internal/stream ./internal/fleet
 
-.PHONY: verify build test vet race bench bench-json bench-stream bench-latency chaos metrics-smoke fleet
+.PHONY: verify build test vet race bench bench-json bench-stream bench-latency chaos metrics-smoke fleet trace-smoke
 
 # verify is the extended tier-1 gate (see ROADMAP.md): build + tests,
 # static checks, and the race suite over the concurrent packages.
@@ -60,6 +60,7 @@ bench-json:
 	$(GO) test -run=NONE -bench=Query -benchmem ./internal/query | $(GO) run ./cmd/benchjson > BENCH_query.json
 	$(GO) test -run=NONE -bench=Stream -benchmem ./internal/stream | $(GO) run ./cmd/benchjson > BENCH_stream.json
 	$(GO) test -run=NONE -bench=Fleet -benchmem ./internal/fleet | $(GO) run ./cmd/benchjson > BENCH_fleet.json
+	$(GO) test -run=NONE -bench='Trace|InstrumentedAnalyze|TracedAnalyze' -benchmem . ./internal/obs | $(GO) run ./cmd/benchjson > BENCH_trace.json
 
 # bench-latency smoke-runs the incremental-detection benchmarks once —
 # quick proof that the streamed path, its cross-block stage and the
@@ -82,6 +83,16 @@ bench-stream:
 fleet:
 	$(GO) test -race -count=1 -run 'Fleet|Lease|Merge|Plan' ./internal/fleet
 	sh scripts/fleet_smoke.sh
+
+# trace-smoke is the distributed-tracing gate: the tracer/propagation
+# tests under the race detector, then a real two-process run — collect
+# polling a chaos explorerd with traceparent propagation, both flight
+# recorders validated by metricscheck -tracez-url, injected faults
+# attributed to the traces that suffered them, and histogram exemplars
+# linking /metrics tails to trace IDs (see scripts/trace_smoke.sh).
+trace-smoke:
+	$(GO) test -race -count=1 -run 'Trace|Span|Exemplar' ./internal/obs ./internal/fleet
+	sh scripts/trace_smoke.sh
 
 # metrics-smoke starts explorerd, validates its /metrics exposition, then
 # runs a short collect with -metrics-addr and validates the collector's

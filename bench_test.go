@@ -193,6 +193,27 @@ func BenchmarkInstrumentedAnalyze(b *testing.B) {
 	}
 }
 
+// BenchmarkTracedAnalyze is BenchmarkInstrumentedAnalyze with the
+// distributed tracer attached to the registry: AnalyzeObs roots a
+// "report.analyze" trace with per-stage child spans on every pass. The
+// delta against BenchmarkInstrumentedAnalyze is the whole-pipeline cost
+// of tracing an instrumented run (acceptance: ≤5%); per-span cost is
+// BenchmarkTraceSampled in internal/obs.
+func BenchmarkTracedAnalyze(b *testing.B) {
+	out := benchPipeline(b)
+	det := core.NewDefaultDetector()
+	reg := obs.NewRegistry()
+	obs.NewTracer(reg, obs.TraceConfig{Service: "bench", Seed: 1, SampleRate: 1, Capacity: 64})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := report.AnalyzeObs(out.Collector.Data, det, 0, 0, reg)
+		if r.Sandwiches == 0 {
+			b.Fatal("analysis found nothing")
+		}
+	}
+}
+
 // BenchmarkStudyRunPipelined times generation with ingest pipelined
 // behind block production (Workers>1 path of jitomev.Run); compare with
 // BenchmarkStudyRunSync for the overlap won on multicore hardware.

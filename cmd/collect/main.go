@@ -95,6 +95,8 @@ func main() {
 		withPprof = flag.Bool("pprof", false, "with -metrics-addr, also mount net/http/pprof under /debug/pprof/")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this path (taken after the run)")
+		traceRate = flag.Float64("trace-sample", 1, "trace head-sampling rate (negative = tracing off)")
+		traceCap  = flag.Int("trace-cap", 256, "flight-recorder capacity in traces")
 	)
 	flag.Parse()
 
@@ -112,6 +114,15 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	// Seeding the tracer with the chaos seed keeps a chaos run's trace
+	// IDs as reproducible as its fault schedule; the recorder serves
+	// /tracez on the -metrics-addr mux.
+	obs.NewTracer(reg, obs.TraceConfig{
+		Service:    "collect",
+		Seed:       uint64(*chaosSeed),
+		SampleRate: *traceRate,
+		Capacity:   *traceCap,
+	})
 	q := quality.New(quality.Config{}, reg)
 	if *metrics != "" {
 		srv := &http.Server{

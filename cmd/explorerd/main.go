@@ -61,6 +61,8 @@ func main() {
 		chaosSeed = flag.Int64("chaos-seed", 0, "seed for the deterministic fault schedule")
 		slow      = flag.Duration("slow", 100*time.Millisecond, "chaos mode: stall injected on slow responses")
 		withPprof = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/")
+		traceRate = flag.Float64("trace-sample", 1, "trace head-sampling rate (negative = tracing off)")
+		traceCap  = flag.Int("trace-cap", 256, "flight-recorder capacity in traces")
 	)
 	flag.Parse()
 
@@ -68,12 +70,24 @@ func main() {
 	st := workload.New(workload.Params{Seed: *seed, Days: *days, Scale: *scale})
 
 	reg := obs.NewRegistry()
+	// The tracer shares the chaos schedule's seed so trace IDs — like
+	// everything else in a chaos run — replay identically at a fixed
+	// seed. NewOpsMux mounts the recorder at /tracez.
+	tracer := obs.NewTracer(reg, obs.TraceConfig{
+		Service:    "explorerd",
+		Seed:       uint64(*chaosSeed),
+		SampleRate: *traceRate,
+		Capacity:   *traceCap,
+	})
 	var handler http.Handler = explorer.NewServerObs(store, *rate, reg)
 	if *faultRate > 0 {
 		handler = faults.ChaosHandler(handler, faults.NewInjectorObs(*chaosSeed, *faultRate, reg),
 			faults.ChaosConfig{SlowDelay: *slow})
 		fmt.Printf("chaos mode: fault rate %.0f%%, seed %d\n", 100**faultRate, *chaosSeed)
 	}
+	// The trace middleware wraps OUTSIDE the chaos layer, so injected
+	// faults are annotated onto the very trace whose request they hit.
+	handler = obs.TraceMiddleware(tracer, handler)
 
 	// Ops endpoints share the API listener but sit outside the chaos
 	// wrapper: a misbehaving explorer must still be observable. The
@@ -88,7 +102,13 @@ func main() {
 	// and the fleet's partition plan is fixed over the store's high-water
 	// mark at the moment the first replica asks.
 	leases := fleet.NewLeaseTable(store.HighWater, reg)
-	eps := append(q.OpsEndpoints(), fleet.NewLeaseServer(leases).Endpoints()...)
+	leaseEPs := fleet.NewLeaseServer(leases).Endpoints()
+	// Lease operations carry the replicas' traceparent too: a fleet page
+	// trace shows its renew/checkpoint hops server-side.
+	for i := range leaseEPs {
+		leaseEPs[i].Handler = obs.TraceMiddleware(tracer, leaseEPs[i].Handler)
+	}
+	eps := append(q.OpsEndpoints(), leaseEPs...)
 	mux := obs.NewOpsMux(reg, *withPprof, eps...)
 	mux.Handle("/", handler)
 

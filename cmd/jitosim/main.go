@@ -56,6 +56,8 @@ func main() {
 		metrics   = flag.String("metrics-addr", "", "serve /metrics and /statusz on this address during the run")
 		withPprof = flag.Bool("pprof", false, "with -metrics-addr, also mount net/http/pprof under /debug/pprof/")
 		summary   = flag.Bool("summary", false, "print the metrics registry as a table at exit")
+		traceRate = flag.Float64("trace-sample", 1, "trace head-sampling rate (negative = tracing off)")
+		traceCap  = flag.Int("trace-cap", 256, "flight-recorder capacity in traces")
 	)
 	flag.Parse()
 
@@ -73,6 +75,14 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	// The tracer shares the chaos seed, so a chaos replay reproduces its
+	// trace IDs too; /tracez rides the -metrics-addr mux.
+	obs.NewTracer(reg, obs.TraceConfig{
+		Service:    "jitosim",
+		Seed:       uint64(*chaosSeed),
+		SampleRate: *traceRate,
+		Capacity:   *traceCap,
+	})
 	q := quality.New(quality.Config{}, reg)
 	if *metrics != "" {
 		srv := &http.Server{

@@ -16,11 +16,21 @@
 // contiguously and every lease must name a plan partition with its
 // cursor inside the partition's range.
 //
+// -tracez-url fetches a flight recorder's /tracez document and validates
+// every kept trace: 32-hex non-zero trace IDs, 16-hex span IDs, parent
+// links that resolve within the trace (or are marked remote), non-
+// negative durations, occupancy within capacity. -tracez-min-spans waits
+// (up to -wait) for at least one trace that deep — the teeth behind the
+// fleet smoke's "a cross-process poll leaves a ≥3-hop trace" check —
+// and -tracez-require-remote demands a trace whose parent arrived over
+// the wire, proving cross-process stitching.
+//
 // Usage:
 //
 //	curl -s host:port/metrics | metricscheck
 //	metricscheck -url http://host:port/metrics -wait 5s -require collector_polls_total
 //	metricscheck -url http://host:port/metrics -quality-url http://host:port/qualityz -max-status warn
+//	metricscheck -url http://host:port/metrics -tracez-url http://host:port/tracez -tracez-min-spans 3
 package main
 
 import (
@@ -52,6 +62,9 @@ func main() {
 		qualityURL = flag.String("quality-url", "", "also fetch and validate a /qualityz JSON document from this URL")
 		maxStatus  = flag.String("max-status", "warn", "with -quality-url, fail when the aggregate verdict exceeds this (ok|warn|crit)")
 		leasezURL  = flag.String("leasez-url", "", "also fetch and validate a /leasez fleet state document from this URL")
+		tracezURL  = flag.String("tracez-url", "", "also fetch and validate a /tracez flight-recorder document from this URL")
+		minSpans   = flag.Int("tracez-min-spans", 1, "with -tracez-url, wait for at least one trace with this many spans")
+		wantRemote = flag.Bool("tracez-require-remote", false, "with -tracez-url, require a remotely-rooted trace (cross-process stitching)")
 		require    families
 	)
 	flag.Var(&require, "require", "fail unless this metric family is present (repeatable)")
@@ -92,6 +105,149 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *tracezURL != "" {
+		if err := checkTracez(*tracezURL, *wait, *minSpans, *wantRemote); err != nil {
+			fmt.Fprintln(os.Stderr, "metricscheck:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// tracezDoc mirrors the /tracez JSON document (obs keeps the wrapper
+// unexported; the kept traces themselves are obs.KeptTrace).
+type tracezDoc struct {
+	Service   string          `json:"service"`
+	Capacity  int             `json:"capacity"`
+	Occupancy int             `json:"occupancy"`
+	Started   uint64          `json:"traces_started"`
+	Sampled   uint64          `json:"traces_sampled"`
+	Dropped   uint64          `json:"traces_dropped"`
+	Traces    []obs.KeptTrace `json:"traces"`
+}
+
+// checkTracez fetches and validates a /tracez document, retrying until
+// the deadline for a trace with at least minSpans spans (and, when
+// wantRemote, a remotely-rooted one). Shape violations fail immediately;
+// only "not deep enough yet" waits.
+func checkTracez(url string, wait time.Duration, minSpans int, wantRemote bool) error {
+	deadline := time.Now().Add(wait)
+	for {
+		body, err := read(url, 0)
+		if err == nil {
+			var deepest int
+			deepest, err = validateTracez(body, minSpans, wantRemote)
+			if err == nil {
+				var doc tracezDoc
+				_ = json.Unmarshal(body, &doc)
+				fmt.Printf("metricscheck: tracez ok — %d/%d traces kept, deepest %d spans\n",
+					doc.Occupancy, doc.Capacity, deepest)
+				return nil
+			}
+			if _, fatal := err.(*tracezShapeError); fatal {
+				return err
+			}
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// tracezShapeError marks a malformed document — never worth retrying.
+type tracezShapeError struct{ msg string }
+
+func (e *tracezShapeError) Error() string { return e.msg }
+
+func shapeErrf(format string, args ...any) error {
+	return &tracezShapeError{msg: fmt.Sprintf(format, args...)}
+}
+
+// validateTracez checks the whole document, returning the deepest
+// trace's span count. A shape violation returns *tracezShapeError; a
+// merely-too-shallow recorder returns a plain (retryable) error.
+func validateTracez(body []byte, minSpans int, wantRemote bool) (int, error) {
+	var doc tracezDoc
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return 0, shapeErrf("malformed /tracez document: %v", err)
+	}
+	if doc.Capacity <= 0 {
+		return 0, shapeErrf("/tracez capacity %d", doc.Capacity)
+	}
+	if doc.Occupancy < 0 || doc.Occupancy > doc.Capacity {
+		return 0, shapeErrf("/tracez occupancy %d outside [0,%d]", doc.Occupancy, doc.Capacity)
+	}
+	if len(doc.Traces) != doc.Occupancy {
+		return 0, shapeErrf("/tracez serves %d traces, occupancy says %d", len(doc.Traces), doc.Occupancy)
+	}
+	deepest, sawRemote := 0, false
+	for _, kt := range doc.Traces {
+		if err := validateTrace(kt); err != nil {
+			return 0, err
+		}
+		if len(kt.Spans) > deepest {
+			deepest = len(kt.Spans)
+		}
+		if kt.Remote {
+			sawRemote = true
+		}
+	}
+	if deepest < minSpans {
+		return deepest, fmt.Errorf("/tracez deepest trace has %d spans, want >= %d", deepest, minSpans)
+	}
+	if wantRemote && !sawRemote {
+		return deepest, fmt.Errorf("/tracez has no remotely-rooted trace yet")
+	}
+	return deepest, nil
+}
+
+// validateTrace checks one kept trace: well-formed IDs, resolvable
+// parent links, sane durations.
+func validateTrace(kt obs.KeptTrace) error {
+	if !isHex(kt.TraceID, 32) || kt.TraceID == strings.Repeat("0", 32) {
+		return shapeErrf("trace %q: bad trace id", kt.TraceID)
+	}
+	if kt.KeepReason == "" {
+		return shapeErrf("trace %s: empty keep_reason", kt.TraceID)
+	}
+	if len(kt.Spans) == 0 {
+		return shapeErrf("trace %s: no spans", kt.TraceID)
+	}
+	ids := make(map[string]bool, len(kt.Spans))
+	for _, s := range kt.Spans {
+		if !isHex(s.SpanID, 16) {
+			return shapeErrf("trace %s: bad span id %q", kt.TraceID, s.SpanID)
+		}
+		ids[s.SpanID] = true
+	}
+	for _, s := range kt.Spans {
+		if s.Name == "" {
+			return shapeErrf("trace %s: span %s has no name", kt.TraceID, s.SpanID)
+		}
+		if s.DurationNS < 0 {
+			return shapeErrf("trace %s: span %s duration %d", kt.TraceID, s.SpanID, s.DurationNS)
+		}
+		if s.ParentSpanID != "" && !s.RemoteParent && !ids[s.ParentSpanID] && kt.Dropped == 0 {
+			return shapeErrf("trace %s: span %s parent %s unresolved", kt.TraceID, s.SpanID, s.ParentSpanID)
+		}
+	}
+	return nil
+}
+
+// isHex reports whether s is exactly n lowercase hex digits.
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // checkLeasez fetches and validates a /leasez state document: the JSON

@@ -172,6 +172,40 @@ func (c *Collector) recordFault(err error) {
 	}
 }
 
+// traceBinder is the carrier the hardened transport (and the chaos
+// wrapper around it) implements: parent subsequent requests under the
+// given span context. Sound here because collection is sequential.
+type traceBinder interface {
+	BindTrace(obs.SpanCtx)
+}
+
+// bindTrace parents subsequent transport calls under ctx, when the
+// transport supports it.
+func (c *Collector) bindTrace(ctx obs.SpanCtx) {
+	if tb, ok := c.transport.(traceBinder); ok {
+		tb.BindTrace(ctx)
+	}
+}
+
+// startTrace roots one traced collector operation (nil when no tracer
+// is attached or the trace is unsampled) and binds it onto the
+// transport; the caller must End it and unbind.
+func (c *Collector) startTrace(name string) *obs.Trace {
+	tr := c.reg.TracerAttached().StartTrace(name)
+	if tr != nil {
+		c.bindTrace(tr.Ctx())
+	}
+	return tr
+}
+
+// endTrace unbinds the transport and closes the operation's root span.
+func (c *Collector) endTrace(tr *obs.Trace, err error) {
+	if tr != nil {
+		c.bindTrace(obs.SpanCtx{})
+	}
+	tr.EndErr(err)
+}
+
 // Polls reports successful polls.
 func (c *Collector) Polls() uint64 { return c.polls.Value() }
 
@@ -226,8 +260,17 @@ func (c *Collector) OverlapRate() float64 {
 
 // Poll performs one recent-bundles request, updates the overlap statistic,
 // and ingests the page (oldest entry first, so dataset order tracks chain
-// order).
+// order). When a tracer is attached to the registry the whole poll runs
+// as one trace — transport request, backfill, ingest — propagated to the
+// server over the wire.
 func (c *Collector) Poll() error {
+	tr := c.startTrace("collector.poll")
+	err := c.poll(tr)
+	c.endTrace(tr, err)
+	return err
+}
+
+func (c *Collector) poll(tr *obs.Trace) error {
 	page, err := c.transport.RecentBundles(c.Cfg.PageLimit)
 	if err != nil {
 		c.pollErrors.Inc()
@@ -265,7 +308,8 @@ func (c *Collector) Poll() error {
 	// backfill enabled, page backwards through the cursor until the gap
 	// is closed or the page budget runs out.
 	if hadPrev && !overlap && c.Cfg.BackfillPages > 0 && len(page) > 0 {
-		c.backfill(page[len(page)-1].Seq)
+		tr.Annotate("overlap_broken")
+		c.backfill(tr, page[len(page)-1].Seq)
 	}
 
 	newN, dupN := 0, 0
@@ -287,9 +331,12 @@ func (c *Collector) Poll() error {
 // backfill pages backwards from the cursor, ingesting until it reaches
 // already-collected territory or exhausts the page budget. Recovered
 // bundles are counted in BackfilledBundles.
-func (c *Collector) backfill(cursor uint64) {
+func (c *Collector) backfill(tr *obs.Trace, cursor uint64) {
+	sp := tr.StartChild("collector.backfill")
 	recovered := 0
 	defer func() {
+		sp.Annotatef("recovered:%d", recovered)
+		sp.End()
 		if recovered > 0 {
 			c.quality.ObserveBackfill(recovered)
 		}
@@ -297,6 +344,7 @@ func (c *Collector) backfill(cursor uint64) {
 	for page := 0; page < c.Cfg.BackfillPages && cursor > 0; page++ {
 		older, err := c.transport.RecentBundlesBefore(cursor, c.Cfg.PageLimit)
 		if err != nil {
+			sp.MarkError()
 			c.pollErrors.Inc()
 			c.backfillFails.Inc()
 			c.recordFault(err)
@@ -371,7 +419,15 @@ func (c *Collector) PendingDetails() int { return len(c.pendingDetailIDs()) }
 // partial progress. When any batch was skipped the call returns the
 // partial fetched count and an error wrapping ErrDetailShortfall.
 func (c *Collector) FetchDetails() (int, error) {
+	tr := c.startTrace("collector.fetch_details")
+	n, err := c.fetchDetails(tr)
+	c.endTrace(tr, err)
+	return n, err
+}
+
+func (c *Collector) fetchDetails(tr *obs.Trace) (int, error) {
 	pending := c.pendingDetailIDs()
+	tr.Annotatef("pending:%d", len(pending))
 	c.pendingGauge.Set(int64(len(pending)))
 	retries := c.Cfg.detailRetries()
 	fetched, batches, failed := 0, 0, 0

@@ -122,6 +122,13 @@ type HTTP struct {
 	endpoints map[string]*endpointObs
 	breakerTo [3]*obs.Counter // transitions, indexed by target state
 	shorted   *obs.Counter
+
+	// traceCtx, when bound, parents a child span around every logical
+	// request and rides the wire as a traceparent header. Collection is
+	// sequential (one transport call at a time), so a single binding
+	// covers the call in flight; BindTrace swaps it per operation.
+	traceMu  sync.Mutex
+	traceCtx obs.SpanCtx
 }
 
 // endpointObs carries the per-endpoint registry handles.
@@ -132,6 +139,7 @@ type endpointObs struct {
 	sleepSecs  *obs.FloatGauge
 	retryAfter *obs.Counter
 	bytes      *obs.Counter
+	seconds    *obs.Histogram
 }
 
 // NewHTTP returns an HTTP transport with sane defaults and a private
@@ -169,9 +177,10 @@ func (h *HTTP) bindObs(reg *obs.Registry) {
 	h.endpoints = make(map[string]*endpointObs)
 	reg.Help("collector_http_requests_total", "HTTP request attempts (retries included), by endpoint.")
 	reg.Help("collector_http_breaker_transitions_total", "Circuit-breaker state transitions.")
-	// Backoff wall time depends on the clock; exclude it from
-	// determinism comparisons.
-	reg.Volatile("collector_http_backoff_seconds_total")
+	reg.Help("collector_http_request_seconds", "Logical request latency (retries and backoff included), by endpoint.")
+	// Backoff and request wall time depend on the clock; exclude them
+	// from determinism comparisons.
+	reg.Volatile("collector_http_backoff_seconds_total", "collector_http_request_seconds")
 	for state, name := range [...]string{"closed", "open", "half_open"} {
 		h.breakerTo[state] = reg.Counter("collector_http_breaker_transitions_total", "state", name)
 	}
@@ -180,6 +189,25 @@ func (h *HTTP) bindObs(reg *obs.Registry) {
 
 // Obs returns the registry the transport tallies onto.
 func (h *HTTP) Obs() *obs.Registry { return h.reg }
+
+// BindTrace parents subsequent requests under ctx: each logical call
+// runs as a child span (retries, backoff waits and breaker verdicts
+// annotated) and propagates the trace over the wire as a traceparent
+// header. Bind the zero SpanCtx to detach. Sound because collection is
+// sequential — the caller binds its open span, issues the call, then
+// rebinds.
+func (h *HTTP) BindTrace(ctx obs.SpanCtx) {
+	h.traceMu.Lock()
+	h.traceCtx = ctx
+	h.traceMu.Unlock()
+}
+
+// boundTrace reads the current trace binding.
+func (h *HTTP) boundTrace() obs.SpanCtx {
+	h.traceMu.Lock()
+	defer h.traceMu.Unlock()
+	return h.traceCtx
+}
 
 // BreakerOpens reports breaker transitions to the open state.
 func (h *HTTP) BreakerOpens() uint64 { return h.breakerTo[breakerOpen].Value() }
@@ -205,6 +233,7 @@ func (h *HTTP) obsFor(endpoint string) *endpointObs {
 			sleepSecs:  h.reg.FloatGauge("collector_http_backoff_seconds_total", "endpoint", endpoint),
 			retryAfter: h.reg.Counter("collector_http_retry_after_honored_total", "endpoint", endpoint),
 			bytes:      h.reg.Counter("collector_http_response_bytes_total", "endpoint", endpoint),
+			seconds:    h.reg.Histogram("collector_http_request_seconds", obs.DurationBuckets, "endpoint", endpoint),
 		}
 		h.endpoints[endpoint] = eo
 	}
@@ -320,19 +349,33 @@ func (h *HTTP) breakerFor(endpoint string) *breaker {
 
 // do runs one logical request with the full hardening loop: breaker
 // check, bounded retries with capped jittered backoff, Retry-After
-// honoring, 429/5xx/transport-error retry. On success the caller owns
+// honoring, 429/5xx/transport-error retry. The whole loop runs as one
+// child span under the bound trace — retries and backoff annotated, the
+// traceparent handed to send for header injection — so a slow call's
+// time is attributable from /tracez. On success the caller owns
 // resp.Body.
-func (h *HTTP) do(endpoint string, send func(context.Context) (*http.Response, error)) (*http.Response, error) {
+func (h *HTTP) do(endpoint string, send func(ctx context.Context, traceparent string) (*http.Response, error)) (*http.Response, error) {
 	ctx := h.ctx()
 	eo := h.obsFor(endpoint)
+	sp := h.boundTrace().StartChild("http:" + endpoint)
+	tp := sp.Ctx().Traceparent()
+	started := time.Now()
+	finish := func(resp *http.Response, err error) (*http.Response, error) {
+		eo.seconds.ObserveExemplar(time.Since(started).Seconds(), sp.TraceID())
+		sp.EndErr(err)
+		return resp, err
+	}
 	br := h.breakerFor(endpoint)
 	allowed, probe := br.allow(h.clock())
 	if probe {
 		h.breakerTo[breakerHalfOpen].Inc()
+		sp.Annotate("breaker:half_open_probe")
 	}
 	if !allowed {
 		h.shorted.Inc()
-		return nil, fmt.Errorf("collector: %s: %w", endpoint, ErrCircuitOpen)
+		sp.FlagKeep("breaker_open")
+		sp.Annotate("breaker:shorted")
+		return finish(nil, fmt.Errorf("collector: %s: %w", endpoint, ErrCircuitOpen))
 	}
 	var lastErr error
 	for attempt := 0; attempt <= h.MaxRetries; attempt++ {
@@ -344,6 +387,7 @@ func (h *HTTP) do(endpoint string, send func(context.Context) (*http.Response, e
 			}
 			eo.sleeps.Inc()
 			eo.sleepSecs.Add(delay.Seconds())
+			sp.Annotatef("retry:%d backoff:%s retry_after:%v", attempt, delay.Round(time.Microsecond), honored)
 			if err := h.wait(ctx, delay); err != nil {
 				lastErr = err
 				break
@@ -354,7 +398,7 @@ func (h *HTTP) do(endpoint string, send func(context.Context) (*http.Response, e
 			break
 		}
 		eo.attempts.Inc()
-		resp, err := send(ctx)
+		resp, err := send(ctx, tp)
 		if err != nil {
 			lastErr = err
 			continue
@@ -363,8 +407,9 @@ func (h *HTTP) do(endpoint string, send func(context.Context) (*http.Response, e
 		case resp.StatusCode == http.StatusOK:
 			if br.success() {
 				h.breakerTo[breakerClosed].Inc()
+				sp.Annotate("breaker:closed")
 			}
-			return resp, nil
+			return finish(resp, nil)
 		case resp.StatusCode == http.StatusTooManyRequests:
 			ra := parseRetryAfter(resp.Header, h.clock)
 			drain(resp)
@@ -377,13 +422,15 @@ func (h *HTTP) do(endpoint string, send func(context.Context) (*http.Response, e
 			// Other 4xx: our request is wrong; retrying cannot help and
 			// the server is healthy, so the breaker stays untouched.
 			drain(resp)
-			return nil, fmt.Errorf("collector: %s: HTTP %d", endpoint, resp.StatusCode)
+			return finish(nil, fmt.Errorf("collector: %s: HTTP %d", endpoint, resp.StatusCode))
 		}
 	}
 	if br.failure(h.clock()) {
 		h.breakerTo[breakerOpen].Inc()
+		sp.FlagKeep("breaker_open")
+		sp.Annotate("breaker:opened")
 	}
-	return nil, fmt.Errorf("collector: %s: retries exhausted: %w", endpoint, lastErr)
+	return finish(nil, fmt.Errorf("collector: %s: retries exhausted: %w", endpoint, lastErr))
 }
 
 // drain discards a response body so the connection can be reused.
@@ -422,10 +469,13 @@ func (h *HTTP) RecentBundlesBefore(beforeSeq uint64, limit int) ([]jito.BundleRe
 }
 
 func (h *HTTP) recent(url string) ([]jito.BundleRecord, error) {
-	resp, err := h.do("recent", func(ctx context.Context) (*http.Response, error) {
+	resp, err := h.do("recent", func(ctx context.Context, traceparent string) (*http.Response, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 		if err != nil {
 			return nil, err
+		}
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
 		}
 		return h.Client.Do(req)
 	})
@@ -447,12 +497,15 @@ func (h *HTTP) TxDetails(ids []solana.Signature) ([]jito.TxDetail, error) {
 		return nil, err
 	}
 	url := h.BaseURL + "/api/v1/transactions"
-	resp, err := h.do("details", func(ctx context.Context) (*http.Response, error) {
+	resp, err := h.do("details", func(ctx context.Context, traceparent string) (*http.Response, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 		if err != nil {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
+		}
 		return h.Client.Do(req)
 	})
 	if err != nil {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"jitomev/internal/obs"
 )
 
 // ChaosConfig shapes the wire-level faults ChaosHandler injects.
@@ -47,6 +49,17 @@ func (c ChaosConfig) retryAfter() time.Duration {
 func ChaosHandler(next http.Handler, inj *Injector, cfg ChaosConfig) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		class, idx := inj.Next(HTTPMask)
+		// When the request rides a sampled trace (the trace middleware
+		// runs outside this wrapper), pin the injected fault to it: the
+		// trace is force-kept and annotated, so /tracez answers "which
+		// request did this fault hit".
+		if class != ClassNone {
+			if tr := obs.TraceFromContext(r.Context()); tr != nil {
+				tr.Annotate("fault:" + class.String())
+				tr.FlagKeep("fault")
+				inj.Attribute(class)
+			}
+		}
 		switch class {
 		case ClassNone:
 			next.ServeHTTP(w, r)

@@ -314,6 +314,12 @@ type Injector struct {
 	reg      *obs.Registry
 	calls    *obs.Counter
 	injected [NumClasses]*obs.Counter
+
+	// attributed counts injected faults that landed inside a sampled
+	// trace — the subset a chaos run can pin to a specific request on
+	// /tracez. Volatile: the count depends on the sampling rate, not on
+	// (seed, days, scale).
+	attributed [NumClasses]*obs.Counter
 }
 
 // NewInjector builds an injector over Schedule{seed, rate} with a
@@ -330,10 +336,36 @@ func NewInjectorObs(seed int64, rate float64, reg *obs.Registry) *Injector {
 	}
 	in := &Injector{sched: Schedule{Seed: seed, Rate: rate}, reg: reg}
 	in.calls = reg.Counter("faults_injector_calls_total")
+	reg.Help("faults_attributed_total", "Injected faults attributed to a sampled trace (visible on /tracez).")
+	reg.Volatile("faults_attributed_total")
 	for c := ClassTransport; c < NumClasses; c++ {
 		in.injected[c] = reg.Counter("faults_injected_total", "class", c.String())
+		in.attributed[c] = reg.Counter("faults_attributed_total", "class", c.String())
 	}
 	return in
+}
+
+// Attribute counts one injected fault that hit a sampled trace: the
+// fault is answerable from /tracez (the trace carries a fault:<class>
+// annotation), and this counter says how many of the injected faults
+// have that provenance.
+func (in *Injector) Attribute(c Class) {
+	if in == nil || c <= ClassNone || c >= NumClasses {
+		return
+	}
+	in.attributed[c].Inc()
+}
+
+// Attributed snapshots the per-class attributed tally.
+func (in *Injector) Attributed() Stats {
+	var s Stats
+	if in == nil {
+		return s
+	}
+	for c := ClassTransport; c < NumClasses; c++ {
+		s[c] = in.attributed[c].Value()
+	}
+	return s
 }
 
 // Obs returns the registry the injector tallies onto.

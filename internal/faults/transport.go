@@ -2,9 +2,11 @@ package faults
 
 import (
 	"io"
+	"sync"
 	"time"
 
 	"jitomev/internal/jito"
+	"jitomev/internal/obs"
 	"jitomev/internal/solana"
 )
 
@@ -53,11 +55,47 @@ type Transport struct {
 	Inner    Inner
 	Injector *Injector
 	Opts     TransportOptions
+
+	// traceMu guards the bound span context (see BindTrace).
+	traceMu  sync.Mutex
+	traceCtx obs.SpanCtx
 }
 
 // WrapTransport builds a fault-injecting transport over inner.
 func WrapTransport(inner Inner, inj *Injector, opts TransportOptions) *Transport {
 	return &Transport{Inner: inner, Injector: inj, Opts: opts}
+}
+
+// BindTrace accepts the collector's trace binding and forwards it to
+// the inner transport when that one is itself a carrier. Faults this
+// wrapper injects while a sampled context is bound are attributed to
+// the trace (a fault:<class> child span, force-kept), so the chaos
+// wrapper is transparent to latency attribution.
+func (t *Transport) BindTrace(ctx obs.SpanCtx) {
+	t.traceMu.Lock()
+	t.traceCtx = ctx
+	t.traceMu.Unlock()
+	if tb, ok := t.Inner.(interface{ BindTrace(obs.SpanCtx) }); ok {
+		tb.BindTrace(ctx)
+	}
+}
+
+// attribute pins an injected fault to the bound trace, when sampled.
+func (t *Transport) attribute(class Class) {
+	if class == ClassNone {
+		return
+	}
+	t.traceMu.Lock()
+	ctx := t.traceCtx
+	t.traceMu.Unlock()
+	if !ctx.Sampled() {
+		return
+	}
+	sp := ctx.StartChild("fault:" + class.String())
+	sp.FlagKeep("fault")
+	sp.MarkError()
+	sp.End()
+	t.Injector.Attribute(class)
 }
 
 // errorFor builds the typed error for an error-shaped fault class.
@@ -98,6 +136,7 @@ func (t *Transport) page(recs []jito.BundleRecord, class Class, idx uint64) []ji
 // RecentBundles implements the transport contract with page faults.
 func (t *Transport) RecentBundles(limit int) ([]jito.BundleRecord, error) {
 	class, idx := t.Injector.Next(PageMask)
+	t.attribute(class)
 	if err := t.errorFor(class, idx); err != nil {
 		return nil, err
 	}
@@ -111,6 +150,7 @@ func (t *Transport) RecentBundles(limit int) ([]jito.BundleRecord, error) {
 // RecentBundlesBefore implements the transport contract with page faults.
 func (t *Transport) RecentBundlesBefore(beforeSeq uint64, limit int) ([]jito.BundleRecord, error) {
 	class, idx := t.Injector.Next(PageMask)
+	t.attribute(class)
 	if err := t.errorFor(class, idx); err != nil {
 		return nil, err
 	}
@@ -124,6 +164,7 @@ func (t *Transport) RecentBundlesBefore(beforeSeq uint64, limit int) ([]jito.Bun
 // TxDetails implements the transport contract with detail faults.
 func (t *Transport) TxDetails(ids []solana.Signature) ([]jito.TxDetail, error) {
 	class, idx := t.Injector.Next(DetailMask)
+	t.attribute(class)
 	if err := t.errorFor(class, idx); err != nil {
 		return nil, err
 	}

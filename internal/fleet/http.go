@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
+	"sync"
 	"time"
 
 	"jitomev/internal/obs"
@@ -226,6 +228,10 @@ func (s *LeaseServer) handleOp(w http.ResponseWriter, r *http.Request) {
 type LeaseClient struct {
 	BaseURL string
 	Client  *http.Client
+
+	// traceMu guards the bound span context (see BindTrace).
+	traceMu  sync.Mutex
+	traceCtx obs.SpanCtx
 }
 
 // NewLeaseClient builds a client for the explorerd ops listener at
@@ -237,9 +243,36 @@ func NewLeaseClient(baseURL string) *LeaseClient {
 	}
 }
 
+// BindTrace pins a span context on the client; subsequent coordination
+// calls ride it as child spans and carry the W3C traceparent header, so
+// explorerd's middleware stitches the server-side handling into the
+// same trace. Sound because a replica issues coordination calls
+// sequentially; bind the zero SpanCtx to detach.
+func (c *LeaseClient) BindTrace(ctx obs.SpanCtx) {
+	c.traceMu.Lock()
+	c.traceCtx = ctx
+	c.traceMu.Unlock()
+}
+
+func (c *LeaseClient) boundTrace() obs.SpanCtx {
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
+	return c.traceCtx
+}
+
+// leaseOp names the client span for a /leasez path.
+func leaseOp(path string) string {
+	if path == "/leasez" {
+		return "lease:state"
+	}
+	return "lease:" + strings.TrimPrefix(path, "/leasez/")
+}
+
 // call performs one POST (or GET when reqBody is nil) and decodes into
 // out; non-200 bodies decode to their sentinel error.
-func (c *LeaseClient) call(method, path string, reqBody, out any) error {
+func (c *LeaseClient) call(method, path string, reqBody, out any) (err error) {
+	sp := c.boundTrace().StartChild(leaseOp(path))
+	defer func() { sp.EndErr(err) }()
 	var body io.Reader
 	if reqBody != nil {
 		buf, err := json.Marshal(reqBody)
@@ -254,6 +287,9 @@ func (c *LeaseClient) call(method, path string, reqBody, out any) error {
 	}
 	if reqBody != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if tp := sp.Ctx().Traceparent(); tp != "" {
+		req.Header.Set("traceparent", tp)
 	}
 	resp, err := c.Client.Do(req)
 	if err != nil {

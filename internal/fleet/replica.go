@@ -154,6 +154,65 @@ func NewReplica(cfg ReplicaConfig) *Replica {
 	return r
 }
 
+// traceBinder is the carrier surface a transport or coordinator exposes
+// when it can ride a trace (collector.HTTP, faults.Transport,
+// LeaseClient). Discovered structurally so Direct transports and the
+// in-process LeaseTable stay untouched.
+type traceBinder interface {
+	BindTrace(obs.SpanCtx)
+}
+
+// bindTrace pins ctx on the replica's transport and coordinator when
+// they are carriers; the zero SpanCtx detaches. Sound because a replica
+// works one partition page at a time.
+func (r *Replica) bindTrace(ctx obs.SpanCtx) {
+	if tb, ok := r.cfg.Transport.(traceBinder); ok {
+		tb.BindTrace(ctx)
+	}
+	if tb, ok := r.cfg.Coord.(traceBinder); ok {
+		tb.BindTrace(ctx)
+	}
+}
+
+// startTrace roots a replica trace (nil without an attached tracer —
+// every Trace method is nil-safe) and binds it onto the data and
+// control planes so transport and lease calls become child spans.
+func (r *Replica) startTrace(name string, part Partition) *obs.Trace {
+	t := r.cfg.Reg.TracerAttached()
+	if t == nil {
+		return nil
+	}
+	tr := t.StartTrace(name)
+	tr.Annotatef("replica:%s partition:%d", r.cfg.ID, part.ID)
+	r.bindTrace(tr.Ctx())
+	return tr
+}
+
+// endTrace detaches the carriers and closes the root span.
+func (r *Replica) endTrace(tr *obs.Trace, err error) {
+	r.bindTrace(obs.SpanCtx{})
+	tr.EndErr(err)
+}
+
+// span opens a stage child under tr and re-pins the carriers to it, so
+// transport and lease calls made during the stage nest under the stage
+// span instead of the root.
+func (r *Replica) span(tr *obs.Trace, name string) *obs.Trace {
+	sp := tr.StartChild(name)
+	if sp != nil {
+		r.bindTrace(sp.Ctx())
+	}
+	return sp
+}
+
+// closeSpan ends a stage span and re-pins the carriers to the root.
+func (r *Replica) closeSpan(tr, sp *obs.Trace, err error) {
+	if sp != nil {
+		r.bindTrace(tr.Ctx())
+	}
+	sp.EndErr(err)
+}
+
 // windowSize sizes the capture dataset's dedup window: wide enough to
 // absorb the worst resume overlap — a crash between the checkpoint
 // snapshot landing on disk and its cursor posting leaves the successor
@@ -249,17 +308,36 @@ func (r *Replica) work(lease Lease) error {
 	// the fence must reject. A fresh lease starts healed.
 	partitioned := false
 	for !part.Empty() && cursor > part.Lo {
+		// Each page cycle is one root trace: renew → fetch_page →
+		// ingest → details (→ checkpoint), with the transport and
+		// coordinator calls nested under their stage spans — the
+		// per-hop breakdown /tracez serves for a fleet poll.
+		tr := r.startTrace("fleet.page", part)
+		wasPartitioned := partitioned
 		if err := r.maybeFault(&partitioned); err != nil {
+			tr.Annotate("fault:crash")
+			tr.FlagKeep("fault")
+			r.endTrace(tr, err)
 			return err
 		}
+		if partitioned && !wasPartitioned {
+			tr.Annotate("fault:partition")
+			tr.FlagKeep("fault")
+		}
 		if !partitioned {
-			if err := r.cfg.Coord.Renew(part.ID, r.cfg.ID, lease.Epoch, r.cfg.LeaseTTL); err != nil {
+			sp := r.span(tr, "renew")
+			err := r.cfg.Coord.Renew(part.ID, r.cfg.ID, lease.Epoch, r.cfg.LeaseTTL)
+			r.closeSpan(tr, sp, err)
+			if err != nil {
 				r.fencedSeen.Inc()
+				tr.FlagKeep("fenced")
+				r.endTrace(tr, err)
 				return errAbandoned
 			}
 		}
-		page, err := r.fetchPage(cursor)
+		page, err := r.fetchPage(tr, cursor)
 		if err != nil {
+			r.endTrace(tr, err)
 			return err
 		}
 		if r.cfg.PageDelay > 0 {
@@ -267,11 +345,14 @@ func (r *Replica) work(lease Lease) error {
 		}
 		if len(page) == 0 {
 			cursor = part.Lo // nothing below the cursor: range exhausted
+			tr.Annotate("range_exhausted")
+			r.endTrace(tr, nil)
 			break
 		}
 		oldest, newest := page[0].Seq, page[0].Seq
 		mark := len(ds.Len3)
 		newN, dupN := 0, 0
+		ingest := tr.StartChild("ingest")
 		// Pages arrive newest-first; ingest back-to-front so dataset
 		// order tracks chain order within the page. Entries outside
 		// [Lo, Hi] belong to a neighboring partition and are skipped.
@@ -292,12 +373,15 @@ func (r *Replica) work(lease Lease) error {
 				dupN++
 			}
 		}
+		ingest.Annotatef("new:%d dup:%d", newN, dupN)
+		ingest.End()
 		r.pages.Inc()
 		r.pagesFetched++
 		r.records.Add(uint64(newN))
 		r.cfg.Quality.ObservePoll(r.cfg.Clock.DayOf(pageSlot(page, newest)),
 			r.cfg.PageLimit, newN, dupN, false, false)
-		if err := r.fetchDetails(ds, mark); err != nil {
+		if err := r.fetchDetails(tr, ds, mark); err != nil {
+			r.endTrace(tr, err)
 			return err
 		}
 		if oldest < cursor {
@@ -309,33 +393,46 @@ func (r *Replica) work(lease Lease) error {
 		}
 		if cursor <= part.Lo {
 			cursor = part.Lo
+			r.endTrace(tr, nil)
 			break
 		}
 		if pagesSince++; pagesSince >= r.cfg.CheckpointEvery {
-			if err := r.checkpoint(ds, cursor, part, lease.Epoch); err != nil {
+			if err := r.checkpoint(tr, ds, cursor, part, lease.Epoch); err != nil {
+				r.endTrace(tr, err)
 				return err
 			}
 			pagesSince = 0
 		}
+		r.endTrace(tr, nil)
 	}
 	// Range fully fetched: settle any pending details, write the final
 	// checkpoint, and mark the partition done.
-	if err := r.finishDetails(ds); err != nil {
+	tr := r.startTrace("fleet.finish", part)
+	if err := r.finishDetails(tr, ds); err != nil {
 		// Details permanently short: checkpoint what we have and hand
 		// the partition back unfinished for another replica (or a
 		// calmer retry) to complete.
-		_ = r.checkpoint(ds, maxU64(cursor, part.Lo), part, lease.Epoch)
-		_ = r.cfg.Coord.Release(part.ID, r.cfg.ID, lease.Epoch, false)
+		_ = r.checkpoint(tr, ds, maxU64(cursor, part.Lo), part, lease.Epoch)
+		sp := r.span(tr, "release")
+		r.closeSpan(tr, sp, r.cfg.Coord.Release(part.ID, r.cfg.ID, lease.Epoch, false))
+		r.endTrace(tr, err)
 		return err
 	}
-	if err := r.checkpoint(ds, maxU64(cursor, part.Lo), part, lease.Epoch); err != nil {
+	if err := r.checkpoint(tr, ds, maxU64(cursor, part.Lo), part, lease.Epoch); err != nil {
+		r.endTrace(tr, err)
 		return err
 	}
-	if err := r.cfg.Coord.Release(part.ID, r.cfg.ID, lease.Epoch, true); err != nil {
+	sp := r.span(tr, "release")
+	err := r.cfg.Coord.Release(part.ID, r.cfg.ID, lease.Epoch, true)
+	r.closeSpan(tr, sp, err)
+	if err != nil {
 		r.fencedSeen.Inc()
+		tr.FlagKeep("fenced")
+		r.endTrace(tr, err)
 		return errAbandoned
 	}
 	r.completed.Inc()
+	r.endTrace(tr, nil)
 	return nil
 }
 
@@ -368,10 +465,15 @@ func (r *Replica) maybeFault(partitioned *bool) error {
 
 // fetchPage requests the page strictly below cursor, retrying through
 // the transport fault classes on the replica's own budget.
-func (r *Replica) fetchPage(cursor uint64) ([]jito.BundleRecord, error) {
+func (r *Replica) fetchPage(tr *obs.Trace, cursor uint64) (page []jito.BundleRecord, err error) {
+	sp := r.span(tr, "fetch_page")
+	defer func() { r.closeSpan(tr, sp, err) }()
 	for attempt := 0; ; attempt++ {
-		page, err := r.cfg.Transport.RecentBundlesBefore(cursor, r.cfg.PageLimit)
+		page, err = r.cfg.Transport.RecentBundlesBefore(cursor, r.cfg.PageLimit)
 		if err == nil {
+			if attempt > 0 {
+				sp.Annotatef("retries:%d", attempt)
+			}
 			return page, nil
 		}
 		r.cfg.Quality.ObservePollError()
@@ -386,19 +488,27 @@ func (r *Replica) fetchPage(cursor uint64) ([]jito.BundleRecord, error) {
 // fetchDetails fetches details for the length-3 records appended since
 // mark. Failures and partial responses leave ids pending; finishDetails
 // settles the remainder before the partition completes.
-func (r *Replica) fetchDetails(ds *collector.Dataset, mark int) error {
+func (r *Replica) fetchDetails(tr *obs.Trace, ds *collector.Dataset, mark int) error {
 	var ids []solana.Signature
 	for i := mark; i < len(ds.Len3); i++ {
 		ids = append(ids, ds.Len3[i].TxIDs...)
 	}
+	if len(ids) == 0 {
+		return nil
+	}
+	sp := r.span(tr, "details")
+	sp.Annotatef("ids:%d", len(ids))
 	_ = r.fetchIDs(ds, ids, 1) // best effort; the finish pass retries
+	r.closeSpan(tr, sp, nil)
 	return nil
 }
 
 // finishDetails drains every still-pending length-3 detail, retrying
 // across the replica's budget; a remainder after that is an error (the
 // partition cannot be declared complete with holes).
-func (r *Replica) finishDetails(ds *collector.Dataset) error {
+func (r *Replica) finishDetails(tr *obs.Trace, ds *collector.Dataset) (err error) {
+	sp := r.span(tr, "details_finish")
+	defer func() { r.closeSpan(tr, sp, err) }()
 	for attempt := 0; attempt <= r.cfg.PageRetries; attempt++ {
 		pending := pendingLen3(ds)
 		if len(pending) == 0 {
@@ -471,18 +581,25 @@ func pendingLen3(ds *collector.Dataset) []solana.Signature {
 // the successor merely re-fetches a few pages the newer file already
 // held, which the dedup window (or at worst the merge) absorbs. A
 // fenced cursor post means the partition moved on without us.
-func (r *Replica) checkpoint(ds *collector.Dataset, cursor uint64, part Partition, epoch uint64) error {
+func (r *Replica) checkpoint(tr *obs.Trace, ds *collector.Dataset, cursor uint64, part Partition, epoch uint64) error {
+	sp := r.span(tr, "checkpoint")
+	sp.Annotatef("cursor:%d", cursor)
 	path := CheckpointPath(r.cfg.CkptDir, part.ID, epoch)
 	if _, err := snapshot.WriteFileAtomic(path, func(w io.Writer) error {
 		return ds.SaveWorkers(w, 1)
 	}); err != nil {
-		return fmt.Errorf("checkpoint %s: %w", path, err)
+		err = fmt.Errorf("checkpoint %s: %w", path, err)
+		r.closeSpan(tr, sp, err)
+		return err
 	}
 	if err := r.cfg.Coord.Checkpoint(part.ID, r.cfg.ID, epoch, cursor, ds.Collected); err != nil {
 		r.fencedSeen.Inc()
+		tr.FlagKeep("fenced")
+		r.closeSpan(tr, sp, err)
 		return errAbandoned
 	}
 	r.ckpts.Inc()
+	r.closeSpan(tr, sp, nil)
 	return nil
 }
 

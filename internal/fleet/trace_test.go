@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"jitomev/internal/collector"
+	"jitomev/internal/explorer"
+	"jitomev/internal/obs"
+)
+
+// TestFleetTraceCrossProcess wires the two-process deployment shape in
+// one process: a replica whose transport and lease client inject
+// traceparent headers, against a server whose data API and /leasez
+// endpoints run under TraceMiddleware on their own tracer. The test
+// pins the stitching contract end to end — the replica's recorder holds
+// fleet.page traces with the per-hop stage breakdown, the server's
+// recorder holds the same trace IDs as remotely-rooted fragments with a
+// page cycle's requests (renew + page fetch + details) merged into one
+// multi-span trace.
+func TestFleetTraceCrossProcess(t *testing.T) {
+	clock := testClock()
+	store := fillStore(600, clock)
+
+	srvReg := obs.NewRegistry()
+	srvTracer := obs.NewTracer(srvReg, obs.TraceConfig{Service: "server", Seed: 3, Capacity: 512})
+	table := NewLeaseTable(store.HighWater, nil)
+	mux := http.NewServeMux()
+	mux.Handle("/", explorer.NewServerObs(store, 0, srvReg))
+	for _, ep := range NewLeaseServer(table).Endpoints() {
+		mux.Handle(ep.Path, ep.Handler)
+	}
+	srv := httptest.NewServer(obs.TraceMiddleware(srvTracer, mux))
+	defer srv.Close()
+
+	repReg := obs.NewRegistry()
+	repTracer := obs.NewTracer(repReg, obs.TraceConfig{
+		Service: "replica", Seed: 5, SampleRate: 1, KeepRate: 1, Capacity: 512,
+	})
+	rep := NewReplica(ReplicaConfig{
+		ID:         "traced",
+		Clock:      clock,
+		Transport:  collector.NewHTTP(srv.URL).WithObs(repReg),
+		Coord:      NewLeaseClient(srv.URL),
+		Partitions: 4,
+		PageLimit:  100,
+		CkptDir:    t.TempDir(),
+		Reg:        repReg,
+	})
+	if err := rep.Run(); err != nil {
+		t.Fatalf("replica: %v", err)
+	}
+
+	// Client side: every page cycle rooted a fleet.page trace; at least
+	// one must carry the full stage breakdown — renew and fetch_page
+	// stage spans with the wire calls nested under them.
+	kept := repTracer.Kept("")
+	if len(kept) == 0 {
+		t.Fatal("replica recorder is empty at SampleRate=KeepRate=1")
+	}
+	clientIDs := make(map[string]bool, len(kept))
+	var sawPage bool
+	for _, kt := range kept {
+		clientIDs[kt.TraceID] = true
+		if kt.Root != "fleet.page" || len(kt.Spans) < 3 {
+			continue
+		}
+		names := make(map[string]bool, len(kt.Spans))
+		spanIDs := make(map[string]bool, len(kt.Spans))
+		for _, s := range kt.Spans {
+			names[s.Name] = true
+			spanIDs[s.SpanID] = true
+		}
+		for _, s := range kt.Spans {
+			if s.ParentSpanID != "" && !spanIDs[s.ParentSpanID] {
+				t.Fatalf("trace %s: span %s has unresolved parent %s", kt.TraceID, s.Name, s.ParentSpanID)
+			}
+		}
+		if names["renew"] && names["fetch_page"] {
+			sawPage = true
+		}
+	}
+	if !sawPage {
+		t.Fatalf("no fleet.page trace with renew+fetch_page stages among %d kept traces", len(kept))
+	}
+
+	// Server side: the same traffic, remotely rooted. Fragments of one
+	// page cycle merge by trace ID into a multi-span trace whose spans
+	// all carry remote parents, and the IDs are the client's — the
+	// cross-process stitch.
+	var deepest int
+	var stitched bool
+	for _, kt := range srvTracer.Kept("") {
+		if !kt.Remote {
+			t.Fatalf("server rooted a local trace %q — it should only extract", kt.Root)
+		}
+		if clientIDs[kt.TraceID] {
+			stitched = true
+		}
+		if len(kt.Spans) > deepest {
+			deepest = len(kt.Spans)
+		}
+		for _, s := range kt.Spans {
+			if !s.RemoteParent {
+				t.Fatalf("server span %s in trace %s lost its remote parent", s.Name, kt.TraceID)
+			}
+		}
+	}
+	if !stitched {
+		t.Fatal("no server-side trace shares a trace ID with the replica's recorder")
+	}
+	if deepest < 3 {
+		t.Fatalf("deepest merged server trace has %d spans, want >= 3 (renew + page + details)", deepest)
+	}
+}

@@ -7,9 +7,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // fmtValue renders a sample value the way the Prometheus text format
@@ -47,6 +50,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for _, s := range group {
 			switch s.Kind {
 			case KindHistogram:
+				exemplars := make(map[int]Exemplar, len(s.Exemplars))
+				for _, e := range s.Exemplars {
+					exemplars[e.Bucket] = e
+				}
 				cum := uint64(0)
 				for i, n := range s.Buckets {
 					cum += n
@@ -54,7 +61,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 					if i < len(s.Bounds) {
 						le = fmtValue(s.Bounds[i])
 					}
-					fmt.Fprintf(bw, "%s_bucket%s %d\n", fam, withLabel(s.Name, fam, "le", le), cum)
+					fmt.Fprintf(bw, "%s_bucket%s %d", fam, withLabel(s.Name, fam, "le", le), cum)
+					// OpenMetrics exemplar: ` # {trace_id="..."} value`,
+					// the link from this bucket to its /tracez entry.
+					if e, ok := exemplars[i]; ok {
+						fmt.Fprintf(bw, ` # {trace_id="%s"} %s`, e.TraceID, fmtValue(e.Value))
+					}
+					fmt.Fprintln(bw)
 				}
 				fmt.Fprintf(bw, "%s_sum%s %s\n", fam, labelsOf(s.Name, fam), fmtValue(s.Value))
 				fmt.Fprintf(bw, "%s_count%s %d\n", fam, labelsOf(s.Name, fam), s.Count)
@@ -103,16 +116,57 @@ type statusHistogram struct {
 	Buckets map[string]uint64 `json:"buckets,omitempty"`
 }
 
+// buildInfo is the process identity block in /statusz, resolved once.
+type buildInfo struct {
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInf  buildInfo
+)
+
+// readBuildInfo resolves the Go version and vcs revision baked into the
+// binary by the toolchain.
+func readBuildInfo() buildInfo {
+	buildOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			buildInf = buildInfo{GoVersion: runtime.Version()}
+			return
+		}
+		buildInf = buildInfo{GoVersion: bi.GoVersion}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInf.Revision = s.Value
+			case "vcs.modified":
+				buildInf.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInf
+}
+
 // WriteStatusJSON renders the registry as the /statusz JSON document: a
 // flat metrics object (full name → value, histograms as
-// {count, sum, buckets}), with volatile families listed so consumers
-// know which values are excluded from determinism comparisons.
+// {count, sum, buckets}), process identity (uptime, Go version, vcs
+// revision), with volatile families listed so consumers know which
+// values are excluded from determinism comparisons.
 func (r *Registry) WriteStatusJSON(w io.Writer) error {
 	type doc struct {
-		Metrics  map[string]any `json:"metrics"`
-		Volatile []string       `json:"volatile_families,omitempty"`
+		UptimeSeconds float64        `json:"uptime_seconds"`
+		Build         buildInfo      `json:"build"`
+		Metrics       map[string]any `json:"metrics"`
+		Volatile      []string       `json:"volatile_families,omitempty"`
 	}
-	d := doc{Metrics: make(map[string]any)}
+	d := doc{
+		UptimeSeconds: r.Uptime().Seconds(),
+		Build:         readBuildInfo(),
+		Metrics:       make(map[string]any),
+	}
 	seenVol := make(map[string]bool)
 	for _, s := range r.Snapshot() {
 		if s.Volatile && !seenVol[s.Family] {
@@ -169,13 +223,17 @@ type Endpoint struct {
 }
 
 // NewOpsMux builds the operational endpoint mux every binary mounts:
-// /metrics (Prometheus text), /statusz (JSON), any extra endpoints the
-// caller supplies, and — only when withPprof is set — the
-// net/http/pprof handlers under /debug/pprof/.
+// /metrics (Prometheus text), /statusz (JSON), /tracez when a tracer is
+// attached to the registry, any extra endpoints the caller supplies,
+// and — only when withPprof is set — the net/http/pprof handlers under
+// /debug/pprof/.
 func NewOpsMux(r *Registry, withPprof bool, extra ...Endpoint) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.MetricsHandler())
 	mux.Handle("/statusz", r.StatusHandler())
+	if t := r.TracerAttached(); t != nil {
+		mux.Handle("/tracez", t.Handler())
+	}
 	for _, e := range extra {
 		mux.Handle(e.Path, e.Handler)
 	}
@@ -246,9 +304,18 @@ func validateComment(line string) error {
 	return nil
 }
 
-// validateSample accepts `name value` and `name{k="v",...} value`.
+// validateSample accepts `name value` and `name{k="v",...} value`, each
+// optionally followed by an OpenMetrics exemplar (` # {labels} value`).
 func validateSample(line string) error {
 	rest := line
+	// Split off a trailing exemplar before field parsing: the exemplar's
+	// own label block and value are validated separately.
+	if i := strings.Index(rest, " # "); i >= 0 {
+		if err := validateExemplar(rest[i+3:]); err != nil {
+			return fmt.Errorf("%v in %q", err, line)
+		}
+		rest = rest[:i]
+	}
 	// Metric name.
 	i := 0
 	for i < len(rest) && isNameChar(rest[i], i == 0) {
@@ -278,6 +345,31 @@ func validateSample(line string) error {
 	if len(fields) == 2 {
 		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
 			return fmt.Errorf("bad timestamp %q in %q", fields[1], line)
+		}
+	}
+	return nil
+}
+
+// validateExemplar accepts the OpenMetrics exemplar tail `{labels} value`
+// (the part after the ` # ` separator).
+func validateExemplar(s string) error {
+	if !strings.HasPrefix(s, "{") {
+		return fmt.Errorf("exemplar missing label block")
+	}
+	end, err := scanLabels(s)
+	if err != nil {
+		return fmt.Errorf("exemplar: %v", err)
+	}
+	fields := strings.Fields(s[end:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("expected exemplar value")
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return fmt.Errorf("bad exemplar value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return fmt.Errorf("bad exemplar timestamp %q", fields[1])
 		}
 	}
 	return nil

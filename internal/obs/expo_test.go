@@ -145,9 +145,21 @@ func TestStatusJSONShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := range doc {
-		if k != "metrics" && k != "volatile_families" {
+		switch k {
+		case "metrics", "volatile_families", "uptime_seconds", "build":
+		default:
 			t.Errorf("unexpected top-level key %q", k)
 		}
+	}
+	var uptime float64
+	if err := json.Unmarshal(doc["uptime_seconds"], &uptime); err != nil || uptime < 0 {
+		t.Errorf("uptime_seconds = %s (err %v)", doc["uptime_seconds"], err)
+	}
+	var build struct {
+		GoVersion string `json:"go_version"`
+	}
+	if err := json.Unmarshal(doc["build"], &build); err != nil || build.GoVersion == "" {
+		t.Errorf("build info = %s (err %v)", doc["build"], err)
 	}
 	var metrics map[string]json.RawMessage
 	if err := json.Unmarshal(doc["metrics"], &metrics); err != nil {

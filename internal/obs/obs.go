@@ -36,6 +36,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Kind discriminates the metric types in a Snapshot.
@@ -195,6 +196,17 @@ type Histogram struct {
 	buckets []atomic.Uint64 // len(bounds)+1; non-cumulative
 	count   atomic.Uint64
 	sum     FloatGauge
+
+	// exemplars holds the latest traced observation per bucket
+	// (OpenMetrics exemplars): the link from a /metrics tail bucket to
+	// the /tracez entry that landed in it. Same length as buckets.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar is one traced observation pinned to a histogram bucket.
+type exemplar struct {
+	traceID string
+	value   float64
 }
 
 // DurationBuckets are the default bounds for wall-time histograms, in
@@ -215,6 +227,26 @@ func (h *Histogram) Observe(v float64) {
 	h.buckets[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveExemplar records one sample and, when tid identifies a sampled
+// trace, pins it as the bucket's exemplar — linking the /metrics bucket
+// the observation landed in to its /tracez entry. A zero tid degrades
+// to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, tid TraceID) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	if !tid.IsZero() {
+		h.exemplars[i].Store(&exemplar{traceID: tid.String(), value: v})
+	}
 }
 
 // Count reads the number of observations.
@@ -291,14 +323,55 @@ type Registry struct {
 	mu       sync.Mutex
 	metrics  map[string]*metric
 	volatile map[string]bool // families excluded from DeterministicSnapshot
+
+	// createdAt anchors /statusz's uptime_seconds.
+	createdAt time.Time
+
+	// tracer, when attached, is the process's distributed tracer:
+	// NewOpsMux mounts its /tracez and every layer holding the registry
+	// reaches it through TracerAttached without extra plumbing.
+	tracer *Tracer
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		metrics:  make(map[string]*metric),
-		volatile: make(map[string]bool),
+		metrics:   make(map[string]*metric),
+		volatile:  make(map[string]bool),
+		createdAt: time.Now(),
 	}
+}
+
+// AttachTracer binds t as the registry's tracer (NewTracer calls this;
+// attaching nil detaches). Nil-safe.
+func (r *Registry) AttachTracer(t *Tracer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tracer = t
+	r.mu.Unlock()
+}
+
+// TracerAttached returns the attached tracer, or nil — and a nil
+// *Tracer never samples, so call sites chain
+// reg.TracerAttached().StartTrace(...) unconditionally.
+func (r *Registry) TracerAttached() *Tracer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tracer
+}
+
+// Uptime reports how long ago the registry was created (zero for nil or
+// pre-createdAt registries).
+func (r *Registry) Uptime() time.Duration {
+	if r == nil || r.createdAt.IsZero() {
+		return 0
+	}
+	return time.Since(r.createdAt)
 }
 
 // renderLabels turns variadic k,v pairs into a canonical `{k="v",...}`
@@ -407,6 +480,7 @@ func (r *Registry) Histogram(family string, bounds []float64, labels ...string) 
 	}
 	h := &Histogram{bounds: append([]float64(nil), bounds...)}
 	h.buckets = make([]atomic.Uint64, len(bounds)+1)
+	h.exemplars = make([]atomic.Pointer[exemplar], len(bounds)+1)
 	r.metrics[name] = &metric{family: family, labels: ls, name: name, kind: KindHistogram, h: h}
 	return h
 }
@@ -464,6 +538,16 @@ type Sample struct {
 	Count   uint64
 	Bounds  []float64
 	Buckets []uint64
+	// Exemplars holds the latest traced observation per bucket, where
+	// one exists (same indexing as Buckets; nil entries mean none).
+	Exemplars []Exemplar
+}
+
+// Exemplar is one traced histogram observation in a Snapshot.
+type Exemplar struct {
+	Bucket  int     // bucket index (Buckets/Bounds indexing)
+	TraceID string  // 32-hex trace id
+	Value   float64 // the observed value
 }
 
 // Snapshot captures every registered metric, sorted by name. The result
@@ -500,6 +584,11 @@ func (r *Registry) Snapshot() []Sample {
 			s.Buckets = make([]uint64, len(m.h.buckets))
 			for i := range m.h.buckets {
 				s.Buckets[i] = m.h.buckets[i].Load()
+			}
+			for i := range m.h.exemplars {
+				if e := m.h.exemplars[i].Load(); e != nil {
+					s.Exemplars = append(s.Exemplars, Exemplar{Bucket: i, TraceID: e.traceID, Value: e.value})
+				}
 			}
 		}
 		out = append(out, s)

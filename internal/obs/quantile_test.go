@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuantileEdgeCases pins Histogram.Quantile's behavior at the
+// boundaries the estimate is built on: no data, a single sample, all
+// mass in the +Inf overflow bucket, degenerate bound lists, and
+// out-of-range q values.
+func TestQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+
+	// Empty histogram: every quantile reads 0.
+	empty := r.Histogram("empty_seconds", []float64{0.1, 1})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// Single sample: every quantile resolves to the sample's bucket.
+	single := r.Histogram("single_seconds", []float64{0.1, 1, 10})
+	single.Observe(0.5)
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := single.Quantile(q)
+		if got <= 0.1 || got > 1 {
+			t.Errorf("single.Quantile(%v) = %v, want in (0.1, 1]", q, got)
+		}
+	}
+
+	// All observations past the last finite bound: the estimate is capped
+	// at that bound — the buckets cannot resolve further.
+	over := r.Histogram("over_seconds", []float64{0.1, 1})
+	for i := 0; i < 10; i++ {
+		over.Observe(100)
+	}
+	if got := over.Quantile(0.5); got != 1 {
+		t.Errorf("overflow-only Quantile(0.5) = %v, want last bound 1", got)
+	}
+	if got := over.Quantile(0.99); got != 1 {
+		t.Errorf("overflow-only Quantile(0.99) = %v, want last bound 1", got)
+	}
+
+	// q outside [0,1] clamps rather than extrapolating.
+	clamp := r.Histogram("clamp_seconds", []float64{1, 2})
+	clamp.Observe(0.5)
+	clamp.Observe(1.5)
+	if lo, hi := clamp.Quantile(-3), clamp.Quantile(7); lo > hi || hi > 2 {
+		t.Errorf("clamped quantiles: q=-3 -> %v, q=7 -> %v", lo, hi)
+	}
+
+	// Nil histogram is a no-op reader.
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil.Quantile = %v", got)
+	}
+}
+
+// TestQuantileInterpolation sanity-checks the in-bucket linear
+// interpolation against a uniform fill.
+func TestQuantileInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("uniform_seconds", []float64{10, 20, 30})
+	// 10 samples ≤10, 10 in (10,20]: the median rank sits at the bucket
+	// boundary and the p75 interpolates inside the second bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	if got := h.Quantile(0.5); got != 10 {
+		t.Errorf("Quantile(0.5) = %v, want 10", got)
+	}
+	got := h.Quantile(0.75)
+	if got <= 10 || got > 20 {
+		t.Errorf("Quantile(0.75) = %v, want in (10, 20]", got)
+	}
+}
+
+// TestWriteSummaryZeroSampleHistogram checks the summary skips
+// histograms with no observations (and still renders live ones beside
+// them).
+func TestWriteSummaryZeroSampleHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("idle_seconds", DurationBuckets) // never observed
+	busy := r.Histogram("busy_seconds", DurationBuckets)
+	busy.Observe(0.25)
+	var buf bytes.Buffer
+	r.WriteSummary(&buf)
+	out := buf.String()
+	if strings.Contains(out, "idle_seconds") {
+		t.Errorf("summary rendered zero-sample histogram:\n%s", out)
+	}
+	if !strings.Contains(out, "busy_seconds") || !strings.Contains(out, "n=1") {
+		t.Errorf("summary missing live histogram:\n%s", out)
+	}
+
+	// A registry holding only zero-sample histograms renders the empty
+	// placeholder, not a blank table.
+	r2 := NewRegistry()
+	r2.Histogram("quiet_seconds", DurationBuckets)
+	var buf2 bytes.Buffer
+	r2.WriteSummary(&buf2)
+	if !strings.Contains(buf2.String(), "no metrics") {
+		t.Errorf("zero-sample-only summary = %q", buf2.String())
+	}
+}

@@ -119,6 +119,13 @@ func AnalyzeObs(data *collector.Dataset, det *core.Detector, solPriceUSD float64
 		Len3Bundles: uint64(len(data.Len3)),
 	})
 
+	// When a tracer rides the registry, the whole pass is one trace with
+	// per-stage child spans — the overhead budget BENCH_trace.json
+	// guards (unsampled: a single atomic add and hash per stage).
+	tr := reg.TracerAttached().StartTrace("report.analyze")
+	tr.Annotatef("len3:%d long:%d workers:%d", len(data.Len3), len(data.Long), workers)
+
+	sp := tr.StartChild("analyze_len3")
 	span := reg.StartSpan("analyze_len3")
 	span.AddItems(len(data.Len3))
 	if workers == 1 {
@@ -135,9 +142,11 @@ func AnalyzeObs(data *collector.Dataset, det *core.Detector, solPriceUSD float64
 			a.FoldLen3)
 	}
 	span.End()
+	sp.End()
 
 	// Extended pass over retained longer bundles: recover disguised
 	// sandwiches the length-3 methodology misses by construction.
+	sp = tr.StartChild("analyze_extended")
 	span = reg.StartSpan("analyze_extended")
 	span.AddItems(len(data.Long))
 	if workers == 1 {
@@ -151,8 +160,14 @@ func AnalyzeObs(data *collector.Dataset, det *core.Detector, solPriceUSD float64
 			a.FoldLong)
 	}
 	span.End()
+	sp.End()
 
-	return a.Finish(reg)
+	sp = tr.StartChild("finish")
+	res := a.Finish(reg)
+	sp.End()
+	tr.Annotatef("sandwiches:%d", res.Sandwiches)
+	tr.End()
+	return res
 }
 
 // datasetSource adapts a resident dataset's detail map to the fold's

@@ -98,6 +98,16 @@ type Event struct {
 	Rec     jito.BundleRecord
 	Details []jito.TxDetail
 	Arrived time.Time
+
+	// Span optionally carries an enclosing trace context: when sampled,
+	// the engine parents its per-event trace there instead of rooting a
+	// fresh one, so a feed's own traces show the seal/fold hops.
+	Span obs.SpanCtx
+
+	// tr is the per-event trace, engine-owned from Offer to fold. Only
+	// latency-sampled events (Arrived set) carry one, so the tracing
+	// cost rides the existing sampling stride.
+	tr *obs.Trace
 }
 
 // detectLatencyBuckets resolve microseconds through one slot time
@@ -154,8 +164,9 @@ type retiredSlot struct {
 // Engine is the incremental detector. Construct with New; Offer events
 // from any goroutine; Finish exactly once after the feed completes.
 type Engine struct {
-	cfg Config
-	reg *obs.Registry
+	cfg    Config
+	reg    *obs.Registry
+	tracer *obs.Tracer
 
 	mu       sync.Mutex
 	finished bool
@@ -227,6 +238,7 @@ func New(cfg Config) *Engine {
 	e := &Engine{
 		cfg:      cfg,
 		reg:      reg,
+		tracer:   reg.TracerAttached(),
 		acc:      report.NewLiveAccumulator(cfg.Detector, cfg.SOLPriceUSD, cfg.Clock),
 		pending:  make(map[solana.Slot]*slotJob),
 		ids:      make(map[jito.BundleID]struct{}),
@@ -316,6 +328,17 @@ func (e *Engine) Offer(ev Event) {
 	}
 	e.ids[ev.Rec.ID] = struct{}{}
 	e.cEvents.Inc()
+	if !ev.Arrived.IsZero() && e.tracer != nil {
+		// Per-event traces ride the latency-sampling stride: the sampled
+		// subset that pays for a clock read also carries the trace whose
+		// seal_wait/fold spans explain where that latency went.
+		if ev.Span.Sampled() {
+			ev.tr = ev.Span.StartChild("stream.event")
+		} else {
+			ev.tr = e.tracer.StartTrace("stream.event")
+		}
+		ev.tr.Annotatef("slot:%d seq:%d", ev.Rec.Slot, ev.Rec.Seq)
+	}
 
 	slot := ev.Rec.Slot
 	job, ok := e.pending[slot]
@@ -452,6 +475,9 @@ func (e *Engine) seal(job *slotJob, now time.Time) {
 		}
 		if !evs[i].Arrived.IsZero() {
 			e.hIngestSeal.Observe(now.Sub(evs[i].Arrived).Seconds())
+			// Retroactive: the ingest→seal wait is only a span once the
+			// seal fixes its end.
+			evs[i].tr.Ctx().RecordSpan("seal_wait", evs[i].Arrived, now, false)
 		}
 		rec := &evs[i].Rec
 		det := evs[i].Details
@@ -481,7 +507,9 @@ func (e *Engine) seal(job *slotJob, now time.Time) {
 			for i := range evs {
 				if !evs[i].Arrived.IsZero() {
 					sampled = true
-					e.hDetect.Observe(now.Sub(evs[i].Arrived).Seconds())
+					e.hDetect.ObserveExemplar(now.Sub(evs[i].Arrived).Seconds(),
+						evs[i].tr.TraceID())
+					evs[i].tr.End()
 				}
 			}
 			if sampled {
@@ -561,10 +589,14 @@ func (e *Engine) foldLoop() {
 		fresh = len(e.jobs) > 0
 		sampled := false
 		for i := range job.events {
-			if !job.events[i].Arrived.IsZero() {
-				sampled = true
-				e.hDetect.Observe(now.Sub(job.events[i].Arrived).Seconds())
+			ev := &job.events[i]
+			if ev.Arrived.IsZero() {
+				continue
 			}
+			sampled = true
+			ev.tr.Ctx().RecordSpan("fold", job.sealedAt, now, false)
+			e.hDetect.ObserveExemplar(now.Sub(ev.Arrived).Seconds(), ev.tr.TraceID())
+			ev.tr.End()
 		}
 		if sampled {
 			e.hSealVerdict.Observe(now.Sub(job.sealedAt).Seconds())

@@ -236,6 +236,13 @@ func Run(cfg Config) (*Outcome, error) {
 			// same deterministic schedule, in front of a real client.
 			handler = faults.ChaosHandler(handler, chaos, faults.ChaosConfig{})
 		}
+		if t := reg.TracerAttached(); t != nil {
+			// With a tracer on the registry, the loopback server stitches
+			// into the collector's traces: the middleware sits outside the
+			// chaos wrapper, so injected faults are attributed to the
+			// client trace that suffered them.
+			handler = obs.TraceMiddleware(t, handler)
+		}
 		srv, addr, err := serveLoopback(handler)
 		if err != nil {
 			return nil, err

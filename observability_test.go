@@ -8,6 +8,7 @@ package jitomev
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"testing"
 
@@ -79,6 +80,65 @@ func TestObsDeterministicAcrossWorkers(t *testing.T) {
 	for _, workers := range []int{4, 8} {
 		if diff := diffSnapshots(one, snap(workers)); diff != "" {
 			t.Errorf("metrics diverge between workers=1 and workers=%d:\n%s", workers, diff)
+		}
+	}
+}
+
+// TestObsDeterministicWithTracing pins two invariants of the tracing
+// layer: attaching a tracer must not change the deterministic metric
+// snapshot (every trace_* family is Volatile), and at a fixed seed the
+// set of kept trace IDs is itself deterministic — identical across
+// reruns and across Workers settings, because trace roots are minted on
+// the sequential collection/analysis path and IDs come from the seeded
+// splitmix64 stream, not the OS. KeepRate 1 removes the only wall-clock
+// input to the tail sampler (the slow-tail p99), so the recorder's
+// contents are reproducible too.
+func TestObsDeterministicWithTracing(t *testing.T) {
+	run := func(workers int, traced bool) ([]obs.Sample, []string) {
+		reg := obs.NewRegistry()
+		var tracer *obs.Tracer
+		if traced {
+			tracer = obs.NewTracer(reg, obs.TraceConfig{
+				Service: "test", Seed: 7, SampleRate: 1, KeepRate: 1, Capacity: 4096,
+			})
+		}
+		cfg := obsConfig(workers)
+		cfg.Obs = reg
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("workers=%d traced=%v: %v", workers, traced, err)
+		}
+		var ids []string
+		if traced {
+			for _, kt := range tracer.Kept("") {
+				ids = append(ids, kt.TraceID)
+			}
+			sort.Strings(ids)
+			if len(ids) == 0 {
+				t.Fatalf("workers=%d: no traces kept at SampleRate=KeepRate=1", workers)
+			}
+		}
+		return reg.DeterministicSnapshot(), ids
+	}
+
+	plain, _ := run(1, false)
+	baseSnap, baseIDs := run(1, true)
+	if diff := diffSnapshots(plain, baseSnap); diff != "" {
+		t.Errorf("attaching a tracer changed the deterministic snapshot:\n%s", diff)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		s, ids := run(workers, true)
+		if diff := diffSnapshots(baseSnap, s); diff != "" {
+			t.Errorf("workers=%d: traced snapshot diverges:\n%s", workers, diff)
+		}
+		if len(ids) != len(baseIDs) {
+			t.Errorf("workers=%d: kept %d traces, want %d", workers, len(ids), len(baseIDs))
+			continue
+		}
+		for i := range ids {
+			if ids[i] != baseIDs[i] {
+				t.Errorf("workers=%d: trace ID set diverges at %d: %s vs %s", workers, i, ids[i], baseIDs[i])
+				break
+			}
 		}
 	}
 }

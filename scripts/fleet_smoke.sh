@@ -14,10 +14,18 @@
 # /metrics. A kill that lands after the victim finished still exercises
 # the merge path, so the smoke asserts the kill landed, not that every
 # schedule produced a takeover.
+#
+# Tracing rides the same run: replica 0 serves its flight recorder on
+# REP_ADDR and must hold a fleet page trace at least 3 hops deep
+# (root → renew/fetch_page → lease + transport calls), while explorerd's
+# recorder must hold the same traffic as remotely-rooted traces stitched
+# from the replicas' traceparent headers — the cross-process half of the
+# same traces.
 set -eu
 
 EXP_ADDR=${EXP_ADDR:-127.0.0.1:9190}
 BASE_ADDR=${BASE_ADDR:-127.0.0.1:9191}
+REP_ADDR=${REP_ADDR:-127.0.0.1:9192}
 GO=${GO:-go}
 REPLICAS=4
 SEED=11
@@ -50,9 +58,13 @@ echo "fleet-smoke: launching $REPLICAS replicas (10% faults, one to be killed)"
 rep_pids=""
 i=0
 while [ $i -lt $REPLICAS ]; do
+    # Replica 0 serves its ops mux so the flight recorder can be
+    # scraped mid-run.
+    maddr=""
+    [ $i -eq 0 ] && maddr="-metrics-addr $REP_ADDR"
     "$tmp/collect" -fleet -url "http://$EXP_ADDR" -ckpt-dir "$tmp/ckpt" \
         -replica-id "smoke-$i" -partitions 8 -page 20 -page-delay 80ms \
-        -lease-ttl 700ms -ckpt-every 2 \
+        -lease-ttl 700ms -ckpt-every 2 $maddr \
         -fault-rate 0.1 -chaos-seed $((7 + i)) >"$tmp/replica-$i.log" 2>&1 &
     rep_pids="$rep_pids $!"
     i=$((i + 1))
@@ -68,6 +80,11 @@ if ! kill -9 "$victim" 2>/dev/null; then
 fi
 echo "fleet-smoke: killed replica pid $victim"
 
+# While the survivors drain: replica 0's recorder must hold a fleet page
+# trace at least 3 hops deep, with well-formed IDs and resolved parents.
+"$tmp/metricscheck" -url "http://$REP_ADDR/metrics" -wait 10s \
+    -tracez-url "http://$REP_ADDR/tracez" -tracez-min-spans 3
+
 fail=0
 for p in $rep_pids; do
     [ "$p" = "$victim" ] && continue
@@ -80,10 +97,15 @@ if [ "$fail" -ne 0 ]; then
 fi
 
 # The coordinator must now publish a complete, contiguous plan, and the
-# lease/fleet metric families must be on the shared listener.
+# lease/fleet metric families must be on the shared listener. The
+# explorerd flight recorder must hold the replicas' traffic as remotely-
+# rooted traces — server spans stitched under the fleet traces'
+# traceparent headers, several hops of one page cycle merged by trace ID.
 "$tmp/metricscheck" -url "http://$EXP_ADDR/metrics" \
     -require fleet_leases_acquired_total -require fleet_checkpoints_total \
-    -leasez-url "http://$EXP_ADDR/leasez"
+    -require trace_spans_total \
+    -leasez-url "http://$EXP_ADDR/leasez" \
+    -tracez-url "http://$EXP_ADDR/tracez" -tracez-min-spans 3 -tracez-require-remote
 
 echo "fleet-smoke: baseline single replica"
 "$tmp/collect" -fleet -url "http://$BASE_ADDR" -ckpt-dir "$tmp/base-ckpt" \

@@ -11,6 +11,11 @@
 # Both processes also serve the data-quality sentinel: /qualityz must be
 # a well-formed verdict document with no CRIT (this is a clean, fault-
 # free run) and /healthz must answer 200.
+#
+# Both processes also serve the trace flight recorder: the collector's
+# /tracez must hold a poll trace with its transport hop, and explorerd's
+# must hold the same traffic as remotely-rooted traces extracted from
+# the collector's traceparent headers.
 set -eu
 
 EXP_ADDR=${EXP_ADDR:-127.0.0.1:9180}
@@ -50,15 +55,24 @@ echo "metrics-smoke: running collect with -metrics-addr $COL_ADDR"
     -metrics-addr "$COL_ADDR" -save "$tmp/data.snap" >"$tmp/collect.log" 2>&1 &
 col_pid=$!
 
-# Scrape the collector mid-run: the poll counters must be live, and the
-# quality verdict on a clean run must not be CRIT.
+# Scrape the collector mid-run: the poll counters must be live, the
+# quality verdict on a clean run must not be CRIT, and the flight
+# recorder must hold a poll trace with its transport hop (root span +
+# http child = 2 spans).
 "$tmp/metricscheck" -url "http://$COL_ADDR/metrics" -wait 10s \
     -require collector_polls_total -require collector_http_requests_total \
-    -quality-url "http://$COL_ADDR/qualityz" -max-status warn
+    -require trace_spans_total \
+    -quality-url "http://$COL_ADDR/qualityz" -max-status warn \
+    -tracez-url "http://$COL_ADDR/tracez" -tracez-min-spans 2
 if ! curl -fsS "http://$COL_ADDR/healthz" >/dev/null; then
     echo "metrics-smoke: collect /healthz not healthy" >&2
     exit 1
 fi
+
+# The explorer side of the same traffic: remotely-rooted traces
+# extracted from the collector's traceparent headers.
+"$tmp/metricscheck" -url "http://$EXP_ADDR/metrics" -wait 10s \
+    -tracez-url "http://$EXP_ADDR/tracez" -tracez-require-remote >/dev/null
 
 if ! wait "$col_pid"; then
     echo "metrics-smoke: collect failed:" >&2
