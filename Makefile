@@ -13,10 +13,11 @@ GO ?= go
 # goroutine), and the incremental stream engine (concurrent Offer vs.
 # the detect worker pool vs. the ordered fold goroutine), and the
 # collection fleet (lease table hammered by concurrent replicas, TTL
-# expiry racing renewals, checkpoint posts fenced by epoch).
-RACE_PKGS = ./internal/parallel ./internal/report ./internal/collector ./internal/workload ./internal/snapshot ./internal/faults ./internal/explorer ./internal/obs ./internal/quality ./internal/query ./internal/stream ./internal/fleet
+# expiry racing renewals, checkpoint posts fenced by epoch), and the SLO
+# engine (Tick vs. /sloz State vs. HealthSource under worker fan-out).
+RACE_PKGS = ./internal/parallel ./internal/report ./internal/collector ./internal/workload ./internal/snapshot ./internal/faults ./internal/explorer ./internal/obs ./internal/quality ./internal/query ./internal/stream ./internal/fleet ./internal/slo
 
-.PHONY: verify build test vet race bench bench-json bench-stream bench-latency chaos metrics-smoke fleet trace-smoke
+.PHONY: verify build test vet race bench bench-json bench-stream bench-latency chaos metrics-smoke fleet trace-smoke load-smoke
 
 # verify is the extended tier-1 gate (see ROADMAP.md): build + tests,
 # static checks, and the race suite over the concurrent packages.
@@ -61,6 +62,8 @@ bench-json:
 	$(GO) test -run=NONE -bench=Stream -benchmem ./internal/stream | $(GO) run ./cmd/benchjson > BENCH_stream.json
 	$(GO) test -run=NONE -bench=Fleet -benchmem ./internal/fleet | $(GO) run ./cmd/benchjson > BENCH_fleet.json
 	$(GO) test -run=NONE -bench='Trace|InstrumentedAnalyze|TracedAnalyze' -benchmem . ./internal/obs | $(GO) run ./cmd/benchjson > BENCH_trace.json
+	$(GO) test -run=NONE -bench=SLO -benchmem ./internal/slo | $(GO) run ./cmd/benchjson > BENCH_slo.json
+	$(GO) run ./cmd/loadgen -self -clients 32 -qps 200 -qps-max 1500 -steps 4 -step-dur 3s -bench-out BENCH_serve.json
 
 # bench-latency smoke-runs the incremental-detection benchmarks once —
 # quick proof that the streamed path, its cross-block stage and the
@@ -97,6 +100,18 @@ trace-smoke:
 # metrics-smoke starts explorerd, validates its /metrics exposition, then
 # runs a short collect with -metrics-addr and validates the collector's
 # live and end-of-run metrics, plus both processes' /qualityz verdict
-# documents and /healthz probes (see scripts/metrics_smoke.sh).
+# documents, /sloz SLO documents and /healthz probes (see
+# scripts/metrics_smoke.sh).
 metrics-smoke:
 	sh scripts/metrics_smoke.sh
+
+# load-smoke is the service-level gate: the SLO engine tests under the
+# race detector, then a real run — explorerd with second-scale SLO
+# windows under a steady loadgen fleet, /sloz walked through
+# all-ok -> fast-burn -> recovered by toggling the fault rate over
+# /chaosz (with /healthz 503ing during the burn), then a QPS ramp that
+# writes BENCH_serve.json with per-step p50/p99 and the max sustainable
+# QPS (see scripts/load_smoke.sh).
+load-smoke:
+	$(GO) test -race -count=1 -run 'SLO|Burn|Health|Sloz|Budget' ./internal/slo ./internal/obs
+	sh scripts/load_smoke.sh

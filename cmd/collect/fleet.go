@@ -10,6 +10,7 @@ import (
 	"jitomev/internal/fleet"
 	"jitomev/internal/obs"
 	"jitomev/internal/quality"
+	"jitomev/internal/slo"
 	"jitomev/internal/snapshot"
 	"jitomev/internal/solana"
 )
@@ -31,7 +32,7 @@ type fleetOpts struct {
 // through -url's /leasez, drain claimed partitions with the hardened
 // transport, checkpoint into -ckpt-dir. Exits 0 when the whole fleet's
 // plan is complete, 1 on a terminal replica error.
-func runFleetReplica(opts fleetOpts, clock solana.Clock, transport collector.Transport, reg *obs.Registry, q *quality.Sentinel) {
+func runFleetReplica(opts fleetOpts, clock solana.Clock, transport collector.Transport, reg *obs.Registry, q *quality.Sentinel, sloEng *slo.Engine) {
 	if opts.ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "collect: -fleet requires -ckpt-dir")
 		os.Exit(1)
@@ -75,6 +76,11 @@ func runFleetReplica(opts fleetOpts, clock solana.Clock, transport collector.Tra
 		reg.Value("fleet_replica_partitions_completed_total", "replica", opts.id))
 	fmt.Println("\n== Run metrics ==")
 	reg.WriteSummary(os.Stdout)
+
+	// The replica's SLO verdict beside the metrics: a crashy fleet run
+	// shows its takeover-latency budget spend here.
+	sloEng.Tick()
+	_ = sloEng.WriteSummary(os.Stdout)
 }
 
 // runMerge combines partition checkpoint snapshots into the canonical

@@ -38,12 +38,16 @@
 //	collect -merge -save merged.snap part-000.e1.snap part-001.e2.snap ...
 //
 // -metrics-addr serves GET /metrics (Prometheus text), GET /statusz
-// (JSON), GET /qualityz (the data-quality verdict document) and GET
-// /healthz (503 on a critical verdict) while the collection runs, so a
-// long scrape can be watched and alerted on live; -pprof additionally
-// mounts net/http/pprof on the same listener. -cpuprofile / -memprofile
-// write runtime profiles of the run itself. At exit the full metrics
-// registry and the data-quality table are printed as aligned summaries.
+// (JSON), GET /qualityz (the data-quality verdict document), GET /sloz
+// (the SLO engine's error-budget and burn-rate verdicts over poll
+// availability, stream detection latency and fleet takeover latency)
+// and GET /healthz (503 when the quality verdict is critical or an SLO
+// objective is in fast burn, with every tripped monitor's reason) while
+// the collection runs, so a long scrape can be watched and alerted on
+// live; -pprof additionally mounts net/http/pprof on the same listener.
+// -cpuprofile / -memprofile write runtime profiles of the run itself.
+// At exit the full metrics registry, the data-quality table and the SLO
+// table are printed as aligned summaries.
 package main
 
 import (
@@ -63,6 +67,7 @@ import (
 	"jitomev/internal/obs"
 	"jitomev/internal/quality"
 	"jitomev/internal/report"
+	"jitomev/internal/slo"
 	"jitomev/internal/snapshot"
 	"jitomev/internal/solana"
 	"jitomev/internal/stream"
@@ -97,6 +102,8 @@ func main() {
 		memProf   = flag.String("memprofile", "", "write a heap profile to this path (taken after the run)")
 		traceRate = flag.Float64("trace-sample", 1, "trace head-sampling rate (negative = tracing off)")
 		traceCap  = flag.Int("trace-cap", 256, "flight-recorder capacity in traces")
+		sloUnit   = flag.Duration("slo-unit", 0, "SLO alert-window unit (0 = production 1h windows)")
+		sloTick   = flag.Duration("slo-tick", time.Second, "SLO engine evaluation interval")
 	)
 	flag.Parse()
 
@@ -124,10 +131,23 @@ func main() {
 		Capacity:   *traceCap,
 	})
 	q := quality.New(quality.Config{}, reg)
+	// The SLO engine evaluates the collector objectives on a fixed tick
+	// for the whole run; /sloz serves its verdicts, /healthz folds its
+	// fast-burn page together with the quality sentinel's CRIT, and the
+	// end-of-run SLO table prints beside the metrics summary.
+	sloEng := slo.New(reg, slo.Config{}, slo.CollectorObjectives(*sloUnit)...)
+	sloEng.Tick()
+	stopSLO := sloEng.Start(*sloTick)
+	defer stopSLO()
 	if *metrics != "" {
+		eps := []obs.Endpoint{
+			{Path: "/qualityz", Handler: q.QualityHandler()},
+			{Path: "/healthz", Handler: obs.HealthHandler(q.HealthSource(), sloEng.HealthSource())},
+		}
+		eps = append(eps, sloEng.OpsEndpoints()...)
 		srv := &http.Server{
 			Addr:              *metrics,
-			Handler:           obs.NewOpsMux(reg, *withPprof, q.OpsEndpoints()...),
+			Handler:           obs.NewOpsMux(reg, *withPprof, eps...),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {
@@ -135,7 +155,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "collect: metrics:", err)
 			}
 		}()
-		fmt.Printf("metrics on http://%s/metrics (statusz: /statusz, qualityz: /qualityz, healthz: /healthz)\n", *metrics)
+		fmt.Printf("metrics on http://%s/metrics (statusz: /statusz, qualityz: /qualityz, sloz: /sloz, healthz: /healthz)\n", *metrics)
 	}
 
 	clock := solana.Clock{Genesis: time.Date(2025, 2, 9, 0, 0, 0, 0, time.UTC)}
@@ -155,7 +175,7 @@ func main() {
 			url: *url, id: *replicaID, partitions: *partsN, ckptDir: *ckptDir,
 			ttl: *leaseTTL, every: *ckptEvery, page: *page, batch: *batch,
 			pageDelay: *pageDelay,
-		}, clock, transport, reg, q)
+		}, clock, transport, reg, q, sloEng)
 		return
 	}
 	c := collector.NewObs(collector.Config{PageLimit: *page, DetailBatch: *batch, BackfillPages: *backfill},
@@ -287,6 +307,11 @@ func main() {
 	// The quality verdict beside it: the same checks /qualityz serves.
 	fmt.Println("\n== Data quality ==")
 	q.WriteReport(os.Stdout)
+
+	// The SLO table last: tick once more so the final verdict covers the
+	// whole run, then render the same document /sloz serves.
+	sloEng.Tick()
+	_ = sloEng.WriteSummary(os.Stdout)
 
 	if *memProf != "" {
 		f, err := os.Create(*memProf)

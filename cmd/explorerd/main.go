@@ -20,10 +20,15 @@
 // The same listener also serves the ops surface: GET /metrics (Prometheus
 // text) and GET /statusz (JSON) expose the server's request counters
 // live, GET /qualityz reports the data-quality sentinel's verdict over
-// the generated chain, and GET /healthz answers 200 unless that verdict
-// is critical; -pprof additionally mounts net/http/pprof under
-// /debug/pprof/. Chaos faults never touch the ops endpoints — only the
-// API is wrapped.
+// the generated chain, GET /sloz reports the SLO engine's error-budget
+// and burn-rate verdicts (availability and serving latency; windows
+// scale with -slo-unit), and GET /healthz answers 200 unless the quality
+// verdict is critical or an SLO objective is in fast burn — one probe,
+// every tripped monitor's reason in the 503 body. With -chaos-admin the
+// chaos layer mounts even at fault rate 0 and GET/POST /chaosz reads and
+// retunes the live fault rate. -pprof additionally mounts net/http/pprof
+// under /debug/pprof/. Chaos faults never touch the ops endpoints — only
+// the API is wrapped.
 //
 // The listener also serves the fleet lease coordinator: GET /leasez is
 // the lease-table state document and POST /leasez/{plan,acquire,renew,
@@ -45,24 +50,28 @@ import (
 	"jitomev/internal/jito"
 	"jitomev/internal/obs"
 	"jitomev/internal/quality"
+	"jitomev/internal/slo"
 	"jitomev/internal/workload"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8899", "listen address")
-		days      = flag.Int("days", 7, "study length in days")
-		scale     = flag.Int("scale", 10_000, "volume divisor vs paper scale")
-		seed      = flag.Int64("seed", 1, "deterministic seed")
-		rate      = flag.Int("rate", 0, "per-client requests/minute (0 = unlimited)")
-		live      = flag.Bool("live", false, "stream the study in compressed real time")
-		daySecs   = flag.Int("daysecs", 10, "wall seconds per simulated day with -live")
-		faultRate = flag.Float64("fault-rate", 0, "chaos mode: per-request fault probability (0 = off)")
-		chaosSeed = flag.Int64("chaos-seed", 0, "seed for the deterministic fault schedule")
-		slow      = flag.Duration("slow", 100*time.Millisecond, "chaos mode: stall injected on slow responses")
-		withPprof = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/")
-		traceRate = flag.Float64("trace-sample", 1, "trace head-sampling rate (negative = tracing off)")
-		traceCap  = flag.Int("trace-cap", 256, "flight-recorder capacity in traces")
+		addr       = flag.String("addr", "127.0.0.1:8899", "listen address")
+		days       = flag.Int("days", 7, "study length in days")
+		scale      = flag.Int("scale", 10_000, "volume divisor vs paper scale")
+		seed       = flag.Int64("seed", 1, "deterministic seed")
+		rate       = flag.Int("rate", 0, "per-client requests/minute (0 = unlimited)")
+		live       = flag.Bool("live", false, "stream the study in compressed real time")
+		daySecs    = flag.Int("daysecs", 10, "wall seconds per simulated day with -live")
+		faultRate  = flag.Float64("fault-rate", 0, "chaos mode: per-request fault probability (0 = off)")
+		chaosSeed  = flag.Int64("chaos-seed", 0, "seed for the deterministic fault schedule")
+		slow       = flag.Duration("slow", 100*time.Millisecond, "chaos mode: stall injected on slow responses")
+		withPprof  = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/")
+		traceRate  = flag.Float64("trace-sample", 1, "trace head-sampling rate (negative = tracing off)")
+		traceCap   = flag.Int("trace-cap", 256, "flight-recorder capacity in traces")
+		chaosAdmin = flag.Bool("chaos-admin", false, "mount POST-able /chaosz to retune the fault rate at runtime")
+		sloUnit    = flag.Duration("slo-unit", 0, "SLO alert-window unit (0 = production 1h windows)")
+		sloTick    = flag.Duration("slo-tick", time.Second, "SLO engine evaluation interval")
 	)
 	flag.Parse()
 
@@ -80,8 +89,12 @@ func main() {
 		Capacity:   *traceCap,
 	})
 	var handler http.Handler = explorer.NewServerObs(store, *rate, reg)
-	if *faultRate > 0 {
-		handler = faults.ChaosHandler(handler, faults.NewInjectorObs(*chaosSeed, *faultRate, reg),
+	// With -chaos-admin the chaos layer is mounted even at rate 0, so the
+	// /chaosz endpoint can dial faults up and back down mid-run.
+	var injector *faults.Injector
+	if *faultRate > 0 || *chaosAdmin {
+		injector = faults.NewInjectorObs(*chaosSeed, *faultRate, reg)
+		handler = faults.ChaosHandler(handler, injector,
 			faults.ChaosConfig{SlowDelay: *slow})
 		fmt.Printf("chaos mode: fault rate %.0f%%, seed %d\n", 100**faultRate, *chaosSeed)
 	}
@@ -108,7 +121,23 @@ func main() {
 	for i := range leaseEPs {
 		leaseEPs[i].Handler = obs.TraceMiddleware(tracer, leaseEPs[i].Handler)
 	}
-	eps := append(q.OpsEndpoints(), leaseEPs...)
+	// The SLO engine evaluates the explorer objectives (availability and
+	// serving latency) on a fixed tick; /sloz serves its verdicts and
+	// /healthz folds its fast-burn page together with the quality
+	// sentinel's CRIT into one probe — a single 503 carrying every
+	// tripped monitor's reason.
+	eng := slo.New(reg, slo.Config{}, slo.ExplorerObjectives(*sloUnit)...)
+	eng.Tick() // baseline before serving, so /sloz is never empty
+	defer eng.Start(*sloTick)()
+	eps := []obs.Endpoint{
+		{Path: "/qualityz", Handler: q.QualityHandler()},
+		{Path: "/healthz", Handler: obs.HealthHandler(q.HealthSource(), eng.HealthSource())},
+	}
+	eps = append(eps, eng.OpsEndpoints()...)
+	if *chaosAdmin {
+		eps = append(eps, obs.Endpoint{Path: "/chaosz", Handler: faults.AdminHandler(injector)})
+	}
+	eps = append(eps, leaseEPs...)
 	mux := obs.NewOpsMux(reg, *withPprof, eps...)
 	mux.Handle("/", handler)
 

@@ -7,12 +7,15 @@
 //	jitosim [-days 120] [-scale 2000] [-seed 1] [-workers 0] [-http] [-csv out.csv] [-fig all]
 //	        [-fault-rate 0.1 -chaos-seed 7] [-metrics-addr 127.0.0.1:9100] [-summary]
 //
-// -metrics-addr serves GET /metrics, GET /statusz, GET /qualityz and
-// GET /healthz while the pipeline runs (-pprof adds net/http/pprof on
-// the same listener). -summary prints the full metrics registry and the
-// data-quality verdict table at exit; a chaos run (-fault-rate) prints
-// them unconditionally — the table replaces the hand-built chaos
-// summary line, which now falls out of the registry for free.
+// -metrics-addr serves GET /metrics, GET /statusz, GET /qualityz, GET
+// /sloz (the SLO engine's error-budget verdicts over the collection
+// objectives) and GET /healthz (503 when the quality verdict is
+// critical or an SLO objective is in fast burn) while the pipeline runs
+// (-pprof adds net/http/pprof on the same listener). -summary prints
+// the full metrics registry, the data-quality verdict table and the SLO
+// table at exit; a chaos run (-fault-rate) prints them unconditionally
+// — the table replaces the hand-built chaos summary line, which now
+// falls out of the registry for free.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"jitomev/internal/obs"
 	"jitomev/internal/quality"
 	"jitomev/internal/report"
+	"jitomev/internal/slo"
 	"jitomev/internal/snapshot"
 	"jitomev/internal/workload"
 )
@@ -58,6 +62,8 @@ func main() {
 		summary   = flag.Bool("summary", false, "print the metrics registry as a table at exit")
 		traceRate = flag.Float64("trace-sample", 1, "trace head-sampling rate (negative = tracing off)")
 		traceCap  = flag.Int("trace-cap", 256, "flight-recorder capacity in traces")
+		sloUnit   = flag.Duration("slo-unit", 0, "SLO alert-window unit (0 = production 1h windows)")
+		sloTick   = flag.Duration("slo-tick", time.Second, "SLO engine evaluation interval")
 	)
 	flag.Parse()
 
@@ -84,10 +90,21 @@ func main() {
 		Capacity:   *traceCap,
 	})
 	q := quality.New(quality.Config{}, reg)
+	// The SLO engine watches the pipeline's collection objectives while
+	// it runs; /sloz serves the live verdicts, the end-of-run table
+	// prints beside the metrics summary.
+	sloEng := slo.New(reg, slo.Config{}, slo.CollectorObjectives(*sloUnit)...)
+	sloEng.Tick()
+	defer sloEng.Start(*sloTick)()
 	if *metrics != "" {
+		eps := []obs.Endpoint{
+			{Path: "/qualityz", Handler: q.QualityHandler()},
+			{Path: "/healthz", Handler: obs.HealthHandler(q.HealthSource(), sloEng.HealthSource())},
+		}
+		eps = append(eps, sloEng.OpsEndpoints()...)
 		srv := &http.Server{
 			Addr:              *metrics,
-			Handler:           obs.NewOpsMux(reg, *withPprof, q.OpsEndpoints()...),
+			Handler:           obs.NewOpsMux(reg, *withPprof, eps...),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {
@@ -95,7 +112,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "jitosim: metrics:", err)
 			}
 		}()
-		fmt.Printf("metrics on http://%s/metrics (statusz: /statusz, qualityz: /qualityz, healthz: /healthz)\n", *metrics)
+		fmt.Printf("metrics on http://%s/metrics (statusz: /statusz, qualityz: /qualityz, sloz: /sloz, healthz: /healthz)\n", *metrics)
 	}
 
 	start := time.Now()
@@ -228,5 +245,8 @@ func main() {
 		out.Obs.WriteSummary(os.Stdout)
 		fmt.Println("\n== Data quality ==")
 		out.Quality.WriteReport(os.Stdout)
+		// One more tick so the SLO verdict covers the whole run.
+		sloEng.Tick()
+		_ = sloEng.WriteSummary(os.Stdout)
 	}
 }

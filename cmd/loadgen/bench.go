@@ -1,0 +1,262 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"jitomev/internal/obs"
+)
+
+// histDelta is the difference between two snapshots of one histogram
+// family, summed across its series: what happened during a ramp step.
+type histDelta struct {
+	count   uint64
+	bounds  []float64
+	buckets []uint64
+}
+
+// counterKey identifies one labeled counter series for delta-ing.
+type counterKey struct{ name string }
+
+// snapshotView indexes a registry snapshot for step-delta arithmetic.
+type snapshotView struct {
+	counters map[counterKey]float64
+	hists    map[string]histDelta // family -> summed buckets
+}
+
+func viewOf(samples []obs.Sample) snapshotView {
+	v := snapshotView{
+		counters: make(map[counterKey]float64),
+		hists:    make(map[string]histDelta),
+	}
+	for _, s := range samples {
+		switch s.Kind {
+		case obs.KindCounter:
+			v.counters[counterKey{s.Name}] += s.Value
+		case obs.KindHistogram:
+			h := v.hists[s.Family]
+			if h.buckets == nil {
+				h.bounds = s.Bounds
+				h.buckets = make([]uint64, len(s.Buckets))
+			}
+			h.count += s.Count
+			for i, b := range s.Buckets {
+				if i < len(h.buckets) {
+					h.buckets[i] += b
+				}
+			}
+			v.hists[s.Family] = h
+		}
+	}
+	return v
+}
+
+// counterDelta returns the growth of one counter series between views.
+func counterDelta(before, after snapshotView, name string) float64 {
+	return after.counters[counterKey{name}] - before.counters[counterKey{name}]
+}
+
+// histDeltaOf returns the per-bucket growth of a histogram family.
+func histDeltaOf(before, after snapshotView, family string) histDelta {
+	a, b := after.hists[family], before.hists[family]
+	d := histDelta{count: a.count - b.count, bounds: a.bounds}
+	d.buckets = make([]uint64, len(a.buckets))
+	for i := range a.buckets {
+		d.buckets[i] = a.buckets[i]
+		if i < len(b.buckets) {
+			d.buckets[i] -= b.buckets[i]
+		}
+	}
+	return d
+}
+
+// quantile estimates the q-quantile (0 < q < 1) from bucket counts by
+// linear interpolation inside the holding bucket. Observations in the
+// +Inf bucket report the last finite bound — an underestimate, which is
+// the honest direction for a "p99 under X" check to fail toward.
+func (h histDelta) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+float64(n) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := lo
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			frac := (rank - cum) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+		cum += float64(n)
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return 0
+}
+
+// routeStats is one route's client-observed verdict for a step.
+type routeStats struct {
+	Requests uint64            `json:"requests"`
+	Outcomes map[string]uint64 `json:"outcomes"`
+}
+
+// stepStats is one ramp step's measurement in BENCH_serve.json.
+type stepStats struct {
+	TargetQPS   float64               `json:"target_qps"`
+	AchievedQPS float64               `json:"achieved_qps"`
+	DurationSec float64               `json:"duration_sec"`
+	Requests    uint64                `json:"requests"`
+	ErrorRatio  float64               `json:"error_ratio"`
+	P50Ms       float64               `json:"p50_ms"`
+	P99Ms       float64               `json:"p99_ms"`
+	Routes      map[string]routeStats `json:"routes"`
+	Sustainable bool                  `json:"sustainable"`
+}
+
+// benchDoc is the BENCH_serve.json document.
+type benchDoc struct {
+	GeneratedAt       string      `json:"generated_at"`
+	URL               string      `json:"url"`
+	Clients           int         `json:"clients"`
+	Mix               string      `json:"mix"`
+	MaxP99Ms          float64     `json:"max_p99_ms"`
+	MaxErrRatio       float64     `json:"max_error_ratio"`
+	Steps             []stepStats `json:"steps"`
+	MaxSustainableQPS float64     `json:"max_sustainable_qps"`
+	OverallP50Ms      float64     `json:"overall_p50_ms"`
+	OverallP99Ms      float64     `json:"overall_p99_ms"`
+	TotalRequests     uint64      `json:"total_requests"`
+}
+
+// errorOutcomes are the client-observed outcomes that count against
+// sustainability: the server (or the wire) failed, not the client's
+// request. Throttles are policy and 4xx is the adversarial persona
+// getting exactly what it asked for.
+var errorOutcomes = []string{"server_error", "transport", "corrupt"}
+
+// measureStep reduces a step's snapshot delta to its verdict.
+func measureStep(before, after snapshotView, target float64, elapsed time.Duration, maxP99, maxErr float64) stepStats {
+	st := stepStats{
+		TargetQPS:   target,
+		DurationSec: elapsed.Seconds(),
+		Routes:      make(map[string]routeStats, len(routes)),
+	}
+	var errs float64
+	for _, route := range routes {
+		rs := routeStats{Outcomes: make(map[string]uint64, len(outcomes))}
+		for _, oc := range outcomes {
+			name := fmt.Sprintf(`loadgen_requests_total{route=%q,outcome=%q}`, route, oc)
+			d := counterDelta(before, after, name)
+			if d > 0 {
+				rs.Outcomes[oc] = uint64(d)
+				rs.Requests += uint64(d)
+			}
+		}
+		for _, oc := range errorOutcomes {
+			errs += float64(rs.Outcomes[oc])
+		}
+		st.Requests += rs.Requests
+		st.Routes[route] = rs
+	}
+	if st.Requests > 0 {
+		st.ErrorRatio = errs / float64(st.Requests)
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		st.AchievedQPS = float64(st.Requests) / s
+	}
+	lat := histDeltaOf(before, after, "loadgen_request_latency_seconds")
+	st.P50Ms = lat.quantile(0.50) * 1000
+	st.P99Ms = lat.quantile(0.99) * 1000
+	st.Sustainable = st.Requests > 0 && st.ErrorRatio <= maxErr && st.P99Ms <= maxP99
+	return st
+}
+
+// finishBench computes the whole-run aggregates: overall quantiles over
+// every step and the max sustainable QPS — the highest achieved rate of
+// any step that stayed inside both the error and the p99 budget.
+func finishBench(doc *benchDoc, overall histDelta) {
+	doc.OverallP50Ms = overall.quantile(0.50) * 1000
+	doc.OverallP99Ms = overall.quantile(0.99) * 1000
+	for _, st := range doc.Steps {
+		doc.TotalRequests += st.Requests
+		if st.Sustainable && st.AchievedQPS > doc.MaxSustainableQPS {
+			doc.MaxSustainableQPS = st.AchievedQPS
+		}
+	}
+	doc.MaxSustainableQPS = math.Round(doc.MaxSustainableQPS*10) / 10
+}
+
+// writeBench persists BENCH_serve.json atomically enough for a bench
+// artifact: full write then rename is overkill here, the file is small
+// and regenerated every run.
+func writeBench(path string, doc benchDoc) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// renderBench prints the human-readable step table.
+func renderBench(w io.Writer, doc benchDoc) {
+	fmt.Fprintf(w, "\n== load ramp ==\n")
+	fmt.Fprintf(w, "%10s %12s %9s %9s %9s %8s  %s\n",
+		"target", "achieved", "requests", "p50(ms)", "p99(ms)", "err%", "verdict")
+	for _, st := range doc.Steps {
+		verdict := "SUSTAINED"
+		if !st.Sustainable {
+			verdict = "degraded"
+		}
+		fmt.Fprintf(w, "%9.0f/s %10.1f/s %9d %9.2f %9.2f %7.2f%%  %s\n",
+			st.TargetQPS, st.AchievedQPS, st.Requests, st.P50Ms, st.P99Ms,
+			100*st.ErrorRatio, verdict)
+	}
+	fmt.Fprintf(w, "overall: p50 %.2fms  p99 %.2fms  %d requests  max sustainable %.1f QPS\n",
+		doc.OverallP50Ms, doc.OverallP99Ms, doc.TotalRequests, doc.MaxSustainableQPS)
+
+	// Per-route outcome rollup across all steps, sorted for stable output.
+	rollup := make(map[string]map[string]uint64)
+	for _, st := range doc.Steps {
+		for route, rs := range st.Routes {
+			m := rollup[route]
+			if m == nil {
+				m = make(map[string]uint64)
+				rollup[route] = m
+			}
+			for oc, n := range rs.Outcomes {
+				m[oc] += n
+			}
+		}
+	}
+	var names []string
+	for route, m := range rollup {
+		if len(m) > 0 {
+			names = append(names, route)
+		}
+	}
+	sort.Strings(names)
+	for _, route := range names {
+		fmt.Fprintf(w, "  %-13s", route+":")
+		for _, oc := range outcomes {
+			if n := rollup[route][oc]; n > 0 {
+				fmt.Fprintf(w, " %s=%d", oc, n)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,291 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+
+	"jitomev/internal/explorer"
+	"jitomev/internal/obs"
+	"jitomev/internal/solana"
+)
+
+// Outcomes classify a request from the client's side of the wire. The
+// server's taxonomy (ok/throttled/client_error/server_error) gains the
+// failure modes only a client can see: transport errors, timeouts, and
+// bodies that arrived but did not parse.
+var outcomes = []string{"ok", "throttled", "client_error", "server_error", "transport", "corrupt"}
+
+// routes are the request classes loadgen drives, matching the server's.
+var routes = []string{"recent", "transactions", "other"}
+
+// kinds are the client personas in the mix.
+var kinds = []string{"pager", "detail", "adversarial"}
+
+// genMetrics is the loadgen-side instrument set: per-route outcome
+// counters, client-observed latency and in-flight depth — the SLIs of
+// the explorer as its clients experience it — plus a per-persona
+// request tally.
+type genMetrics struct {
+	reg      *obs.Registry
+	requests map[string]map[string]*obs.Counter // route -> outcome
+	latency  map[string]*obs.Histogram          // route
+	inflight map[string]*obs.Gauge              // route
+	byKind   map[string]*obs.Counter            // persona
+}
+
+// clientLatencyBuckets bound the client-observed latency histogram:
+// 100µs to 10s, dense around typical loopback serving times so p50/p99
+// interpolate cleanly.
+var clientLatencyBuckets = []float64{
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+func newGenMetrics(reg *obs.Registry) *genMetrics {
+	m := &genMetrics{
+		reg:      reg,
+		requests: make(map[string]map[string]*obs.Counter, len(routes)),
+		latency:  make(map[string]*obs.Histogram, len(routes)),
+		inflight: make(map[string]*obs.Gauge, len(routes)),
+		byKind:   make(map[string]*obs.Counter, len(kinds)),
+	}
+	for _, route := range routes {
+		m.requests[route] = make(map[string]*obs.Counter, len(outcomes))
+		for _, oc := range outcomes {
+			m.requests[route][oc] = reg.Counter("loadgen_requests_total", "route", route, "outcome", oc)
+		}
+		m.latency[route] = reg.Histogram("loadgen_request_latency_seconds", clientLatencyBuckets, "route", route)
+		m.inflight[route] = reg.Gauge("loadgen_inflight", "route", route)
+	}
+	for _, k := range kinds {
+		m.byKind[k] = reg.Counter("loadgen_client_requests_total", "kind", k)
+	}
+	reg.Help("loadgen_requests_total", "Requests issued by loadgen, by route and client-observed outcome.")
+	reg.Help("loadgen_request_latency_seconds", "Client-observed request latency (send to fully read body), by route.")
+	reg.Help("loadgen_inflight", "Loadgen requests currently in flight, by route.")
+	reg.Help("loadgen_client_requests_total", "Requests issued per client persona.")
+	reg.Volatile("loadgen_requests_total", "loadgen_request_latency_seconds",
+		"loadgen_inflight", "loadgen_client_requests_total")
+	return m
+}
+
+// record tallies one finished request.
+func (m *genMetrics) record(route, outcome, kind string, elapsed time.Duration) {
+	if c := m.requests[route][outcome]; c != nil {
+		c.Inc()
+	}
+	m.latency[route].Observe(elapsed.Seconds())
+	m.byKind[kind].Inc()
+}
+
+// client is one synthetic explorer client: a persona, its own RNG, and
+// whatever cursor state its behaviour carries between requests.
+type client struct {
+	kind string
+	base string
+	hc   *http.Client
+	rng  *rand.Rand
+	m    *genMetrics
+	page int
+
+	cursor uint64             // pager: next before= value (0 = fresh page)
+	ids    []solana.Signature // detail: signatures harvested from recent pages
+}
+
+// newClient builds one client of the given persona. Each client gets a
+// dedicated RNG (no lock contention at thousands of clients) and shares
+// the pooled HTTP transport.
+func newClient(kind, base string, hc *http.Client, seed int64, m *genMetrics, page int) *client {
+	return &client{
+		kind: kind, base: base, hc: hc,
+		rng: rand.New(rand.NewSource(seed)),
+		m:   m, page: page,
+	}
+}
+
+// do issues one request according to the persona and records it.
+func (c *client) do() {
+	switch c.kind {
+	case "pager":
+		c.doPage()
+	case "detail":
+		c.doDetail()
+	default:
+		c.doAdversarial()
+	}
+}
+
+// issue sends the request, classifies the outcome client-side, and
+// returns the body for personas that parse it. The response body is
+// always drained so the pooled connection is reusable.
+func (c *client) issue(route string, req *http.Request) (status int, body []byte) {
+	g := c.m.inflight[route]
+	g.Add(1)
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	outcome := "transport"
+	if err == nil {
+		body, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		status = resp.StatusCode
+		switch {
+		case err != nil:
+			outcome = "transport"
+			body = nil
+		case status == http.StatusTooManyRequests:
+			outcome = "throttled"
+		case status >= 500:
+			outcome = "server_error"
+		case status >= 400:
+			outcome = "client_error"
+		default:
+			outcome = "ok"
+		}
+	}
+	elapsed := time.Since(start)
+	g.Add(-1)
+	// A 200 whose body does not parse as JSON is corrupt — the chaos
+	// middleware's truncate/corrupt faults land here.
+	if outcome == "ok" && route != "other" && !json.Valid(body) {
+		outcome = "corrupt"
+	}
+	c.m.record(route, outcome, c.kind, elapsed)
+	if outcome != "ok" {
+		body = nil
+	}
+	return status, body
+}
+
+// doPage is the honest pager: fetch the recent page, then walk backwards
+// with the before= cursor, restarting from the top every few pages the
+// way a tailing collector does.
+func (c *client) doPage() {
+	url := fmt.Sprintf("%s/api/v1/bundles/recent?limit=%d", c.base, c.page)
+	if c.cursor > 0 {
+		url += fmt.Sprintf("&before=%d", c.cursor)
+	}
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return
+	}
+	_, body := c.issue("recent", req)
+	c.cursor = 0
+	if body == nil {
+		return
+	}
+	var page explorer.RecentResponse
+	if json.Unmarshal(body, &page) != nil || len(page.Bundles) == 0 {
+		return
+	}
+	// Walk deeper three times out of four; otherwise restart at the top.
+	if c.rng.Intn(4) != 0 {
+		min := page.Bundles[0].Seq
+		for _, b := range page.Bundles[1:] {
+			if b.Seq < min {
+				min = b.Seq
+			}
+		}
+		c.cursor = min
+	}
+}
+
+// doDetail is the detail-heavy client: harvest signatures from a small
+// recent page, then POST them in bulk to the transactions endpoint —
+// the collector's step-2 traffic shape.
+func (c *client) doDetail() {
+	if len(c.ids) == 0 {
+		req, err := http.NewRequest(http.MethodGet,
+			fmt.Sprintf("%s/api/v1/bundles/recent?limit=%d", c.base, c.page), nil)
+		if err != nil {
+			return
+		}
+		_, body := c.issue("recent", req)
+		if body == nil {
+			return
+		}
+		var page explorer.RecentResponse
+		if json.Unmarshal(body, &page) != nil {
+			return
+		}
+		for _, b := range page.Bundles {
+			c.ids = append(c.ids, b.TxIDs...)
+		}
+		return
+	}
+	n := 64
+	if n > len(c.ids) {
+		n = len(c.ids)
+	}
+	payload, err := json.Marshal(explorer.DetailRequest{IDs: c.ids[:n]})
+	c.ids = c.ids[n:]
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequest(http.MethodPost,
+		c.base+"/api/v1/transactions", bytes.NewReader(payload))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.issue("transactions", req)
+}
+
+// doAdversarial rotates through malformed traffic: bad limits, garbage
+// cursors, wrong methods, unknown paths and oversized batches — the
+// requests a public API absorbs all day. The expected outcome is a
+// clean 4xx; anything else is the server's problem and shows up in the
+// error ratio.
+func (c *client) doAdversarial() {
+	switch c.rng.Intn(5) {
+	case 0: // zero limit -> 400
+		req, _ := http.NewRequest(http.MethodGet, c.base+"/api/v1/bundles/recent?limit=0", nil)
+		c.issue("recent", req)
+	case 1: // non-numeric cursor -> 400
+		req, _ := http.NewRequest(http.MethodGet, c.base+"/api/v1/bundles/recent?limit=10&before=abc", nil)
+		c.issue("recent", req)
+	case 2: // wrong method -> 405
+		req, _ := http.NewRequest(http.MethodDelete, c.base+"/api/v1/bundles/recent", nil)
+		c.issue("recent", req)
+	case 3: // unknown path -> 404
+		req, _ := http.NewRequest(http.MethodGet, c.base+"/api/v1/nope", nil)
+		c.issue("other", req)
+	default: // unparseable detail body -> 400
+		req, _ := http.NewRequest(http.MethodPost,
+			c.base+"/api/v1/transactions", strings.NewReader("{not json"))
+		req.Header.Set("Content-Type", "application/json")
+		c.issue("transactions", req)
+	}
+}
+
+// buildFleet allocates clients per the persona mix weights, in a
+// deterministic interleave so any prefix of the fleet approximates the
+// mix.
+func buildFleet(n int, weights [3]int, base string, hc *http.Client, seed int64, m *genMetrics, page int) []*client {
+	total := weights[0] + weights[1] + weights[2]
+	if total <= 0 {
+		weights = [3]int{1, 0, 0}
+		total = 1
+	}
+	fleet := make([]*client, 0, n)
+	var acc [3]int
+	for i := 0; i < n; i++ {
+		// Largest-remainder interleave: pick the persona furthest below
+		// its target share.
+		best, bestGap := 0, -1.0
+		for k := 0; k < 3; k++ {
+			gap := float64(weights[k])/float64(total) - float64(acc[k])/float64(i+1)
+			if gap > bestGap {
+				best, bestGap = k, gap
+			}
+		}
+		acc[best]++
+		fleet = append(fleet, newClient(kinds[best], base, hc, seed+int64(i), m, page))
+	}
+	return fleet
+}

@@ -1,0 +1,237 @@
+// Command loadgen drives a running explorerd with a mixed fleet of
+// synthetic clients — honest pagers walking the before= cursor the way
+// a tailing collector does, detail-heavy clients bulk-POSTing
+// transaction ids, and adversarial clients sending the malformed
+// traffic a public API absorbs all day — and measures the per-endpoint
+// service levels the server actually delivers under that load.
+//
+// Usage:
+//
+//	loadgen [-url http://127.0.0.1:8899] [-clients 64] [-mix 6:3:1]
+//	        [-qps 200] [-qps-max 2000] [-steps 5] [-step-dur 5s]
+//	        [-max-p99 250ms] [-max-err 0.01] [-bench-out BENCH_serve.json]
+//	        [-metrics-addr 127.0.0.1:9300] [-self]
+//
+// The run is a QPS ramp: -steps steps from -qps to -qps-max, each
+// -step-dur long, the fleet pacing itself to the step's target rate.
+// Every step is measured from its own metrics-snapshot delta:
+// client-observed p50/p99 latency (interpolated from the histogram),
+// achieved QPS, and the error ratio (server errors, transport failures
+// and corrupt bodies — throttles and 4xx are not errors: one is policy,
+// the other is the adversarial persona getting what it asked for). A
+// step is sustainable when the error ratio stays within -max-err and
+// p99 within -max-p99; the highest achieved QPS of any sustainable step
+// is the max sustainable QPS. -bench-out writes the whole ramp as
+// BENCH_serve.json.
+//
+// -self skips the URL and spins a private in-process explorer (workload
+// generation + store + server, optionally chaos-wrapped with
+// -self-fault-rate) on a loopback port — a single-command serving
+// benchmark.
+//
+// The fleet's own SLIs — loadgen_requests_total{route,outcome},
+// loadgen_request_latency_seconds{route}, loadgen_inflight{route} — are
+// served on -metrics-addr while the ramp runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"jitomev/internal/explorer"
+	"jitomev/internal/faults"
+	"jitomev/internal/obs"
+	"jitomev/internal/workload"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "http://127.0.0.1:8899", "explorer API base URL")
+		clients   = flag.Int("clients", 64, "concurrent synthetic clients")
+		mix       = flag.String("mix", "6:3:1", "client mix pager:detail:adversarial")
+		qps       = flag.Float64("qps", 200, "ramp starting target QPS")
+		qpsMax    = flag.Float64("qps-max", 2000, "ramp final target QPS")
+		steps     = flag.Int("steps", 5, "ramp steps (1 = hold -qps for one step)")
+		stepDur   = flag.Duration("step-dur", 5*time.Second, "duration of each ramp step")
+		maxP99    = flag.Duration("max-p99", 250*time.Millisecond, "sustainability bar for client-observed p99")
+		maxErr    = flag.Float64("max-err", 0.01, "sustainability bar for the error ratio")
+		page      = flag.Int("page", 200, "recent-bundles page size the pagers request")
+		seed      = flag.Int64("seed", 1, "client behaviour seed")
+		benchOut  = flag.String("bench-out", "", "write the ramp measurements to this JSON path")
+		metrics   = flag.String("metrics-addr", "", "serve the fleet's /metrics and /statusz on this address")
+		self      = flag.Bool("self", false, "ignore -url: spin an in-process explorer on a loopback port")
+		selfDays  = flag.Int("self-days", 2, "with -self: study length in days")
+		selfScale = flag.Int("self-scale", 50_000, "with -self: volume divisor vs paper scale")
+		selfSeed  = flag.Int64("self-seed", 1, "with -self: workload seed")
+		selfFault = flag.Float64("self-fault-rate", 0, "with -self: chaos-wrap the in-process server at this rate")
+	)
+	flag.Parse()
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+
+	base := *url
+	if *self {
+		base, err = startSelfExplorer(*selfDays, *selfScale, *selfSeed, *selfFault)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("self mode: in-process explorer on %s\n", base)
+	}
+
+	reg := obs.NewRegistry()
+	m := newGenMetrics(reg)
+	if *metrics != "" {
+		srv := &http.Server{
+			Addr:              *metrics,
+			Handler:           obs.NewOpsMux(reg, false),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() { _ = srv.ListenAndServe() }()
+		fmt.Printf("fleet metrics on http://%s/metrics\n", *metrics)
+	}
+
+	// One pooled transport for the whole fleet: per-client connections
+	// with keep-alive, sized so every client can hold one.
+	hc := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        *clients + 8,
+			MaxIdleConnsPerHost: *clients + 8,
+		},
+	}
+	fleet := buildFleet(*clients, weights, base, hc, *seed, m, *page)
+	fmt.Printf("fleet: %d clients (mix %s) against %s\n", len(fleet), *mix, base)
+
+	doc := benchDoc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		URL:         base,
+		Clients:     *clients,
+		Mix:         *mix,
+		MaxP99Ms:    float64(*maxP99) / float64(time.Millisecond),
+		MaxErrRatio: *maxErr,
+	}
+	if *steps < 1 {
+		*steps = 1
+	}
+	first := viewOf(reg.Snapshot())
+	for i := 0; i < *steps; i++ {
+		target := *qps
+		if *steps > 1 {
+			target += (*qpsMax - *qps) * float64(i) / float64(*steps-1)
+		}
+		before := viewOf(reg.Snapshot())
+		elapsed := runStep(fleet, target, *stepDur)
+		after := viewOf(reg.Snapshot())
+		st := measureStep(before, after, target, elapsed, doc.MaxP99Ms, *maxErr)
+		doc.Steps = append(doc.Steps, st)
+		fmt.Printf("step %d/%d: target %.0f QPS, achieved %.1f, p99 %.2fms, err %.2f%%\n",
+			i+1, *steps, target, st.AchievedQPS, st.P99Ms, 100*st.ErrorRatio)
+	}
+	last := viewOf(reg.Snapshot())
+	finishBench(&doc, histDeltaOf(first, last, "loadgen_request_latency_seconds"))
+
+	renderBench(os.Stdout, doc)
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, doc); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+	}
+}
+
+// parseMix parses "pager:detail:adversarial" weights.
+func parseMix(s string) ([3]int, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return [3]int{}, fmt.Errorf("bad -mix %q: want pager:detail:adversarial", s)
+	}
+	var w [3]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return w, fmt.Errorf("bad -mix weight %q", p)
+		}
+		w[i] = n
+	}
+	if w[0]+w[1]+w[2] == 0 {
+		return w, fmt.Errorf("bad -mix %q: all weights zero", s)
+	}
+	return w, nil
+}
+
+// runStep paces the fleet at the target rate until the step ends. Each
+// client owns an even share of the rate, with starts staggered across
+// the first interval so the load is smooth, not phase-locked. A client
+// that cannot keep its pace (the server is the bottleneck) drops the
+// accumulated debt instead of bursting to repay it — achieved QPS
+// simply lands below target, which is the signal saturation analysis
+// keys on.
+func runStep(fleet []*client, targetQPS float64, dur time.Duration) time.Duration {
+	interval := time.Duration(float64(len(fleet)) / targetQPS * float64(time.Second))
+	start := time.Now()
+	deadline := start.Add(dur)
+	var wg sync.WaitGroup
+	for i, c := range fleet {
+		wg.Add(1)
+		go func(i int, c *client) {
+			defer wg.Done()
+			next := start.Add(interval * time.Duration(i) / time.Duration(len(fleet)))
+			for {
+				now := time.Now()
+				if now.After(deadline) {
+					return
+				}
+				if next.After(now) {
+					wait := next.Sub(now)
+					if until := deadline.Sub(now); wait > until {
+						time.Sleep(until)
+						return
+					}
+					time.Sleep(wait)
+				}
+				c.do()
+				next = next.Add(interval)
+				if behind := time.Since(next); behind > interval {
+					next = time.Now() // saturated: forgive the debt
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// startSelfExplorer generates a small study and serves it on a loopback
+// port, optionally behind the chaos middleware — the -self target.
+func startSelfExplorer(days, scale int, seed int64, faultRate float64) (string, error) {
+	store := explorer.NewStore()
+	st := workload.New(workload.Params{Seed: seed, Days: days, Scale: scale})
+	fmt.Printf("self mode: generating %d days at 1/%d scale...\n", days, scale)
+	st.Run(store)
+	fmt.Printf("self mode: serving %d bundles\n", store.Len())
+
+	var handler http.Handler = explorer.NewServer(store, 0)
+	if faultRate > 0 {
+		handler = faults.ChaosHandler(handler, faults.NewInjector(seed, faultRate), faults.ChaosConfig{})
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), nil
+}

@@ -16,6 +16,16 @@
 // contiguously and every lease must name a plan partition with its
 // cursor inside the partition's range.
 //
+// -sloz-url fetches an SLO engine's /sloz document and validates its
+// shape: at least one objective, unique names, targets in (0,1), SLIs
+// and budget-remaining fractions in [0,1], the four burn-rate windows
+// present with positive thresholds, legal alert states, and transition
+// histories whose timestamps parse and whose states are legal.
+// -sloz-expect additionally waits (up to -wait) for the document to
+// reach an alerting posture: all-ok, burning (some objective out of
+// OK), or fast-burn — the teeth behind `make load-smoke`'s
+// OK → burning → recovered ladder.
+//
 // -tracez-url fetches a flight recorder's /tracez document and validates
 // every kept trace: 32-hex non-zero trace IDs, 16-hex span IDs, parent
 // links that resolve within the trace (or are marked remote), non-
@@ -47,6 +57,7 @@ import (
 	"jitomev/internal/fleet"
 	"jitomev/internal/obs"
 	"jitomev/internal/quality"
+	"jitomev/internal/slo"
 )
 
 // families is a repeatable -require flag.
@@ -63,6 +74,8 @@ func main() {
 		maxStatus  = flag.String("max-status", "warn", "with -quality-url, fail when the aggregate verdict exceeds this (ok|warn|crit)")
 		leasezURL  = flag.String("leasez-url", "", "also fetch and validate a /leasez fleet state document from this URL")
 		tracezURL  = flag.String("tracez-url", "", "also fetch and validate a /tracez flight-recorder document from this URL")
+		slozURL    = flag.String("sloz-url", "", "also fetch and validate a /sloz SLO document from this URL")
+		slozExpect = flag.String("sloz-expect", "", "with -sloz-url, wait for this alert posture (all-ok|burning|fast-burn)")
 		minSpans   = flag.Int("tracez-min-spans", 1, "with -tracez-url, wait for at least one trace with this many spans")
 		wantRemote = flag.Bool("tracez-require-remote", false, "with -tracez-url, require a remotely-rooted trace (cross-process stitching)")
 		require    families
@@ -111,6 +124,129 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *slozURL != "" {
+		if err := checkSloz(*slozURL, *wait, *slozExpect); err != nil {
+			fmt.Fprintln(os.Stderr, "metricscheck:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkSloz fetches and validates a /sloz document, retrying until the
+// deadline for the expected alert posture. Shape violations fail
+// immediately; only "not in the expected posture yet" waits.
+func checkSloz(url string, wait time.Duration, expect string) error {
+	switch expect {
+	case "", "all-ok", "burning", "fast-burn":
+	default:
+		return fmt.Errorf("bad -sloz-expect %q (want all-ok|burning|fast-burn)", expect)
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		body, err := read(url, 0)
+		if err == nil {
+			err = validateSloz(body, expect)
+			if err == nil {
+				var doc slo.Doc
+				_ = json.Unmarshal(body, &doc)
+				fmt.Printf("metricscheck: sloz ok — %d objectives after %d ticks\n",
+					len(doc.Objectives), doc.Ticks)
+				return nil
+			}
+			if _, fatal := err.(*tracezShapeError); fatal {
+				return err
+			}
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// validateSloz checks a /sloz document's shape and, when expect is
+// set, its alert posture. Posture misses come back as plain
+// (retryable) errors.
+func validateSloz(body []byte, expect string) error {
+	var doc slo.Doc
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return shapeErrf("malformed /sloz document: %v", err)
+	}
+	if len(doc.Objectives) == 0 {
+		return shapeErrf("/sloz has no objectives")
+	}
+	seen := make(map[string]bool, len(doc.Objectives))
+	worst := slo.StateOK
+	burning := 0
+	for _, o := range doc.Objectives {
+		if o.Name == "" {
+			return shapeErrf("/sloz objective with empty name")
+		}
+		if seen[o.Name] {
+			return shapeErrf("/sloz duplicate objective %q", o.Name)
+		}
+		seen[o.Name] = true
+		if o.Target <= 0 || o.Target >= 1 {
+			return shapeErrf("/sloz %s: target %v outside (0,1)", o.Name, o.Target)
+		}
+		if o.SLI < 0 || o.SLI > 1 {
+			return shapeErrf("/sloz %s: sli %v outside [0,1]", o.Name, o.SLI)
+		}
+		if o.BudgetRemaining < 0 || o.BudgetRemaining > 1 {
+			return shapeErrf("/sloz %s: budget_remaining %v outside [0,1]", o.Name, o.BudgetRemaining)
+		}
+		if len(o.BurnRates) != 4 {
+			return shapeErrf("/sloz %s: %d burn-rate windows, want 4", o.Name, len(o.BurnRates))
+		}
+		for _, b := range o.BurnRates {
+			if b.Window == "" || b.Seconds <= 0 || b.BurnRate < 0 || b.Threshold <= 0 {
+				return shapeErrf("/sloz %s: malformed burn window %+v", o.Name, b)
+			}
+		}
+		// The alert state itself is enum-checked by UnmarshalJSON; the
+		// history must be legal hops with parseable timestamps.
+		if _, err := time.Parse(time.RFC3339Nano, o.Alert.Since); err != nil {
+			return shapeErrf("/sloz %s: bad alert since %q", o.Name, o.Alert.Since)
+		}
+		for _, tr := range o.Alert.Transitions {
+			if _, err := time.Parse(time.RFC3339Nano, tr.At); err != nil {
+				return shapeErrf("/sloz %s: bad transition timestamp %q", o.Name, tr.At)
+			}
+			if tr.From == tr.To {
+				return shapeErrf("/sloz %s: self-transition %s -> %s", o.Name, tr.From, tr.To)
+			}
+		}
+		if o.Alert.TransitionsTotal < uint64(len(o.Alert.Transitions)) {
+			return shapeErrf("/sloz %s: transitions_total %d < %d kept",
+				o.Name, o.Alert.TransitionsTotal, len(o.Alert.Transitions))
+		}
+		if o.Alert.State != slo.StateOK {
+			burning++
+			if o.Alert.Reason == "" {
+				return shapeErrf("/sloz %s: state %s without a reason", o.Name, o.Alert.State)
+			}
+		}
+		if o.Alert.State > worst {
+			worst = o.Alert.State
+		}
+	}
+	switch expect {
+	case "all-ok":
+		if burning > 0 {
+			return fmt.Errorf("/sloz has %d objectives out of OK (worst %s), want all OK", burning, worst)
+		}
+	case "burning":
+		if burning == 0 {
+			return fmt.Errorf("/sloz has every objective OK, want at least one burning")
+		}
+	case "fast-burn":
+		if worst != slo.StateFastBurn {
+			return fmt.Errorf("/sloz worst state %s, want fast_burn", worst)
+		}
+	}
+	return nil
 }
 
 // tracezDoc mirrors the /tracez JSON document (obs keeps the wrapper

@@ -294,12 +294,28 @@ func TestServerRateLimiting(t *testing.T) {
 	if server.Throttled() == 0 || server.RequestCount() != 10 {
 		t.Errorf("metrics: throttled=%d requests=%d", server.Throttled(), server.RequestCount())
 	}
-	// The same tallies must be readable off the registry snapshot.
-	if got := server.Obs().Value("explorer_requests_total"); got != 10 {
-		t.Errorf("registry explorer_requests_total = %v, want 10", got)
+	// The same tallies must be readable off the registry snapshot as
+	// labeled per-route series: 5 served ok, the rest throttled, all on
+	// the recent route.
+	reg := server.Obs()
+	if got := reg.Value("explorer_requests_total", "route", "recent", "outcome", "ok"); got != 5 {
+		t.Errorf(`explorer_requests_total{route="recent",outcome="ok"} = %v, want 5`, got)
 	}
-	if got := server.Obs().Value("explorer_throttled_total"); got == 0 {
-		t.Error("registry explorer_throttled_total = 0, want > 0")
+	if got := reg.Value("explorer_requests_total", "route", "recent", "outcome", "throttled"); got != 5 {
+		t.Errorf(`explorer_requests_total{route="recent",outcome="throttled"} = %v, want 5`, got)
+	}
+	if got := reg.Value("explorer_throttled_total", "route", "recent"); got == 0 {
+		t.Error(`registry explorer_throttled_total{route="recent"} = 0, want > 0`)
+	}
+	// Serving latency is recorded even for throttled requests.
+	var latCount uint64
+	for _, sm := range reg.Snapshot() {
+		if sm.Family == "explorer_request_latency_seconds" {
+			latCount += sm.Count
+		}
+	}
+	if latCount != 10 {
+		t.Errorf("explorer_request_latency_seconds counted %d observations, want 10", latCount)
 	}
 }
 

@@ -69,20 +69,61 @@ func (r *rateLimiter) allow(client string) bool {
 	return true
 }
 
-// Server serves the two explorer endpoints over HTTP. Its request and
-// throttle tallies live on an obs.Registry (explorer_requests_total,
-// explorer_throttled_total, plus a per-endpoint breakdown) so the same
-// numbers appear on /metrics, in end-of-run summaries and in tests via
-// Snapshot — the server carries no bespoke counter fields.
+// Routes are the server's request classes: its two API endpoints plus
+// "other" for anything that will 404. Every per-route family
+// pre-registers all of them so an endpoint nobody hit still exposes its
+// zeros — an absent zero is indistinguishable from a missing
+// instrument.
+var Routes = []string{"recent", "transactions", "other"}
+
+// Outcomes classify a response status for the per-route request
+// counters: ok (2xx/3xx), throttled (429), client_error (other 4xx),
+// server_error (5xx). These are the SLI denominators the slo package
+// compiles against.
+var Outcomes = []string{"ok", "throttled", "client_error", "server_error"}
+
+// outcomeOf maps a response status code to its outcome class.
+func outcomeOf(status int) string {
+	switch {
+	case status == http.StatusTooManyRequests:
+		return "throttled"
+	case status >= 500:
+		return "server_error"
+	case status >= 400:
+		return "client_error"
+	}
+	return "ok"
+}
+
+// routeMetrics is one route's instrument set.
+type routeMetrics struct {
+	outcomes  map[string]*obs.Counter
+	throttled *obs.Counter
+	latency   *obs.Histogram
+	inflight  *obs.Gauge
+}
+
+// Server serves the two explorer endpoints over HTTP. Its tallies live
+// on an obs.Registry as labeled per-route series — request outcomes
+// (explorer_requests_total{route,outcome}), throttles, serving latency
+// and in-flight depth — so the same numbers appear on /metrics, in
+// end-of-run summaries, as SLI inputs to the slo package, and in tests
+// via Snapshot; the server carries no bespoke counter fields and the
+// old global accessors read as sums over the family.
 type Server struct {
 	store   *Store
 	limiter *rateLimiter
 	mux     *http.ServeMux
 
-	reg       *obs.Registry
-	requests  *obs.Counter
-	throttled *obs.Counter
+	reg    *obs.Registry
+	routes map[string]*routeMetrics
+	now    func() time.Time
 }
+
+// servingLatencyBuckets bound the serving-latency histogram: 100µs to
+// 5s, dense around the 100ms SLO threshold so LatencyUnder can resolve
+// it exactly (0.1 is a bound).
+var servingLatencyBuckets = []float64{1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5}
 
 // NewServer wraps a store with a private registry. ratePerMin caps
 // requests per client per minute (0 disables limiting — the in-process
@@ -97,13 +138,36 @@ func NewServerObs(store *Store, ratePerMin int, reg *obs.Registry) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	s := &Server{store: store, limiter: newRateLimiter(ratePerMin), mux: http.NewServeMux(), reg: reg}
-	s.requests = reg.Counter("explorer_requests_total")
-	s.throttled = reg.Counter("explorer_throttled_total")
-	reg.Help("explorer_requests_total", "HTTP requests received by the explorer server.")
-	reg.Help("explorer_throttled_total", "Requests rejected with 429 by the per-client rate limiter.")
-	s.mux.Handle("/api/v1/bundles/recent", s.countEndpoint("recent", s.handleRecent))
-	s.mux.Handle("/api/v1/transactions", s.countEndpoint("transactions", s.handleTransactions))
+	s := &Server{
+		store:   store,
+		limiter: newRateLimiter(ratePerMin),
+		mux:     http.NewServeMux(),
+		reg:     reg,
+		routes:  make(map[string]*routeMetrics, len(Routes)),
+		now:     time.Now,
+	}
+	for _, route := range Routes {
+		rm := &routeMetrics{
+			outcomes:  make(map[string]*obs.Counter, len(Outcomes)),
+			throttled: reg.Counter("explorer_throttled_total", "route", route),
+			latency:   reg.Histogram("explorer_request_latency_seconds", servingLatencyBuckets, "route", route),
+			inflight:  reg.Gauge("explorer_inflight", "route", route),
+		}
+		for _, oc := range Outcomes {
+			rm.outcomes[oc] = reg.Counter("explorer_requests_total", "route", route, "outcome", oc)
+		}
+		s.routes[route] = rm
+	}
+	reg.Help("explorer_requests_total", "HTTP requests received by the explorer server, by route and response outcome.")
+	reg.Help("explorer_throttled_total", "Requests rejected with 429 by the per-client rate limiter, by route.")
+	reg.Help("explorer_request_latency_seconds", "Wall time from request receipt to response completion, by route.")
+	reg.Help("explorer_inflight", "Requests currently being served, by route.")
+	// Latency and in-flight depth measure the wall clock and scheduling;
+	// the outcome counters stay deterministic (a pure function of the
+	// request sequence).
+	reg.Volatile("explorer_request_latency_seconds", "explorer_inflight")
+	s.mux.HandleFunc("/api/v1/bundles/recent", s.handleRecent)
+	s.mux.HandleFunc("/api/v1/transactions", s.handleTransactions)
 	return s
 }
 
@@ -111,34 +175,73 @@ func NewServerObs(store *Store, ratePerMin int, reg *obs.Registry) *Server {
 // /metrics next to the API and for test assertions.
 func (s *Server) Obs() *obs.Registry { return s.reg }
 
-// RequestCount reports total requests received (pre-throttle).
-func (s *Server) RequestCount() uint64 { return s.requests.Value() }
-
-// Throttled reports requests rejected by the rate limiter.
-func (s *Server) Throttled() uint64 { return s.throttled.Value() }
-
-// countEndpoint wraps a handler with a per-endpoint request counter.
-func (s *Server) countEndpoint(name string, h http.HandlerFunc) http.Handler {
-	c := s.reg.Counter("explorer_endpoint_requests_total", "endpoint", name)
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		c.Inc()
-		h(w, r)
-	})
+// familySum adds every series of a counter family — the view that
+// keeps the pre-split accessors exact under the labeled schema.
+func (s *Server) familySum(family string) uint64 {
+	var total float64
+	for _, sm := range s.reg.Snapshot() {
+		if sm.Family == family {
+			total += sm.Value
+		}
+	}
+	return uint64(total)
 }
 
-// ServeHTTP implements http.Handler.
+// RequestCount reports total requests received (pre-throttle), summed
+// across routes and outcomes.
+func (s *Server) RequestCount() uint64 { return s.familySum("explorer_requests_total") }
+
+// Throttled reports requests rejected by the rate limiter, summed
+// across routes.
+func (s *Server) Throttled() uint64 { return s.familySum("explorer_throttled_total") }
+
+// routeOf classifies a request path.
+func routeOf(path string) string {
+	switch path {
+	case "/api/v1/bundles/recent":
+		return "recent"
+	case "/api/v1/transactions":
+		return "transactions"
+	}
+	return "other"
+}
+
+// statusWriter captures the response status for outcome classification.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler: classify the route, track
+// in-flight depth, serve (throttling first), then record the outcome
+// and serving latency.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.requests.Inc()
+	rm := s.routes[routeOf(r.URL.Path)]
+	rm.inflight.Add(1)
+	start := s.now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+
 	client := r.RemoteAddr
 	if host, _, err := net.SplitHostPort(client); err == nil {
 		client = host // rate-limit per IP, not per ephemeral port
 	}
 	if !s.limiter.allow(client) {
-		s.throttled.Inc()
-		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
-		return
+		rm.throttled.Inc()
+		http.Error(sw, "rate limit exceeded", http.StatusTooManyRequests)
+	} else {
+		s.mux.ServeHTTP(sw, r)
 	}
-	s.mux.ServeHTTP(w, r)
+
+	rm.latency.Observe(s.now().Sub(start).Seconds())
+	rm.inflight.Add(-1)
+	if c := rm.outcomes[outcomeOf(sw.status)]; c != nil {
+		c.Inc()
+	}
 }
 
 func (s *Server) handleRecent(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,90 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// adminDoc is the /chaosz document: the injector's live schedule
+// parameters and what it has injected so far.
+type adminDoc struct {
+	Seed     int64             `json:"seed"`
+	Rate     float64           `json:"rate"`
+	Calls    uint64            `json:"calls"`
+	Injected map[string]uint64 `json:"injected"`
+}
+
+// AdminHandler serves the chaos-admin endpoint. GET reports the
+// injector's seed, live fault rate, consumed call count and per-class
+// injected tally. POST sets the rate mid-run — body is either a JSON
+// object {"rate": 0.5} or a form/query parameter rate=0.5 — so a load
+// smoke can walk the server through healthy → faulting → recovered
+// without a restart. The seed is immutable: at any rate the decision
+// stream stays the pure Schedule function of (seed, rate, index).
+func AdminHandler(in *Injector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.Method {
+		case http.MethodGet:
+			// fallthrough to the status document below
+		case http.MethodPost:
+			rate, err := parseRate(req)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			in.SetRate(rate)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		st := in.Stats()
+		doc := adminDoc{
+			Seed:     in.Seed(),
+			Rate:     in.Rate(),
+			Calls:    in.Calls(),
+			Injected: make(map[string]uint64),
+		}
+		for c := ClassTransport; c < NumClasses; c++ {
+			if st[c] > 0 {
+				doc.Injected[c.String()] = st[c]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+}
+
+// parseRate extracts the requested fault rate from a POST: JSON body
+// first, then the rate form/query value.
+func parseRate(req *http.Request) (float64, error) {
+	if ct := req.Header.Get("Content-Type"); ct == "application/json" {
+		var body struct {
+			Rate *float64 `json:"rate"`
+		}
+		dec := json.NewDecoder(req.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&body); err != nil {
+			return 0, fmt.Errorf("bad JSON body: %v", err)
+		}
+		if body.Rate == nil {
+			return 0, fmt.Errorf("missing rate")
+		}
+		return *body.Rate, nil
+	}
+	if err := req.ParseForm(); err != nil {
+		return 0, fmt.Errorf("bad form: %v", err)
+	}
+	v := req.Form.Get("rate")
+	if v == "" {
+		return 0, fmt.Errorf("missing rate")
+	}
+	rate, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad rate %q: %v", v, err)
+	}
+	return rate, nil
+}

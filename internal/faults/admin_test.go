@@ -1,0 +1,83 @@
+package faults
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestAdminHandler exercises the /chaosz contract: GET reports the live
+// schedule, POST (JSON or form) retunes the rate with clamping, and the
+// injected tally shows up once faults fire.
+func TestAdminHandler(t *testing.T) {
+	in := NewInjector(7, 0)
+	h := AdminHandler(in)
+
+	get := func() adminDoc {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/chaosz", nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET /chaosz: status %d", rec.Code)
+		}
+		var doc adminDoc
+		if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+			t.Fatalf("GET /chaosz body %q: %v", rec.Body.String(), err)
+		}
+		return doc
+	}
+
+	if doc := get(); doc.Rate != 0 || doc.Seed != 7 {
+		t.Errorf("initial doc = %+v, want rate 0 seed 7", doc)
+	}
+
+	// POST JSON sets the rate and echoes the new document.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/chaosz", strings.NewReader(`{"rate": 0.5}`))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("POST /chaosz: status %d body %s", rec.Code, rec.Body.String())
+	}
+	if got := in.Rate(); got != 0.5 {
+		t.Errorf("rate after JSON POST = %v, want 0.5", got)
+	}
+
+	// POST form works too, and the rate clamps to [0,1].
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest("POST", "/chaosz", strings.NewReader("rate=7"))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 || in.Rate() != 1 {
+		t.Errorf("form POST: status %d rate %v, want 200 and clamp to 1", rec.Code, in.Rate())
+	}
+
+	// A missing rate is a 400, not a silent no-op.
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest("POST", "/chaosz", strings.NewReader(`{}`))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(rec, req)
+	if rec.Code != 400 {
+		t.Errorf("POST without rate: status %d, want 400", rec.Code)
+	}
+	if in.Rate() != 1 {
+		t.Errorf("failed POST changed the rate to %v", in.Rate())
+	}
+
+	// At rate 1 every call faults; the tally appears on GET.
+	for i := 0; i < 10; i++ {
+		in.Next(HTTPMask)
+	}
+	doc := get()
+	if doc.Calls != 10 {
+		t.Errorf("calls = %d, want 10", doc.Calls)
+	}
+	var sum uint64
+	for _, n := range doc.Injected {
+		sum += n
+	}
+	if sum != 10 {
+		t.Errorf("injected tally sums to %d, want 10 (doc %+v)", sum, doc)
+	}
+}

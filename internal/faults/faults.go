@@ -25,7 +25,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"jitomev/internal/obs"
@@ -309,8 +311,14 @@ func (s Schedule) At(index uint64, mask Mask) Class {
 // and `faults_injector_calls_total` — so a chaos run's injection schedule
 // is visible on /metrics next to what the consumers survived. Stats reads
 // the same counters back, so the registry is the single source of truth.
+// The fault rate is mutable at runtime (SetRate, atomically): the
+// chaos-admin endpoint toggles it mid-run so a load smoke can walk an
+// explorerd through healthy → faulting → recovered without restarts.
+// The seed stays fixed, so at any given rate the decision stream is
+// still the pure Schedule function of (seed, rate, index).
 type Injector struct {
-	sched    Schedule
+	seed     int64
+	rateBits atomic.Uint64 // math.Float64bits of the current rate
 	reg      *obs.Registry
 	calls    *obs.Counter
 	injected [NumClasses]*obs.Counter
@@ -334,7 +342,8 @@ func NewInjectorObs(seed int64, rate float64, reg *obs.Registry) *Injector {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	in := &Injector{sched: Schedule{Seed: seed, Rate: rate}, reg: reg}
+	in := &Injector{seed: seed, reg: reg}
+	in.SetRate(rate)
 	in.calls = reg.Counter("faults_injector_calls_total")
 	reg.Help("faults_attributed_total", "Injected faults attributed to a sampled trace (visible on /tracez).")
 	reg.Volatile("faults_attributed_total")
@@ -375,7 +384,7 @@ func (in *Injector) Obs() *obs.Registry { return in.reg }
 // mask) plus the index, for deriving payload mutations.
 func (in *Injector) Next(mask Mask) (Class, uint64) {
 	idx := in.calls.Inc() - 1
-	c := in.sched.At(idx, mask)
+	c := Schedule{Seed: in.seed, Rate: in.Rate()}.At(idx, mask)
 	if c != ClassNone {
 		in.injected[c].Inc()
 	}
@@ -383,10 +392,24 @@ func (in *Injector) Next(mask Mask) (Class, uint64) {
 }
 
 // Seed returns the schedule's seed (payload mutations key off it).
-func (in *Injector) Seed() int64 { return in.sched.Seed }
+func (in *Injector) Seed() int64 { return in.seed }
 
-// Rate returns the schedule's per-call fault probability.
-func (in *Injector) Rate() float64 { return in.sched.Rate }
+// Rate returns the current per-call fault probability.
+func (in *Injector) Rate() float64 {
+	return math.Float64frombits(in.rateBits.Load())
+}
+
+// SetRate replaces the per-call fault probability, clamped to [0,1].
+// Calls already decided keep their outcomes; calls from here on draw
+// from the schedule at the new rate.
+func (in *Injector) SetRate(rate float64) {
+	if rate < 0 || math.IsNaN(rate) {
+		rate = 0
+	} else if rate > 1 {
+		rate = 1
+	}
+	in.rateBits.Store(math.Float64bits(rate))
+}
 
 // Calls returns how many call indices have been consumed.
 func (in *Injector) Calls() uint64 { return in.calls.Value() }

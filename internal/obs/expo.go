@@ -226,11 +226,21 @@ type Endpoint struct {
 // /metrics (Prometheus text), /statusz (JSON), /tracez when a tracer is
 // attached to the registry, any extra endpoints the caller supplies,
 // and — only when withPprof is set — the net/http/pprof handlers under
-// /debug/pprof/.
+// /debug/pprof/. The runtime telemetry gauges (goroutines, heap, GC
+// pauses) are registered here and refreshed on every /metrics and
+// /statusz scrape, so each exposition carries scrape-fresh saturation
+// readings.
 func NewOpsMux(r *Registry, withPprof bool, extra ...Endpoint) *http.ServeMux {
+	r.SampleRuntime()
+	withRuntime := func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			r.SampleRuntime()
+			h.ServeHTTP(w, req)
+		})
+	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", r.MetricsHandler())
-	mux.Handle("/statusz", r.StatusHandler())
+	mux.Handle("/metrics", withRuntime(r.MetricsHandler()))
+	mux.Handle("/statusz", withRuntime(r.StatusHandler()))
 	if t := r.TracerAttached(); t != nil {
 		mux.Handle("/tracez", t.Handler())
 	}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// HealthSource is one subsystem's contribution to a combined /healthz
+// probe: the quality sentinel's CRIT verdict and the SLO engine's
+// fast-burn alert both answer through this interface, so a binary
+// serves exactly one 503 no matter how many monitors trip.
+type HealthSource struct {
+	// Name prefixes the reason line ("quality", "slo").
+	Name string
+	// Check reports whether the subsystem considers the process
+	// healthy, with a human-readable reason when it does not.
+	Check func() (healthy bool, reason string)
+}
+
+// healthDoc is the /healthz JSON body.
+type healthDoc struct {
+	Status  string   `json:"status"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// HealthHandler combines any number of health sources into one
+// liveness probe: 200 {"status":"ok"} when every source passes, 503
+// {"status":"unhealthy","reasons":[...]} with every failing source's
+// reason when any does. Sources are consulted on each probe, in the
+// given order, and all of them are consulted even after one fails — a
+// probe must surface every concurrent failure, not just the first.
+func HealthHandler(sources ...HealthSource) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		doc := healthDoc{Status: "ok"}
+		for _, s := range sources {
+			if s.Check == nil {
+				continue
+			}
+			healthy, reason := s.Check()
+			if healthy {
+				continue
+			}
+			doc.Status = "unhealthy"
+			if reason == "" {
+				reason = "unhealthy"
+			}
+			doc.Reasons = append(doc.Reasons, s.Name+": "+reason)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if doc.Status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+)
+
+// SampleRuntime refreshes the process-runtime gauges: goroutine count,
+// heap bytes, GC cycles and GC pause p99. All are Volatile — they
+// measure the machine, not the workload — and exist so a loadgen run
+// can correlate serving saturation (goroutine pileup, heap growth, GC
+// stalls) with SLO burn rate on the same /metrics scrape. NewOpsMux
+// arranges a refresh on every /metrics and /statusz hit, so the values
+// are scrape-fresh without a background poller.
+func (r *Registry) SampleRuntime() {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	r.Gauge("go_goroutines").Set(int64(runtime.NumGoroutine()))
+	r.Gauge("go_heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	r.Gauge("go_heap_sys_bytes").Set(int64(ms.HeapSys))
+	r.Gauge("go_gc_cycles_total").Set(int64(ms.NumGC))
+	r.FloatGauge("go_gc_pause_p99_seconds").Set(gcPauseP99(&ms))
+
+	r.Volatile("go_goroutines", "go_heap_alloc_bytes", "go_heap_sys_bytes",
+		"go_gc_cycles_total", "go_gc_pause_p99_seconds")
+	r.Help("go_goroutines", "Live goroutine count at last scrape.")
+	r.Help("go_heap_alloc_bytes", "Heap bytes in use at last scrape.")
+	r.Help("go_heap_sys_bytes", "Heap bytes obtained from the OS.")
+	r.Help("go_gc_cycles_total", "Completed GC cycles.")
+	r.Help("go_gc_pause_p99_seconds", "p99 of the recent GC pause ring (up to 256 pauses).")
+}
+
+// gcPauseP99 computes the 99th-percentile stop-the-world pause from
+// MemStats' 256-entry circular pause buffer, over however many cycles
+// have actually run.
+func gcPauseP99(ms *runtime.MemStats) float64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		pauses = append(pauses, ms.PauseNs[i])
+	}
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	idx := (99*len(pauses) + 99) / 100 // ceil(0.99n), 1-based rank
+	if idx > len(pauses) {
+		idx = len(pauses)
+	}
+	return float64(pauses[idx-1]) / 1e9
+}

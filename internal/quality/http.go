@@ -34,6 +34,30 @@ func (s *Sentinel) HealthHandler() http.Handler {
 	})
 }
 
+// HealthSource adapts the sentinel to obs.HealthHandler so binaries
+// that also run an SLO engine can fold both monitors into a single
+// /healthz probe: unhealthy on CRIT (the same bar HealthHandler's 503
+// uses), with the failing checks' reasons surfaced. A nil sentinel is
+// always healthy.
+func (s *Sentinel) HealthSource() obs.HealthSource {
+	return obs.HealthSource{
+		Name: "quality",
+		Check: func() (bool, string) {
+			rep := s.Evaluate()
+			if rep.Status != CRIT {
+				return true, ""
+			}
+			reason := "verdict CRIT"
+			for _, c := range rep.Checks {
+				if c.Status == CRIT {
+					reason += "; " + c.Name + ": " + c.Reason
+				}
+			}
+			return false, reason
+		},
+	}
+}
+
 // OpsEndpoints returns the routes a binary passes to obs.NewOpsMux to
 // mount the sentinel beside /metrics and /statusz.
 func (s *Sentinel) OpsEndpoints() []obs.Endpoint {

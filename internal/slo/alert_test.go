@@ -1,0 +1,196 @@
+package slo
+
+import (
+	"testing"
+	"time"
+
+	"jitomev/internal/obs"
+)
+
+// burnHarness drives one availability objective with a controllable
+// per-tick error rate: 100 events per one-second tick.
+type burnHarness struct {
+	reg  *obs.Registry
+	good *obs.Counter
+	bad  *obs.Counter
+	clk  *fakeClock
+	eng  *Engine
+}
+
+// newBurnHarness uses a 60-second window unit: fast 60s/5s @14.4, slow
+// 360s/30s @6, clear hold 10s — the book's policy shape at test speed.
+func newBurnHarness(t *testing.T) *burnHarness {
+	t.Helper()
+	h := &burnHarness{reg: obs.NewRegistry(), clk: newFakeClock()}
+	h.good = h.reg.Counter("g_total")
+	h.bad = h.reg.Counter("b_total")
+	h.eng = New(h.reg, Config{Now: h.clk.Now}, Objective{
+		Name:    "avail",
+		Target:  0.99,
+		Source:  GoodBad{Good: []Series{{Family: "g_total"}}, Bad: []Series{{Family: "b_total"}}},
+		Windows: ScaledWindows(60 * time.Second),
+	})
+	h.eng.Tick() // baseline
+	return h
+}
+
+// tick advances one second with errRate errors out of 100 events.
+func (h *burnHarness) tick(errRate float64) {
+	errs := uint64(errRate * 100)
+	h.bad.Add(errs)
+	h.good.Add(100 - errs)
+	h.clk.Advance(time.Second)
+	h.eng.Tick()
+}
+
+func (h *burnHarness) state() AlertState { return h.eng.State().Objectives[0].Alert.State }
+
+// TestBurnLadder walks the full alert ladder: clean traffic holds OK, a
+// sustained 50% error rate escalates ok → slow_burn → fast_burn, and a
+// recovery de-escalates back through slow_burn to ok — each downward
+// hop gated by the hysteresis hold.
+func TestBurnLadder(t *testing.T) {
+	h := newBurnHarness(t)
+	for i := 0; i < 10; i++ {
+		h.tick(0)
+	}
+	if s := h.state(); s != StateOK {
+		t.Fatalf("clean traffic: state %s, want ok", s)
+	}
+	for i := 0; i < 15; i++ {
+		h.tick(0.5)
+	}
+	if s := h.state(); s != StateFastBurn {
+		t.Fatalf("after 15 faulting ticks: state %s, want fast_burn", s)
+	}
+	o := h.eng.State().Objectives[0]
+	if o.Alert.Reason == "" {
+		t.Error("fast burn with no firing reason")
+	}
+	for i := 0; i < 90; i++ {
+		h.tick(0)
+	}
+	if s := h.state(); s != StateOK {
+		t.Fatalf("after 90 clean ticks: state %s, want ok", s)
+	}
+
+	// The recorded ladder must be exactly the four hops, in order.
+	want := [][2]AlertState{
+		{StateOK, StateSlowBurn},
+		{StateSlowBurn, StateFastBurn},
+		{StateFastBurn, StateSlowBurn},
+		{StateSlowBurn, StateOK},
+	}
+	trs := h.eng.State().Objectives[0].Alert.Transitions
+	if len(trs) != len(want) {
+		t.Fatalf("recorded %d transitions, want %d: %+v", len(trs), len(want), trs)
+	}
+	for i, w := range want {
+		if trs[i].From != w[0] || trs[i].To != w[1] {
+			t.Errorf("transition %d = %s -> %s, want %s -> %s",
+				i, trs[i].From, trs[i].To, w[0], w[1])
+		}
+		if trs[i].Reason == "" {
+			t.Errorf("transition %d has no reason", i)
+		}
+		if _, err := time.Parse(time.RFC3339Nano, trs[i].At); err != nil {
+			t.Errorf("transition %d timestamp %q: %v", i, trs[i].At, err)
+		}
+	}
+}
+
+// TestHysteresisBlocksFlapping: once fast burn fires, a recovery
+// shorter than the clear hold must not de-escalate, and a relapse
+// during the hold resets it — the alert never flaps.
+func TestHysteresisBlocksFlapping(t *testing.T) {
+	h := newBurnHarness(t)
+	for i := 0; i < 10; i++ {
+		h.tick(0)
+	}
+	for i := 0; i < 15; i++ {
+		h.tick(0.5)
+	}
+	if s := h.state(); s != StateFastBurn {
+		t.Fatalf("setup: state %s, want fast_burn", s)
+	}
+	transBefore := h.eng.State().Objectives[0].Alert.TransitionsTotal
+
+	// Oscillate: 6 clean ticks (enough to clear the 5s short window,
+	// not the 10s hold), then a relapse, three times over.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 6; i++ {
+			h.tick(0)
+			if s := h.state(); s != StateFastBurn {
+				t.Fatalf("round %d tick %d: state %s during hold, want fast_burn", round, i, s)
+			}
+		}
+		for i := 0; i < 6; i++ {
+			h.tick(0.5)
+		}
+	}
+	if got := h.eng.State().Objectives[0].Alert.TransitionsTotal; got != transBefore {
+		t.Errorf("oscillation recorded %d transitions, want 0", got-transBefore)
+	}
+}
+
+// TestEscalationIsImmediate: the hold only gates de-escalation; a
+// worsening burn escalates on the tick it crosses the threshold.
+func TestEscalationIsImmediate(t *testing.T) {
+	h := newBurnHarness(t)
+	for i := 0; i < 10; i++ {
+		h.tick(0)
+	}
+	// A full-outage tick drives every window's short side to 1.0
+	// immediately; keep it up until both fast windows cross.
+	for i := 0; i < 60 && h.state() != StateFastBurn; i++ {
+		h.tick(1)
+	}
+	if s := h.state(); s != StateFastBurn {
+		t.Fatalf("full outage never reached fast_burn: %s", s)
+	}
+	// No intermediate dwell requirement: slow_burn may have been a
+	// single tick, but every hop must still be recorded.
+	trs := h.eng.State().Objectives[0].Alert.Transitions
+	if len(trs) == 0 || trs[len(trs)-1].To != StateFastBurn {
+		t.Errorf("transitions %+v do not end in fast_burn", trs)
+	}
+}
+
+// TestTransitionHistoryCap: the kept history is bounded by
+// MaxTransitions while transitions_total keeps counting.
+func TestTransitionHistoryCap(t *testing.T) {
+	reg := obs.NewRegistry()
+	bad := reg.Counter("b_total")
+	good := reg.Counter("g_total")
+	clk := newFakeClock()
+	eng := New(reg, Config{Now: clk.Now, MaxTransitions: 4}, Objective{
+		Name:    "avail",
+		Target:  0.99,
+		Source:  GoodBad{Good: []Series{{Family: "g_total"}}, Bad: []Series{{Family: "b_total"}}},
+		Windows: ScaledWindows(10 * time.Second),
+	})
+	eng.Tick()
+	// Alternate long outage / long recovery phases to rack up hops.
+	for cycle := 0; cycle < 5; cycle++ {
+		for i := 0; i < 20; i++ {
+			bad.Add(100)
+			clk.Advance(time.Second)
+			eng.Tick()
+		}
+		for i := 0; i < 20; i++ {
+			good.Add(100)
+			clk.Advance(time.Second)
+			eng.Tick()
+		}
+	}
+	o := eng.State().Objectives[0]
+	if len(o.Alert.Transitions) > 4 {
+		t.Errorf("kept %d transitions, cap is 4", len(o.Alert.Transitions))
+	}
+	if o.Alert.TransitionsTotal < 8 {
+		t.Errorf("transitions_total = %d, want >= 8 over 5 outage cycles", o.Alert.TransitionsTotal)
+	}
+	if got := reg.Value("slo_transitions_total", "slo", "avail"); got != float64(o.Alert.TransitionsTotal) {
+		t.Errorf("slo_transitions_total = %v, doc says %d", got, o.Alert.TransitionsTotal)
+	}
+}

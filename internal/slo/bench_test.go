@@ -1,0 +1,52 @@
+package slo
+
+import (
+	"testing"
+	"time"
+
+	"jitomev/internal/obs"
+)
+
+// BenchmarkSLOTick measures one full engine tick — registry snapshot,
+// source evaluation for five objectives, window arithmetic and alert
+// step — over a registry populated the way a real collect run's is.
+func BenchmarkSLOTick(b *testing.B) {
+	reg := obs.NewRegistry()
+	reg.Counter("collector_polls_total").Add(10_000)
+	reg.Counter("collector_poll_errors_total").Add(37)
+	for _, route := range []string{"recent", "transactions", "other"} {
+		for _, oc := range []string{"ok", "throttled", "client_error", "server_error"} {
+			reg.Counter("explorer_requests_total", "route", route, "outcome", oc).Add(1000)
+		}
+		h := reg.Histogram("explorer_request_latency_seconds", []float64{0.01, 0.05, 0.1, 0.5, 1}, "route", route)
+		for i := 0; i < 1000; i++ {
+			h.Observe(float64(i%100) / 1000)
+		}
+	}
+	clk := newFakeClock()
+	objs := append(CollectorObjectives(time.Minute), ExplorerObjectives(time.Minute)...)
+	eng := New(reg, Config{Now: clk.Now}, objs...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Advance(time.Second)
+		eng.Tick()
+	}
+}
+
+// BenchmarkSLOState measures building the /sloz document from a ticked
+// engine — the per-scrape cost.
+func BenchmarkSLOState(b *testing.B) {
+	reg := obs.NewRegistry()
+	reg.Counter("collector_polls_total").Add(10_000)
+	reg.Counter("collector_poll_errors_total").Add(37)
+	clk := newFakeClock()
+	eng := New(reg, Config{Now: clk.Now}, CollectorObjectives(time.Minute)...)
+	for i := 0; i < 100; i++ {
+		clk.Advance(time.Second)
+		eng.Tick()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.State()
+	}
+}

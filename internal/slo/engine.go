@@ -1,0 +1,331 @@
+package slo
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"jitomev/internal/obs"
+)
+
+// Config tunes an Engine. The zero value is production-ready: wall
+// clock, default transition history.
+type Config struct {
+	// Now is the engine's clock. Tests and replay harnesses inject a
+	// fake; nil means time.Now. Every verdict, window lookup and
+	// transition timestamp flows from this single source, which is what
+	// makes /sloz bit-identical across reruns when the clock is pinned.
+	Now func() time.Time
+	// MaxTransitions caps the per-objective transition history kept for
+	// /sloz (0 means 32). The slo_transitions_total counter is not
+	// capped.
+	MaxTransitions int
+}
+
+// cumSample is one tick's cumulative (good, total) reading.
+type cumSample struct {
+	t           time.Time
+	good, total float64
+}
+
+// objState is one objective's runtime state: the sample ring the
+// sliding windows difference against, the budget baseline, and the
+// alert machine.
+type objState struct {
+	obj  Objective
+	keep int // transition-history cap
+	ring []cumSample
+	// base anchors the error budget at the engine's first tick, so a
+	// registry with pre-engine history starts with a full budget.
+	baseGood, baseTotal float64
+
+	state      AlertState
+	since      time.Time // when the current state was entered
+	belowSince time.Time // start of a continuous below-threshold stretch, zero if at/above
+	reason     string    // why the current state holds
+
+	transitions []Transition
+	transTotal  uint64
+
+	// latest verdict, refreshed every tick.
+	sli, budget float64
+	burns       [4]float64 // fast_long, fast_short, slow_long, slow_short
+	good, total float64
+
+	// registry mirrors (all Volatile: verdicts depend on wall time).
+	sliG, budgetG *obs.FloatGauge
+	alertG        *obs.Gauge
+	transC        *obs.Counter
+	burnG         [4]*obs.FloatGauge
+}
+
+// windowNames label the burns array in slo_burn_rate and /sloz.
+var windowNames = [4]string{"fast_long", "fast_short", "slow_long", "slow_short"}
+
+// Engine evaluates a set of objectives against one registry. All
+// methods are safe for concurrent use; Tick is the only mutator.
+type Engine struct {
+	reg     *obs.Registry
+	now     func() time.Time
+	maxKeep int
+
+	mu       sync.Mutex
+	objs     []*objState
+	ticks    uint64
+	lastTick time.Time
+}
+
+// New compiles objectives against reg. Objective names must be
+// non-empty and unique — two objectives claiming one name is a bug
+// worth failing loudly on, same as metric re-registration.
+func New(reg *obs.Registry, cfg Config, objs ...Objective) *Engine {
+	e := &Engine{reg: reg, now: cfg.Now, maxKeep: cfg.MaxTransitions}
+	if e.now == nil {
+		e.now = time.Now
+	}
+	if e.maxKeep <= 0 {
+		e.maxKeep = 32
+	}
+	seen := make(map[string]bool, len(objs))
+	for _, o := range objs {
+		if o.Name == "" {
+			panic("slo: objective with empty name")
+		}
+		if seen[o.Name] {
+			panic(fmt.Sprintf("slo: duplicate objective %q", o.Name))
+		}
+		seen[o.Name] = true
+		st := &objState{obj: o.resolved(), keep: e.maxKeep, sli: 1, budget: 1}
+		st.sliG = reg.FloatGauge("slo_sli", "slo", o.Name)
+		st.budgetG = reg.FloatGauge("slo_budget_remaining", "slo", o.Name)
+		st.alertG = reg.Gauge("slo_alert_state", "slo", o.Name)
+		st.transC = reg.Counter("slo_transitions_total", "slo", o.Name)
+		for i, w := range windowNames {
+			st.burnG[i] = reg.FloatGauge("slo_burn_rate", "slo", o.Name, "window", w)
+		}
+		st.sliG.Set(1)
+		st.budgetG.Set(1)
+		e.objs = append(e.objs, st)
+	}
+	reg.Volatile("slo_sli", "slo_budget_remaining", "slo_alert_state",
+		"slo_transitions_total", "slo_burn_rate")
+	reg.Help("slo_sli", "Cumulative service-level indicator per objective (good/total since engine start).")
+	reg.Help("slo_budget_remaining", "Fraction of the error budget remaining, clamped to [0,1].")
+	reg.Help("slo_burn_rate", "Error-budget burn rate per alerting window (1 = burning exactly at budget).")
+	reg.Help("slo_alert_state", "Alert machine state: 0 ok, 1 slow_burn, 2 fast_burn.")
+	reg.Help("slo_transitions_total", "Alert state transitions since engine start.")
+	return e
+}
+
+// Tick evaluates every objective against one registry snapshot at the
+// engine clock's current instant and advances the alert machines.
+func (e *Engine) Tick() {
+	now := e.now()
+	ix := NewIndex(e.reg.Snapshot())
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	first := e.ticks == 0
+	e.ticks++
+	e.lastTick = now
+	for _, st := range e.objs {
+		good, total := st.obj.Source.Eval(ix)
+		if first {
+			st.baseGood, st.baseTotal = good, total
+			st.since = now
+		}
+		st.ring = append(st.ring, cumSample{t: now, good: good, total: total})
+		st.evict(now)
+		st.evaluate(now)
+	}
+}
+
+// evict drops ring samples older than the longest alert window, always
+// keeping one boundary sample at or beyond it so window lookups can
+// still difference across the full span.
+func (st *objState) evict(now time.Time) {
+	maxW := st.obj.Windows.Fast.Long
+	if w := st.obj.Windows.Slow.Long; w > maxW {
+		maxW = w
+	}
+	cutoff := now.Add(-maxW)
+	keepFrom := 0
+	for i, s := range st.ring {
+		if !s.t.After(cutoff) {
+			keepFrom = i // latest sample still at/before the boundary
+		} else {
+			break
+		}
+	}
+	if keepFrom > 0 {
+		st.ring = append(st.ring[:0], st.ring[keepFrom:]...)
+	}
+}
+
+// windowErrRate is the error rate over the window ending now: the
+// difference between the latest sample and the latest sample at least w
+// old (clamped to engine lifetime). No events in the window reads as a
+// zero error rate — silence is not an outage; absence of polls is the
+// quality sentinel's beat.
+func (st *objState) windowErrRate(now time.Time, w time.Duration) float64 {
+	latest := st.ring[len(st.ring)-1]
+	cutoff := now.Add(-w)
+	ref := st.ring[0]
+	for _, s := range st.ring[1:] {
+		if s.t.After(cutoff) {
+			break
+		}
+		ref = s
+	}
+	dTotal := latest.total - ref.total
+	if dTotal <= 0 {
+		return 0
+	}
+	dErr := (latest.total - latest.good) - (ref.total - ref.good)
+	if dErr < 0 {
+		dErr = 0
+	}
+	return dErr / dTotal
+}
+
+// evaluate refreshes the objective's verdict from its ring and runs one
+// alert-machine step at instant now. Caller holds the engine lock.
+func (st *objState) evaluate(now time.Time) {
+	latest := st.ring[len(st.ring)-1]
+	st.good = latest.good - st.baseGood
+	st.total = latest.total - st.baseTotal
+
+	budgetFrac := 1 - st.obj.Target // the error budget as an error-rate allowance
+	st.sli = 1.0
+	if st.total > 0 {
+		st.sli = st.good / st.total
+	}
+	st.budget = 1.0
+	if st.total > 0 && budgetFrac > 0 {
+		st.budget = 1 - (1-st.sli)/budgetFrac
+		if st.budget < 0 {
+			st.budget = 0
+		} else if st.budget > 1 {
+			st.budget = 1
+		}
+	}
+
+	w := st.obj.Windows
+	durs := [4]time.Duration{w.Fast.Long, w.Fast.Short, w.Slow.Long, w.Slow.Short}
+	for i, d := range durs {
+		burn := 0.0
+		if budgetFrac > 0 {
+			burn = st.windowErrRate(now, d) / budgetFrac
+		}
+		st.burns[i] = burn
+	}
+
+	// Desired state: the most severe rule whose long AND short windows
+	// both exceed its factor.
+	desired := StateOK
+	reason := ""
+	if st.burns[2] >= w.Slow.Factor && st.burns[3] >= w.Slow.Factor {
+		desired = StateSlowBurn
+		reason = fmt.Sprintf("slow burn %.2fx over %s and %.2fx over %s (threshold %.1fx)",
+			st.burns[2], w.Slow.Long, st.burns[3], w.Slow.Short, w.Slow.Factor)
+	}
+	if st.burns[0] >= w.Fast.Factor && st.burns[1] >= w.Fast.Factor {
+		desired = StateFastBurn
+		reason = fmt.Sprintf("fast burn %.2fx over %s and %.2fx over %s (threshold %.1fx)",
+			st.burns[0], w.Fast.Long, st.burns[1], w.Fast.Short, w.Fast.Factor)
+	}
+
+	switch {
+	case desired > st.state:
+		// Escalation is immediate — hysteresis only slows the way down.
+		st.transition(now, desired, reason)
+	case desired == st.state:
+		st.belowSince = time.Time{}
+		if reason != "" {
+			st.reason = reason
+		}
+	default: // desired < st.state: de-escalate only after ClearHold
+		if st.belowSince.IsZero() {
+			st.belowSince = now
+		}
+		if now.Sub(st.belowSince) >= w.ClearHold {
+			r := reason
+			if r == "" {
+				r = fmt.Sprintf("burn below threshold for %s", w.ClearHold)
+			}
+			st.transition(now, desired, r)
+		} else {
+			st.reason = fmt.Sprintf("%s (clearing: below threshold %s of %s)",
+				st.reason, now.Sub(st.belowSince), w.ClearHold)
+		}
+	}
+
+	st.sliG.Set(st.sli)
+	st.budgetG.Set(st.budget)
+	st.alertG.Set(int64(st.state))
+	for i := range st.burns {
+		st.burnG[i].Set(st.burns[i])
+	}
+}
+
+// transition moves the alert machine to next, recording the hop.
+func (st *objState) transition(now time.Time, next AlertState, reason string) {
+	st.transitions = append(st.transitions, Transition{
+		At: stamp(now), From: st.state, To: next, Reason: reason,
+	})
+	if len(st.transitions) > st.keep {
+		st.transitions = append(st.transitions[:0], st.transitions[len(st.transitions)-st.keep:]...)
+	}
+	st.state = next
+	st.since = now
+	st.belowSince = time.Time{}
+	st.reason = reason
+	st.transTotal++
+	st.transC.Inc()
+}
+
+// Start runs Tick on a fixed interval until the returned stop function
+// is called. stop blocks until the loop has exited.
+func (e *Engine) Start(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				e.Tick()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}
+}
+
+// HealthSource is the engine's contribution to /healthz: unhealthy
+// exactly when some objective is in fast burn — the page-worthy state —
+// so a slow burn warns on /sloz without failing the probe.
+func (e *Engine) HealthSource() obs.HealthSource {
+	return obs.HealthSource{
+		Name: "slo",
+		Check: func() (bool, string) {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			for _, st := range e.objs {
+				if st.state == StateFastBurn {
+					return false, fmt.Sprintf("objective %s in fast burn: %s", st.obj.Name, st.reason)
+				}
+			}
+			return true, ""
+		},
+	}
+}

@@ -1,0 +1,130 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"jitomev/internal/obs"
+	"jitomev/internal/quality"
+)
+
+// probeHealth hits a combined /healthz handler and decodes the body.
+func probeHealth(t *testing.T, sources ...obs.HealthSource) (int, []string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	obs.HealthHandler(sources...).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	var body struct {
+		Status  string   `json:"status"`
+		Reasons []string `json:"reasons"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("healthz body %q: %v", rec.Body.String(), err)
+	}
+	return rec.Code, body.Reasons
+}
+
+// TestHealthzPrecedence is the satellite's acceptance test: when the
+// quality sentinel goes CRIT and an SLO objective hits fast burn at the
+// same time, the combined /healthz serves exactly one 503 with both
+// reasons surfaced; the SLO contribution then clears through
+// hysteresis without flapping, and the probe keeps answering 503 as
+// long as either monitor is tripped.
+func TestHealthzPrecedence(t *testing.T) {
+	reg := obs.NewRegistry()
+
+	// Quality: drive the poll-failure EWMA well past PollFailCrit with
+	// MinPolls satisfied.
+	q := quality.New(quality.Config{}, reg)
+	q.ObservePoll(0, 200, 100, 0, false, false)
+	q.ObservePoll(0, 200, 100, 0, false, false)
+	for i := 0; i < 12; i++ {
+		q.ObservePollError()
+	}
+	if rep := q.Evaluate(); rep.Status != quality.CRIT {
+		t.Fatalf("setup: quality verdict %s, want crit", rep.Status)
+	}
+
+	// SLO: burn an availability objective into fast burn.
+	h := newBurnHarness(t)
+	for i := 0; i < 10; i++ {
+		h.tick(0)
+	}
+	for i := 0; i < 15; i++ {
+		h.tick(0.5)
+	}
+	if s := h.state(); s != StateFastBurn {
+		t.Fatalf("setup: slo state %s, want fast_burn", s)
+	}
+
+	sources := []obs.HealthSource{q.HealthSource(), h.eng.HealthSource()}
+
+	// Both tripped: one 503, both reasons, in source order.
+	code, reasons := probeHealth(t, sources...)
+	if code != 503 {
+		t.Fatalf("both tripped: status %d, want 503", code)
+	}
+	if len(reasons) != 2 ||
+		!strings.HasPrefix(reasons[0], "quality:") ||
+		!strings.HasPrefix(reasons[1], "slo:") ||
+		!strings.Contains(reasons[1], "avail") {
+		t.Fatalf("reasons = %q, want quality and slo entries", reasons)
+	}
+
+	// Recovery starts: within the hysteresis hold the SLO stays in fast
+	// burn, so the probe must not flap even though the burn stopped.
+	for i := 0; i < 6; i++ {
+		h.tick(0)
+		code, reasons = probeHealth(t, sources...)
+		if code != 503 || len(reasons) != 2 {
+			t.Fatalf("during hold tick %d: status %d reasons %q — flapped", i, code, reasons)
+		}
+	}
+
+	// Past the hold the SLO de-escalates; quality is still CRIT, so the
+	// probe stays 503 with only the quality reason.
+	for i := 0; i < 90; i++ {
+		h.tick(0)
+	}
+	if s := h.state(); s != StateOK {
+		t.Fatalf("slo never recovered: %s", s)
+	}
+	code, reasons = probeHealth(t, sources...)
+	if code != 503 || len(reasons) != 1 || !strings.HasPrefix(reasons[0], "quality:") {
+		t.Errorf("slo recovered: status %d reasons %q, want 503 with quality only", code, reasons)
+	}
+
+	// With the SLO engine alone (quality healthy), the probe goes 200.
+	code, reasons = probeHealth(t, h.eng.HealthSource())
+	if code != 200 || len(reasons) != 0 {
+		t.Errorf("all clear: status %d reasons %q, want 200 with none", code, reasons)
+	}
+}
+
+// TestHealthSourceReasons: the SLO health source names the burning
+// objective and only trips on fast burn, never slow.
+func TestHealthSourceReasons(t *testing.T) {
+	h := newBurnHarness(t)
+	for i := 0; i < 10; i++ {
+		h.tick(0)
+	}
+	// Ease into slow burn only: an error rate over the slow threshold
+	// (0.06) but under the fast one (0.144).
+	for i := 0; i < 40; i++ {
+		h.tick(0.1)
+	}
+	if s := h.state(); s != StateSlowBurn {
+		t.Fatalf("state %s, want slow_burn", s)
+	}
+	if healthy, _ := h.eng.HealthSource().Check(); !healthy {
+		t.Error("slow burn tripped the health probe; only fast burn should")
+	}
+	for i := 0; i < 30; i++ {
+		h.tick(1)
+	}
+	healthy, reason := h.eng.HealthSource().Check()
+	if healthy || !strings.Contains(reason, "avail") || !strings.Contains(reason, "fast burn") {
+		t.Errorf("fast burn: healthy=%v reason=%q", healthy, reason)
+	}
+}

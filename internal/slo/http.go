@@ -1,0 +1,27 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"jitomev/internal/obs"
+)
+
+// Handler serves /sloz: the engine's current Doc as indented JSON. The
+// handler only reads the last tick's verdicts — scraping /sloz never
+// advances the alert machines, so a monitoring burst cannot perturb the
+// thing it monitors.
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(e.State())
+	})
+}
+
+// OpsEndpoints returns the engine's ops-mux routes, ready to append to
+// obs.NewOpsMux's extras the same way the quality sentinel's are.
+func (e *Engine) OpsEndpoints() []obs.Endpoint {
+	return []obs.Endpoint{{Path: "/sloz", Handler: e.Handler()}}
+}

@@ -1,0 +1,128 @@
+package slo
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"jitomev/internal/obs"
+)
+
+// TestSlozEndpoint: /sloz serves the Doc shape with no unknown fields,
+// scraping never advances the machine, and repeated scrapes between
+// ticks are byte-identical.
+func TestSlozEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	bad := reg.Counter("b_total")
+	clk := newFakeClock()
+	eng := New(reg, Config{Now: clk.Now}, Objective{
+		Name:        "avail",
+		Description: "test objective",
+		Target:      0.99,
+		Source:      GoodBad{Good: []Series{{Family: "g_total"}}, Bad: []Series{{Family: "b_total"}}},
+		Windows:     ScaledWindows(time.Minute),
+	})
+	eng.Tick()
+	bad.Add(50)
+	clk.Advance(time.Second)
+	eng.Tick()
+
+	mux := obs.NewOpsMux(reg, false, eng.OpsEndpoints()...)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func() []byte {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + "/sloz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != "application/json" {
+			t.Fatalf("GET /sloz: %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return body
+	}
+	first := get()
+	var doc Doc
+	dec := json.NewDecoder(bytes.NewReader(first))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("decoding /sloz: %v", err)
+	}
+	if doc.Ticks != 2 || len(doc.Objectives) != 1 {
+		t.Fatalf("ticks=%d objectives=%d, want 2/1", doc.Ticks, len(doc.Objectives))
+	}
+	o := doc.Objectives[0]
+	if o.Name != "avail" || o.Description != "test objective" || o.Target != 0.99 {
+		t.Errorf("objective header %+v", o)
+	}
+	if len(o.BurnRates) != 4 {
+		t.Errorf("%d burn windows, want 4", len(o.BurnRates))
+	}
+	if o.SLI != 0 || o.BudgetRemaining != 0 {
+		t.Errorf("all-errors tick: sli=%v budget=%v, want 0/0", o.SLI, o.BudgetRemaining)
+	}
+	if second := get(); !bytes.Equal(first, second) {
+		t.Error("two scrapes between ticks differ")
+	}
+
+	// The ops mux also refreshes the runtime telemetry gauges on scrape.
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, fam := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_pause_p99_seconds", "slo_budget_remaining"} {
+		if !strings.Contains(string(body), fam) {
+			t.Errorf("/metrics missing %s", fam)
+		}
+	}
+}
+
+// TestWriteSummary: the end-of-run SLO table names every objective and
+// its alert state.
+func TestWriteSummary(t *testing.T) {
+	reg := obs.NewRegistry()
+	clk := newFakeClock()
+	eng := New(reg, Config{Now: clk.Now},
+		CollectorPollAvailability(ScaledWindows(time.Minute)),
+		StreamDetectLatency(ScaledWindows(time.Minute)))
+	eng.Tick()
+	var buf bytes.Buffer
+	if err := eng.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"service-level objectives", "collector_poll_availability", "stream_detect_latency", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAlertStateJSON pins the enum's wire form both ways.
+func TestAlertStateJSON(t *testing.T) {
+	for s, name := range map[AlertState]string{
+		StateOK: `"ok"`, StateSlowBurn: `"slow_burn"`, StateFastBurn: `"fast_burn"`,
+	} {
+		b, err := json.Marshal(s)
+		if err != nil || string(b) != name {
+			t.Errorf("marshal %v = %s, %v; want %s", s, b, err, name)
+		}
+		var back AlertState
+		if err := json.Unmarshal([]byte(name), &back); err != nil || back != s {
+			t.Errorf("unmarshal %s = %v, %v", name, back, err)
+		}
+	}
+	var bad AlertState
+	if err := json.Unmarshal([]byte(`"paging"`), &bad); err == nil {
+		t.Error("illegal state unmarshaled without error")
+	}
+}

@@ -1,0 +1,146 @@
+package slo
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// stamp renders an engine-clock instant for /sloz: UTC RFC3339Nano, so
+// the document bytes are a pure function of the injected clock.
+func stamp(t time.Time) string { return t.UTC().Format(time.RFC3339Nano) }
+
+// Transition is one alert-machine hop in an objective's history.
+type Transition struct {
+	At     string     `json:"at"`
+	From   AlertState `json:"from"`
+	To     AlertState `json:"to"`
+	Reason string     `json:"reason,omitempty"`
+}
+
+// WindowBurn is one alerting window's burn rate in /sloz.
+type WindowBurn struct {
+	Window    string  `json:"window"`
+	Seconds   float64 `json:"seconds"`
+	BurnRate  float64 `json:"burn_rate"`
+	Threshold float64 `json:"threshold"`
+}
+
+// AlertStatus is one objective's alert machine in /sloz.
+type AlertStatus struct {
+	State            AlertState   `json:"state"`
+	Since            string       `json:"since"`
+	Reason           string       `json:"reason,omitempty"`
+	TransitionsTotal uint64       `json:"transitions_total"`
+	Transitions      []Transition `json:"transitions"`
+}
+
+// ObjectiveStatus is one objective's full verdict in /sloz.
+type ObjectiveStatus struct {
+	Name            string       `json:"name"`
+	Description     string       `json:"description,omitempty"`
+	Target          float64      `json:"target"`
+	SLI             float64      `json:"sli"`
+	GoodEvents      float64      `json:"good_events"`
+	TotalEvents     float64      `json:"total_events"`
+	BudgetRemaining float64      `json:"budget_remaining"`
+	BurnRates       []WindowBurn `json:"burn_rates"`
+	Alert           AlertStatus  `json:"alert"`
+}
+
+// Doc is the /sloz document: every objective's verdict as of the last
+// tick. With a pinned clock and a deterministic counter feed its
+// marshaled bytes are identical across reruns, worker counts and chaos
+// replays.
+type Doc struct {
+	GeneratedAt string            `json:"generated_at"`
+	Ticks       uint64            `json:"ticks"`
+	Objectives  []ObjectiveStatus `json:"objectives"`
+}
+
+// State builds the current Doc. Objectives appear in registration
+// order; call Tick at least once first or every objective reads as a
+// full-budget OK.
+func (e *Engine) State() Doc {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d := Doc{GeneratedAt: stamp(e.lastTick), Ticks: e.ticks}
+	for _, st := range e.objs {
+		w := st.obj.Windows
+		rules := [4]BurnRule{w.Fast, w.Fast, w.Slow, w.Slow}
+		durs := [4]time.Duration{w.Fast.Long, w.Fast.Short, w.Slow.Long, w.Slow.Short}
+		os := ObjectiveStatus{
+			Name:            st.obj.Name,
+			Description:     st.obj.Description,
+			Target:          st.obj.Target,
+			SLI:             st.sli,
+			GoodEvents:      st.good,
+			TotalEvents:     st.total,
+			BudgetRemaining: st.budget,
+			Alert: AlertStatus{
+				State:            st.state,
+				Since:            stamp(st.since),
+				Reason:           st.reason,
+				TransitionsTotal: st.transTotal,
+				Transitions:      append([]Transition(nil), st.transitions...),
+			},
+		}
+		if os.Alert.Transitions == nil {
+			os.Alert.Transitions = []Transition{}
+		}
+		for i, name := range windowNames {
+			os.BurnRates = append(os.BurnRates, WindowBurn{
+				Window:    name,
+				Seconds:   durs[i].Seconds(),
+				BurnRate:  st.burns[i],
+				Threshold: rules[i].Factor,
+			})
+		}
+		d.Objectives = append(d.Objectives, os)
+	}
+	if d.Objectives == nil {
+		d.Objectives = []ObjectiveStatus{}
+	}
+	return d
+}
+
+// WriteSummary renders the end-of-run SLO table beside the registry's
+// WriteSummary: one row per objective with target, SLI, budget left,
+// the worst burn rate, and the alert state.
+func (e *Engine) WriteSummary(w io.Writer) error {
+	d := e.State()
+	tw := &tableWriter{w: w}
+	tw.printf("\n== service-level objectives ==\n")
+	tw.printf("%-28s %9s %9s %9s %10s %10s  %s\n",
+		"objective", "target", "sli", "budget", "burn(max)", "events", "alert")
+	for _, o := range d.Objectives {
+		worst := 0.0
+		for _, b := range o.BurnRates {
+			if b.BurnRate > worst {
+				worst = b.BurnRate
+			}
+		}
+		tw.printf("%-28s %9.5f %9.5f %8.1f%% %9.2fx %10.0f  %s\n",
+			o.Name, o.Target, o.SLI, o.BudgetRemaining*100, worst, o.TotalEvents,
+			o.Alert.State)
+	}
+	for _, o := range d.Objectives {
+		if o.Alert.State != StateOK && o.Alert.Reason != "" {
+			tw.printf("  %s: %s\n", o.Name, strings.TrimSpace(o.Alert.Reason))
+		}
+	}
+	return tw.err
+}
+
+// tableWriter accumulates the first write error.
+type tableWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (t *tableWriter) printf(format string, args ...any) {
+	if t.err == nil {
+		_, t.err = fmt.Fprintf(t.w, format, args...)
+	}
+}

@@ -1,0 +1,265 @@
+// Package slo turns the obs registry's raw series into service-level
+// objectives: declarative availability and latency objectives compiled
+// against registered counter and histogram families, sliding-window SLI
+// evaluation with error-budget accounting, and Google-SRE-style
+// multi-window multi-burn-rate alerting (a fast burn pages, a slow burn
+// warns), exposed as the /sloz JSON document, an end-of-run summary
+// table, and a /healthz contribution (fast burn joins the quality
+// sentinel's CRIT on the 503 path).
+//
+// The paper's measurement rests on an uninterrupted 31-day scrape, so
+// sustained collection availability and bounded poll latency are
+// correctness concerns, not operational niceties: a poll failure rate of
+// 0.078 under chaos is only interpretable against an objective. This
+// package supplies the objectives.
+//
+// Determinism is the same bar the metrics, quality and tracing layers
+// set: the engine's verdicts are a pure function of the (clock, counter
+// value) sequence it observes. With the injectable clock pinned and the
+// counter feed deterministic — as it is at any worker count for the
+// same chaos seed — the /sloz document and the alert-transition
+// sequence are bit-identical across reruns, worker counts and chaos
+// replays.
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"jitomev/internal/obs"
+)
+
+// AlertState is one objective's alert-machine state, ordered by
+// severity: an escalation is immediate, a de-escalation waits out the
+// hysteresis hold.
+type AlertState uint8
+
+const (
+	// StateOK: burning within budget on every window.
+	StateOK AlertState = iota
+	// StateSlowBurn: the slow-burn rule fired — the budget is eroding
+	// fast enough to exhaust well before the window ends (warn).
+	StateSlowBurn
+	// StateFastBurn: the fast-burn rule fired — at this rate the budget
+	// is gone in hours, not days (page; joins /healthz's 503).
+	StateFastBurn
+)
+
+var stateNames = [...]string{"ok", "slow_burn", "fast_burn"}
+
+// String implements fmt.Stringer.
+func (s AlertState) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// MarshalJSON renders the state as its lowercase name.
+func (s AlertState) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON accepts exactly the lowercase names — anything else is
+// an illegal alert state, which metricscheck treats as a shape error.
+func (s *AlertState) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	for i, name := range stateNames {
+		if str == name {
+			*s = AlertState(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("slo: illegal alert state %q", str)
+}
+
+// Series selects registered metrics by family plus required label
+// pairs: a sample matches when its family equals Family and its
+// rendered name carries every `k="v"` in Labels. An empty Labels list
+// matches every series of the family — the way a per-route family is
+// summed into one SLI.
+type Series struct {
+	Family string
+	Labels [][2]string
+}
+
+// matches reports whether the sample belongs to this selector.
+func (s Series) matches(sm *obs.Sample) bool {
+	if sm.Family != s.Family {
+		return false
+	}
+	for _, kv := range s.Labels {
+		if !strings.Contains(sm.Name, kv[0]+`="`+kv[1]+`"`) {
+			return false
+		}
+	}
+	return true
+}
+
+// Index is one tick's view of the registry: a snapshot grouped by
+// family so every objective's selectors resolve against the same
+// instant.
+type Index struct {
+	byFamily map[string][]obs.Sample
+}
+
+// NewIndex groups a registry snapshot by family.
+func NewIndex(samples []obs.Sample) *Index {
+	ix := &Index{byFamily: make(map[string][]obs.Sample)}
+	for _, s := range samples {
+		ix.byFamily[s.Family] = append(ix.byFamily[s.Family], s)
+	}
+	return ix
+}
+
+// Sum adds the values of every sample each selector matches. Absent
+// families contribute zero — an objective compiled before its inputs
+// exist simply reports "no data".
+func (ix *Index) Sum(sel ...Series) float64 {
+	var total float64
+	for _, s := range sel {
+		for i := range ix.byFamily[s.Family] {
+			if sm := &ix.byFamily[s.Family][i]; s.matches(sm) {
+				total += sm.Value
+			}
+		}
+	}
+	return total
+}
+
+// Source yields an objective's cumulative (good, total) event counts
+// from a tick's Index. Both are cumulative-since-process-start; the
+// engine differences them across ticks for windows and against its
+// first tick for the budget.
+type Source interface {
+	Eval(ix *Index) (good, total float64)
+}
+
+// GoodBad is the availability source for split counter families: good
+// events on one set of series, bad events on another, total their sum —
+// e.g. collector_polls_total vs collector_poll_errors_total, or the
+// explorer's ok outcomes vs the chaos injector's server-class faults.
+type GoodBad struct {
+	Good []Series
+	Bad  []Series
+}
+
+// Eval implements Source.
+func (g GoodBad) Eval(ix *Index) (good, total float64) {
+	gd, bd := ix.Sum(g.Good...), ix.Sum(g.Bad...)
+	return gd, gd + bd
+}
+
+// GoodTotal is the availability source for families where the total is
+// its own series (good ⊆ total), e.g. ok outcomes over all outcomes of
+// a labeled request family.
+type GoodTotal struct {
+	Good  []Series
+	Total []Series
+}
+
+// Eval implements Source.
+func (g GoodTotal) Eval(ix *Index) (good, total float64) {
+	return ix.Sum(g.Good...), ix.Sum(g.Total...)
+}
+
+// LatencyUnder is the latency source: good = histogram observations at
+// or under Threshold seconds, total = all observations, summed over
+// every series the selector matches (e.g. all routes of a latency
+// family). Precision is bounded by the bucket bounds: the effective
+// threshold is the largest bound ≤ Threshold, the standard Prometheus
+// histogram caveat.
+type LatencyUnder struct {
+	Hist      Series
+	Threshold float64
+}
+
+// Eval implements Source.
+func (l LatencyUnder) Eval(ix *Index) (good, total float64) {
+	for i := range ix.byFamily[l.Hist.Family] {
+		sm := &ix.byFamily[l.Hist.Family][i]
+		if sm.Kind != obs.KindHistogram || !l.Hist.matches(sm) {
+			continue
+		}
+		total += float64(sm.Count)
+		for bi, bound := range sm.Bounds {
+			if bound <= l.Threshold {
+				good += float64(sm.Buckets[bi])
+			}
+		}
+	}
+	return good, total
+}
+
+// BurnRule is one multi-window burn-rate alert rule: fire when the
+// error-budget burn rate is at least Factor over both the Long window
+// (sustained) and the Short window (still happening). The two-window
+// conjunction is what keeps a recovered incident from paging for the
+// rest of the long window.
+type BurnRule struct {
+	Long   time.Duration
+	Short  time.Duration
+	Factor float64
+}
+
+// Windows is an objective's full alerting policy: the fast-burn rule
+// (page), the slow-burn rule (warn), and the hysteresis hold an alert
+// must stay below threshold before de-escalating — the anti-flap gate.
+type Windows struct {
+	Fast      BurnRule
+	Slow      BurnRule
+	ClearHold time.Duration
+}
+
+// ScaledWindows maps the Google SRE workbook's canonical multi-window
+// policy (fast: 1h/5m at 14.4×, slow: 6h/30m at 6×) onto a base unit:
+// unit = 1h reproduces the book, unit = 4s compresses the same shape
+// into a smoke run. The hold is unit/6 (10 minutes at the book's
+// scale).
+func ScaledWindows(unit time.Duration) Windows {
+	if unit <= 0 {
+		unit = time.Hour
+	}
+	short := unit / 12
+	if short <= 0 {
+		short = 1
+	}
+	return Windows{
+		Fast:      BurnRule{Long: unit, Short: short, Factor: 14.4},
+		Slow:      BurnRule{Long: 6 * unit, Short: unit / 2, Factor: 6},
+		ClearHold: unit / 6,
+	}
+}
+
+// DefaultWindows is ScaledWindows at the book's own one-hour unit.
+func DefaultWindows() Windows { return ScaledWindows(time.Hour) }
+
+// Objective is one declarative SLO: a named target ratio over a
+// compiled good/total source, alerted per Windows.
+type Objective struct {
+	// Name identifies the objective in /sloz, the summary table and the
+	// slo_* metric labels. Required, unique within an engine.
+	Name string
+	// Description says what is being promised, for humans.
+	Description string
+	// Target is the objective ratio in (0,1), e.g. 0.999. The error
+	// budget is 1 - Target.
+	Target float64
+	// Source yields cumulative (good, total) counts each tick.
+	Source Source
+	// Windows is the alerting policy; the zero value selects
+	// DefaultWindows.
+	Windows Windows
+}
+
+// resolved fills the zero-value policy.
+func (o Objective) resolved() Objective {
+	z := Windows{}
+	if o.Windows == z {
+		o.Windows = DefaultWindows()
+	}
+	return o
+}

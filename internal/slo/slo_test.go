@@ -1,0 +1,187 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"jitomev/internal/obs"
+)
+
+// fakeClock is a hand-advanced engine clock.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0).UTC()}
+}
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestSources(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("good_total", "route", "a").Add(70)
+	reg.Counter("good_total", "route", "b").Add(20)
+	reg.Counter("bad_total").Add(10)
+	h := reg.Histogram("lat_seconds", []float64{0.1, 0.4, 1})
+	for _, v := range []float64{0.05, 0.2, 0.3, 0.9, 5} {
+		h.Observe(v)
+	}
+	ix := NewIndex(reg.Snapshot())
+
+	if g, tot := (GoodBad{
+		Good: []Series{{Family: "good_total"}},
+		Bad:  []Series{{Family: "bad_total"}},
+	}).Eval(ix); g != 90 || tot != 100 {
+		t.Errorf("GoodBad = (%v, %v), want (90, 100)", g, tot)
+	}
+	// A label selector restricts to the matching series.
+	if g, _ := (GoodBad{
+		Good: []Series{{Family: "good_total", Labels: [][2]string{{"route", "a"}}}},
+	}).Eval(ix); g != 70 {
+		t.Errorf(`good_total{route="a"} = %v, want 70`, g)
+	}
+	if g, tot := (GoodTotal{
+		Good:  []Series{{Family: "good_total"}},
+		Total: []Series{{Family: "good_total"}, {Family: "bad_total"}},
+	}).Eval(ix); g != 90 || tot != 100 {
+		t.Errorf("GoodTotal = (%v, %v), want (90, 100)", g, tot)
+	}
+	// LatencyUnder counts observations in buckets bounded <= threshold:
+	// 0.05 lands in le=0.1, {0.2, 0.3} in le=0.4; 0.9 and 5 are over.
+	if g, tot := (LatencyUnder{
+		Hist: Series{Family: "lat_seconds"}, Threshold: 0.4,
+	}).Eval(ix); g != 3 || tot != 5 {
+		t.Errorf("LatencyUnder = (%v, %v), want (3, 5)", g, tot)
+	}
+	// Absent families read as no data, not as an error.
+	if g, tot := (GoodBad{Good: []Series{{Family: "nope"}}}).Eval(ix); g != 0 || tot != 0 {
+		t.Errorf("absent family = (%v, %v), want (0, 0)", g, tot)
+	}
+}
+
+func TestScaledWindowsReproduceTheBook(t *testing.T) {
+	w := ScaledWindows(time.Hour)
+	if w.Fast.Long != time.Hour || w.Fast.Short != 5*time.Minute || w.Fast.Factor != 14.4 {
+		t.Errorf("fast rule = %+v, want 1h/5m @14.4", w.Fast)
+	}
+	if w.Slow.Long != 6*time.Hour || w.Slow.Short != 30*time.Minute || w.Slow.Factor != 6 {
+		t.Errorf("slow rule = %+v, want 6h/30m @6", w.Slow)
+	}
+	if w.ClearHold != 10*time.Minute {
+		t.Errorf("clear hold = %v, want 10m", w.ClearHold)
+	}
+	if DefaultWindows() != w {
+		t.Error("DefaultWindows differs from ScaledWindows(1h)")
+	}
+}
+
+// TestBudgetAccounting pins the error-budget arithmetic: the baseline
+// is the engine's first tick (pre-engine history spends nothing), and
+// the remaining budget is 1 - cumErrRate/(1-target), clamped.
+func TestBudgetAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	good := reg.Counter("g_total")
+	bad := reg.Counter("b_total")
+	good.Add(1000)
+	bad.Add(1000) // pre-engine history: must not count against the budget
+
+	clk := newFakeClock()
+	eng := New(reg, Config{Now: clk.Now}, Objective{
+		Name:   "avail",
+		Target: 0.99,
+		Source: GoodBad{Good: []Series{{Family: "g_total"}}, Bad: []Series{{Family: "b_total"}}},
+	})
+	eng.Tick()
+	d := eng.State()
+	if o := d.Objectives[0]; o.SLI != 1 || o.BudgetRemaining != 1 || o.TotalEvents != 0 {
+		t.Errorf("first tick: sli=%v budget=%v total=%v, want 1/1/0", o.SLI, o.BudgetRemaining, o.TotalEvents)
+	}
+
+	// 995 good + 5 bad post-baseline: err rate 0.005 against a 0.01
+	// budget leaves half of it.
+	good.Add(995)
+	bad.Add(5)
+	clk.Advance(time.Second)
+	eng.Tick()
+	o := eng.State().Objectives[0]
+	if o.SLI != 0.995 || o.TotalEvents != 1000 {
+		t.Errorf("sli=%v total=%v, want 0.995/1000", o.SLI, o.TotalEvents)
+	}
+	if o.BudgetRemaining < 0.499 || o.BudgetRemaining > 0.501 {
+		t.Errorf("budget remaining = %v, want ~0.5", o.BudgetRemaining)
+	}
+
+	// Burn past the whole budget: remaining clamps at 0.
+	bad.Add(1000)
+	clk.Advance(time.Second)
+	eng.Tick()
+	if o := eng.State().Objectives[0]; o.BudgetRemaining != 0 {
+		t.Errorf("overspent budget remaining = %v, want 0", o.BudgetRemaining)
+	}
+}
+
+// TestNoDataReadsOK: an objective over families nobody registered is a
+// full-budget OK, not a page.
+func TestNoDataReadsOK(t *testing.T) {
+	reg := obs.NewRegistry()
+	clk := newFakeClock()
+	eng := New(reg, Config{Now: clk.Now}, StreamDetectLatency(ScaledWindows(time.Minute)))
+	for i := 0; i < 10; i++ {
+		clk.Advance(time.Second)
+		eng.Tick()
+	}
+	o := eng.State().Objectives[0]
+	if o.SLI != 1 || o.BudgetRemaining != 1 || o.Alert.State != StateOK {
+		t.Errorf("no-data objective: sli=%v budget=%v state=%s", o.SLI, o.BudgetRemaining, o.Alert.State)
+	}
+}
+
+// TestRegistryMirrors: every verdict lands on the registry as a
+// Volatile slo_* series, so /metrics carries the same numbers as /sloz.
+func TestRegistryMirrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	bad := reg.Counter("b_total")
+	clk := newFakeClock()
+	eng := New(reg, Config{Now: clk.Now}, Objective{
+		Name:   "avail",
+		Target: 0.99,
+		Source: GoodBad{Good: []Series{{Family: "g_total"}}, Bad: []Series{{Family: "b_total"}}},
+	})
+	eng.Tick()
+	bad.Add(100)
+	clk.Advance(time.Second)
+	eng.Tick()
+
+	if got := reg.Value("slo_sli", "slo", "avail"); got != 0 {
+		t.Errorf(`slo_sli{slo="avail"} = %v, want 0`, got)
+	}
+	if got := reg.Value("slo_budget_remaining", "slo", "avail"); got != 0 {
+		t.Errorf(`slo_budget_remaining = %v, want 0`, got)
+	}
+	found := 0
+	for _, s := range reg.Snapshot() {
+		if strings.HasPrefix(s.Family, "slo_") {
+			if !s.Volatile {
+				t.Errorf("%s is not Volatile", s.Name)
+			}
+			found++
+		}
+	}
+	// 2 sli/budget + 4 burn windows + alert state + transitions counter.
+	if found < 8 {
+		t.Errorf("found %d slo_* series, want >= 8", found)
+	}
+}
+
+// TestEngineRejectsBadObjectives: name collisions and empty names are
+// programming errors worth a panic, same as metric re-registration.
+func TestEngineRejectsBadObjectives(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate objective names did not panic")
+		}
+	}()
+	New(obs.NewRegistry(), Config{},
+		Objective{Name: "x", Target: 0.9, Source: GoodBad{}},
+		Objective{Name: "x", Target: 0.9, Source: GoodBad{}})
+}

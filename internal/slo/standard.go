@@ -1,0 +1,121 @@
+package slo
+
+import "time"
+
+// Standard objectives compiled against the families the pipeline
+// already records. Each constructor takes the alerting policy so
+// binaries can scale the windows (production: DefaultWindows; smoke
+// runs: ScaledWindows with a seconds-scale unit).
+
+// ExplorerAvailability is the explorerd request success ratio. Good
+// events are requests that completed with an ok outcome; bad events are
+// the chaos injector's response-damaging faults (server errors,
+// truncation, corruption), which the middleware applies outside the
+// server's own counters — exactly the failures a client of the real
+// Jito explorer would see.
+func ExplorerAvailability(w Windows) Objective {
+	return Objective{
+		Name:        "explorer_availability",
+		Description: "explorerd requests served successfully (chaos-injected failures count against)",
+		Target:      0.999,
+		Source: GoodBad{
+			Good: []Series{{Family: "explorer_requests_total", Labels: [][2]string{{"outcome", "ok"}}}},
+			Bad: []Series{
+				{Family: "faults_injected_total", Labels: [][2]string{{"class", "server"}}},
+				{Family: "faults_injected_total", Labels: [][2]string{{"class", "truncate"}}},
+				{Family: "faults_injected_total", Labels: [][2]string{{"class", "corrupt"}}},
+			},
+		},
+		Windows: w,
+	}
+}
+
+// ExplorerLatency is the explorerd serving-latency objective: 99% of
+// requests under 100 ms, summed across routes.
+func ExplorerLatency(w Windows) Objective {
+	return Objective{
+		Name:        "explorer_latency",
+		Description: "explorerd requests served under 100ms",
+		Target:      0.99,
+		Source: LatencyUnder{
+			Hist:      Series{Family: "explorer_request_latency_seconds"},
+			Threshold: 0.1,
+		},
+		Windows: w,
+	}
+}
+
+// CollectorPollAvailability is the scrape-loop success ratio — the
+// paper's 31-day-uninterrupted-collection requirement as an objective.
+func CollectorPollAvailability(w Windows) Objective {
+	return Objective{
+		Name:        "collector_poll_availability",
+		Description: "recent-bundles polls that succeeded",
+		Target:      0.99,
+		Source: GoodBad{
+			Good: []Series{{Family: "collector_polls_total"}},
+			Bad:  []Series{{Family: "collector_poll_errors_total"}},
+		},
+		Windows: w,
+	}
+}
+
+// StreamDetectLatency is the incremental-detection latency objective:
+// 99% of events folded to a verdict within one Solana slot (400 ms) —
+// the bound that makes detection "real-time" relative to block
+// production.
+func StreamDetectLatency(w Windows) Objective {
+	return Objective{
+		Name:        "stream_detect_latency",
+		Description: "stream events folded to a verdict within the 400ms slot budget",
+		Target:      0.99,
+		Source: LatencyUnder{
+			Hist:      Series{Family: "stream_detect_latency_seconds"},
+			Threshold: 0.4,
+		},
+		Windows: w,
+	}
+}
+
+// FleetTakeoverLatency is the failover objective: 95% of orphaned
+// partitions re-leased within a second, bounding the collection gap a
+// replica crash can open.
+func FleetTakeoverLatency(w Windows) Objective {
+	return Objective{
+		Name:        "fleet_takeover_latency",
+		Description: "orphaned fleet partitions taken over within 1s of lease expiry",
+		Target:      0.95,
+		Source: LatencyUnder{
+			Hist:      Series{Family: "fleet_takeover_latency_seconds"},
+			Threshold: 1.0,
+		},
+		Windows: w,
+	}
+}
+
+// unitOrDefault maps a flag-supplied window unit (zero means the
+// production one-hour unit) onto a Windows policy.
+func unitOrDefault(unit time.Duration) Windows {
+	if unit <= 0 {
+		return DefaultWindows()
+	}
+	return ScaledWindows(unit)
+}
+
+// ExplorerObjectives is the objective set explorerd runs.
+func ExplorerObjectives(unit time.Duration) []Objective {
+	w := unitOrDefault(unit)
+	return []Objective{ExplorerAvailability(w), ExplorerLatency(w)}
+}
+
+// CollectorObjectives is the objective set collect runs: poll
+// availability always, plus stream detection latency (absent families
+// read as no-data OK) and fleet takeover latency on fleet runs.
+func CollectorObjectives(unit time.Duration) []Objective {
+	w := unitOrDefault(unit)
+	return []Objective{
+		CollectorPollAvailability(w),
+		StreamDetectLatency(w),
+		FleetTakeoverLatency(w),
+	}
+}

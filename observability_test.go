@@ -210,7 +210,8 @@ func TestHTTPRunRecordsTransport(t *testing.T) {
 		"collector_http_requests_total{endpoint=\"recent\"}",
 		"collector_http_requests_total{endpoint=\"details\"}",
 		"collector_http_response_bytes_total{endpoint=\"recent\"}",
-		"explorer_requests_total",
+		"explorer_requests_total{route=\"recent\",outcome=\"ok\"}",
+		"explorer_requests_total{route=\"transactions\",outcome=\"ok\"}",
 	} {
 		if reg.Value(family) == 0 {
 			t.Errorf("family %s never recorded on an HTTP run", family)

@@ -1,0 +1,100 @@
+#!/bin/sh
+# load_smoke: end-to-end check of the SLO engine under load, plus the
+# serving benchmark.
+#
+# Starts explorerd with the chaos-admin endpoint mounted (fault rate 0)
+# and second-scale SLO windows, drives it with a steady loadgen fleet,
+# and walks /sloz through the full alert ladder by toggling the fault
+# rate over /chaosz:
+#
+#   1. clean traffic      -> every objective OK
+#   2. POST rate=0.5      -> availability burns (fast burn pages, and
+#                            /healthz goes 503 with the slo reason)
+#   3. POST rate=0        -> the burn clears through hysteresis and
+#                            /sloz returns to all-ok, /healthz to 200
+#
+# Then a QPS ramp against the same server writes BENCH_serve.json with
+# client-observed p50/p99 per step and the max sustainable QPS.
+set -eu
+
+EXP_ADDR=${EXP_ADDR:-127.0.0.1:9280}
+GO=${GO:-go}
+BENCH_OUT=${BENCH_OUT:-BENCH_serve.json}
+
+tmp=$(mktemp -d)
+expd_pid=""
+gen_pid=""
+cleanup() {
+    [ -n "$gen_pid" ] && kill "$gen_pid" 2>/dev/null || true
+    [ -n "$expd_pid" ] && kill "$expd_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "load-smoke: building binaries"
+$GO build -o "$tmp/explorerd" ./cmd/explorerd
+$GO build -o "$tmp/loadgen" ./cmd/loadgen
+$GO build -o "$tmp/metricscheck" ./cmd/metricscheck
+
+echo "load-smoke: starting explorerd on $EXP_ADDR (chaos-admin, slo-unit 5s)"
+"$tmp/explorerd" -addr "$EXP_ADDR" -days 1 -scale 50000 \
+    -chaos-admin -fault-rate 0 -chaos-seed 7 -slow 5ms \
+    -slo-unit 5s -slo-tick 200ms >"$tmp/explorerd.log" 2>&1 &
+expd_pid=$!
+
+# Steady background traffic for the whole ladder walk: the SLO windows
+# need a continuous event stream so burn rates rise when faults start
+# and dilute back down when they stop.
+"$tmp/metricscheck" -url "http://$EXP_ADDR/metrics" -wait 10s \
+    -require explorer_requests_total >/dev/null
+"$tmp/loadgen" -url "http://$EXP_ADDR" -clients 24 -qps 150 -steps 1 \
+    -step-dur 150s >"$tmp/loadgen_bg.log" 2>&1 &
+gen_pid=$!
+
+echo "load-smoke: phase 1 - clean traffic, expecting all-ok"
+"$tmp/metricscheck" -url "http://$EXP_ADDR/metrics" -wait 20s \
+    -require explorer_requests_total -require slo_budget_remaining \
+    -sloz-url "http://$EXP_ADDR/sloz" -sloz-expect all-ok
+if ! curl -fsS "http://$EXP_ADDR/healthz" >/dev/null; then
+    echo "load-smoke: /healthz not 200 on a clean run" >&2
+    exit 1
+fi
+
+echo "load-smoke: phase 2 - raising fault rate to 0.5, expecting fast burn"
+curl -fsS -X POST -d rate=0.5 "http://$EXP_ADDR/chaosz" >/dev/null
+"$tmp/metricscheck" -url "http://$EXP_ADDR/metrics" -wait 30s \
+    -sloz-url "http://$EXP_ADDR/sloz" -sloz-expect fast-burn
+# The fast burn must page: /healthz 503 with the slo reason in the body.
+code=$(curl -s -o "$tmp/health.json" -w '%{http_code}' "http://$EXP_ADDR/healthz")
+if [ "$code" != "503" ] || ! grep -q '"slo:' "$tmp/health.json"; then
+    echo "load-smoke: /healthz during fast burn: code $code body:" >&2
+    cat "$tmp/health.json" >&2
+    exit 1
+fi
+
+echo "load-smoke: phase 3 - fault rate back to 0, expecting recovery"
+curl -fsS -X POST -d rate=0 "http://$EXP_ADDR/chaosz" >/dev/null
+"$tmp/metricscheck" -url "http://$EXP_ADDR/metrics" -wait 90s \
+    -sloz-url "http://$EXP_ADDR/sloz" -sloz-expect all-ok
+if ! curl -fsS "http://$EXP_ADDR/healthz" >/dev/null; then
+    echo "load-smoke: /healthz did not recover to 200" >&2
+    exit 1
+fi
+
+kill "$gen_pid" 2>/dev/null || true
+wait "$gen_pid" 2>/dev/null || true
+gen_pid=""
+
+echo "load-smoke: ramp benchmark -> $BENCH_OUT"
+"$tmp/loadgen" -url "http://$EXP_ADDR" -clients 32 -qps 200 -qps-max 1500 \
+    -steps 4 -step-dur 3s -bench-out "$BENCH_OUT" | tail -n 20
+
+# The bench document must carry the headline numbers.
+for key in overall_p50_ms overall_p99_ms max_sustainable_qps; do
+    if ! grep -q "\"$key\"" "$BENCH_OUT"; then
+        echo "load-smoke: $key missing from $BENCH_OUT" >&2
+        exit 1
+    fi
+done
+
+echo "load-smoke: ok"

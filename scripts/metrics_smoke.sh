@@ -16,6 +16,11 @@
 # /tracez must hold a poll trace with its transport hop, and explorerd's
 # must hold the same traffic as remotely-rooted traces extracted from
 # the collector's traceparent headers.
+#
+# Both processes also serve the SLO engine: /sloz must be a well-formed
+# verdict document with every objective OK on this clean, fault-free
+# run, and the collector's end-of-run summary must include the SLO
+# table.
 set -eu
 
 EXP_ADDR=${EXP_ADDR:-127.0.0.1:9180}
@@ -41,7 +46,9 @@ expd_pid=$!
 
 "$tmp/metricscheck" -url "http://$EXP_ADDR/metrics" -wait 10s \
     -require explorer_requests_total -require explorer_throttled_total \
-    -quality-url "http://$EXP_ADDR/qualityz" -max-status warn
+    -require slo_budget_remaining -require go_goroutines \
+    -quality-url "http://$EXP_ADDR/qualityz" -max-status warn \
+    -sloz-url "http://$EXP_ADDR/sloz" -sloz-expect all-ok
 "$tmp/metricscheck" -url "http://$EXP_ADDR/metrics" >/dev/null # stable on re-scrape
 
 # /healthz is the liveness/quality probe: 200 unless the verdict is CRIT.
@@ -61,9 +68,10 @@ col_pid=$!
 # http child = 2 spans).
 "$tmp/metricscheck" -url "http://$COL_ADDR/metrics" -wait 10s \
     -require collector_polls_total -require collector_http_requests_total \
-    -require trace_spans_total \
+    -require trace_spans_total -require slo_budget_remaining \
     -quality-url "http://$COL_ADDR/qualityz" -max-status warn \
-    -tracez-url "http://$COL_ADDR/tracez" -tracez-min-spans 2
+    -tracez-url "http://$COL_ADDR/tracez" -tracez-min-spans 2 \
+    -sloz-url "http://$COL_ADDR/sloz" -sloz-expect all-ok
 if ! curl -fsS "http://$COL_ADDR/healthz" >/dev/null; then
     echo "metrics-smoke: collect /healthz not healthy" >&2
     exit 1
@@ -93,6 +101,15 @@ done
 # The end-of-run quality table must render with a non-CRIT verdict.
 if ! grep -q "data quality: OK\|data quality: WARN" "$tmp/collect.log"; then
     echo "metrics-smoke: quality verdict missing or CRIT in collect's summary" >&2
+    cat "$tmp/collect.log" >&2
+    exit 1
+fi
+
+# The end-of-run SLO table must render beside it, with the collector's
+# poll objective present.
+if ! grep -q "service-level objectives" "$tmp/collect.log" ||
+    ! grep -q "collector_poll_availability" "$tmp/collect.log"; then
+    echo "metrics-smoke: SLO table missing from collect's summary" >&2
     cat "$tmp/collect.log" >&2
     exit 1
 fi
